@@ -1,0 +1,221 @@
+//! Parameterized graph families.
+
+use bnf_graph::Graph;
+
+/// The path graph `P_n` on `n` vertices (`0-1-...-(n-1)`).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// The cycle graph `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles are not simple graphs).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices, got {n}");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The star `K_{1,n-1}` on `n` vertices with centre 0.
+///
+/// For link cost α > 1 this is the unique efficient graph of the bilateral
+/// connection game (Lemma 5).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star needs at least 1 vertex");
+    let mut g = Graph::empty(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The complete graph `K_n` — the unique efficient and unique pairwise
+/// stable graph of the BCG for α < 1 (Lemma 4).
+pub fn complete(n: usize) -> Graph {
+    Graph::complete(n)
+}
+
+/// The complete bipartite graph `K_{a,b}` (parts `0..a` and `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 0..a {
+        for v in a..a + b {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The complete multipartite graph with the given part sizes.
+pub fn complete_multipartite(parts: &[usize]) -> Graph {
+    let n: usize = parts.iter().sum();
+    let mut g = Graph::empty(n);
+    let mut part_of = Vec::with_capacity(n);
+    for (pi, &len) in parts.iter().enumerate() {
+        part_of.extend(std::iter::repeat_n(pi, len));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if part_of[u] != part_of[v] {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The wheel `W_n`: a cycle on `n - 1` rim vertices plus a hub (vertex
+/// `n - 1`) adjacent to all of them.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 vertices, got {n}");
+    let g = cycle(n - 1).with_extra_vertex(&(0..n - 1).collect());
+    debug_assert_eq!(g.degree(n - 1), n - 1);
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices (adjacent iff
+/// labels differ in one bit).
+///
+/// # Panics
+///
+/// Panics if `d > 16` (guard against runaway sizes).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 16, "hypercube dimension {d} too large");
+    let n = 1usize << d;
+    let mut g = Graph::empty(n);
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if u > v {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+/// The `r × c` grid graph.
+pub fn grid(r: usize, c: usize) -> Graph {
+    let mut g = Graph::empty(r * c);
+    for i in 0..r {
+        for j in 0..c {
+            let v = i * c + j;
+            if j + 1 < c {
+                g.add_edge(v, v + 1);
+            }
+            if i + 1 < r {
+                g.add_edge(v, v + c);
+            }
+        }
+    }
+    g
+}
+
+/// The circulant graph `C_n(S)`: vertex `i` adjacent to `i ± s (mod n)`
+/// for each stride `s` in `strides`.
+///
+/// # Panics
+///
+/// Panics if any stride is 0 or ≥ n, or if `n == 0`.
+pub fn circulant(n: usize, strides: &[usize]) -> Graph {
+    assert!(n >= 1, "circulant needs at least 1 vertex");
+    let mut g = Graph::empty(n);
+    for &s in strides {
+        assert!(s >= 1 && s < n, "stride {s} out of range 1..{n}");
+        for i in 0..n {
+            let j = (i + s) % n;
+            if i != j {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_family_shapes() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert!(path(5).is_tree());
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(cycle(5).girth(), Some(5));
+        assert_eq!(star(8).degree(0), 7);
+        assert!(star(8).is_tree());
+        assert_eq!(complete(6).edge_count(), 15);
+    }
+
+    #[test]
+    fn bipartite_and_multipartite() {
+        let k33 = complete_bipartite(3, 3);
+        assert_eq!(k33.edge_count(), 9);
+        assert!(k33.is_bipartite());
+        assert_eq!(k33.regular_degree(), Some(3));
+        // Octahedron = K_{2,2,2}.
+        let oct = complete_multipartite(&[2, 2, 2]);
+        assert_eq!(oct.order(), 6);
+        assert_eq!(oct.regular_degree(), Some(4));
+        assert_eq!(oct.edge_count(), 12);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let w6 = wheel(6);
+        assert_eq!(w6.degree(5), 5);
+        assert_eq!(w6.edge_count(), 10);
+        assert_eq!(w6.girth(), Some(3));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let q3 = hypercube(3);
+        assert_eq!(q3.order(), 8);
+        assert_eq!(q3.regular_degree(), Some(3));
+        assert_eq!(q3.girth(), Some(4));
+        assert_eq!(q3.diameter(), Some(3));
+        assert!(q3.is_bipartite());
+        // Q4 is vertex-transitive with girth 4 and diameter 4.
+        let q4 = hypercube(4);
+        assert_eq!(q4.diameter(), Some(4));
+        assert_eq!(q4.edge_count(), 32);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.order(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn circulant_matches_cycle() {
+        assert!(circulant(7, &[1]).is_isomorphic(&cycle(7)));
+        // C8(1,4): the Möbius–Kantor-like circulant is 3-regular.
+        let c = circulant(8, &[1, 4]);
+        assert_eq!(c.regular_degree(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+}

@@ -1,0 +1,129 @@
+//! LCF (Lederberg–Coxeter–Frucht) notation for cubic Hamiltonian graphs.
+//!
+//! An LCF code `[c_0, ..., c_{k-1}]^r` describes a cubic graph on
+//! `n = k * r` vertices: lay the vertices on a Hamiltonian cycle
+//! `0-1-...-(n-1)-0`, then add the chord `i — i + c_{i mod k} (mod n)` for
+//! every `i`. Many of the cages and symmetric cubic graphs in the paper's
+//! Figure 1 discussion (McGee, Desargues, dodecahedron, Heawood,
+//! Tutte–Coxeter, Pappus) have compact LCF codes, so a single constructor
+//! covers them all.
+
+use bnf_graph::{Graph, GraphError};
+
+/// Builds the cubic graph described by LCF code `pattern` repeated
+/// `repeats` times.
+///
+/// Use [`try_lcf`] for untrusted codes; this panicking variant is meant
+/// for the well-known codes hard-wired in [`crate::named`].
+///
+/// # Panics
+///
+/// Panics if the pattern is empty, any chord offset is `0`, `±1` or not in
+/// `-(n-1)..=(n-1)`, or the resulting chords do not form a perfect
+/// matching consistent with a cubic graph.
+pub fn lcf(pattern: &[i64], repeats: usize) -> Graph {
+    assert!(!pattern.is_empty(), "LCF pattern must be non-empty");
+    let n = pattern.len() * repeats;
+    assert!(n >= 3, "LCF graph needs at least 3 vertices");
+    let ni = n as i64;
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    for i in 0..n {
+        let c = pattern[i % pattern.len()];
+        assert!(
+            c != 0 && c.abs() != 1 && c.abs() < ni,
+            "LCF offset {c} invalid for order {n}"
+        );
+        let j = ((i as i64 + c).rem_euclid(ni)) as usize;
+        g.add_edge(i, j);
+    }
+    assert_eq!(
+        g.regular_degree(),
+        Some(3),
+        "LCF code {pattern:?}^{repeats} does not describe a cubic graph"
+    );
+    g
+}
+
+/// Fallible variant of [`lcf`] for use with untrusted codes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Graph6Parse`] with a descriptive reason when the
+/// code is malformed (the variant is reused as the crate's generic
+/// "malformed description" error).
+pub fn try_lcf(pattern: &[i64], repeats: usize) -> Result<Graph, GraphError> {
+    let n = pattern.len() * repeats;
+    if pattern.is_empty() || n < 3 {
+        return Err(GraphError::Graph6Parse { reason: "LCF pattern too small".into() });
+    }
+    let ni = n as i64;
+    for &c in pattern {
+        if c == 0 || c.abs() == 1 || c.abs() >= ni {
+            return Err(GraphError::Graph6Parse {
+                reason: format!("LCF offset {c} invalid for order {n}"),
+            });
+        }
+    }
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    for i in 0..n {
+        let c = pattern[i % pattern.len()];
+        let j = ((i as i64 + c).rem_euclid(ni)) as usize;
+        g.add_edge(i, j);
+    }
+    if g.regular_degree() != Some(3) {
+        return Err(GraphError::Graph6Parse {
+            reason: format!("LCF code {pattern:?}^{repeats} is not cubic"),
+        });
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heawood_from_lcf() {
+        // Heawood graph: [5, -5]^7, the (3,6)-cage on 14 vertices.
+        let h = lcf(&[5, -5], 7);
+        assert_eq!(h.order(), 14);
+        assert_eq!(h.regular_degree(), Some(3));
+        assert_eq!(h.girth(), Some(6));
+        assert_eq!(h.diameter(), Some(3));
+    }
+
+    #[test]
+    fn mcgee_from_lcf() {
+        // McGee graph: [12, 7, -7]^8, the (3,7)-cage on 24 vertices.
+        let m = lcf(&[12, 7, -7], 8);
+        assert_eq!(m.order(), 24);
+        assert_eq!(m.regular_degree(), Some(3));
+        assert_eq!(m.girth(), Some(7));
+        assert_eq!(m.diameter(), Some(4));
+    }
+
+    #[test]
+    fn try_lcf_rejects_bad_codes() {
+        assert!(try_lcf(&[], 5).is_err());
+        assert!(try_lcf(&[0], 5).is_err());
+        assert!(try_lcf(&[1], 5).is_err());
+        assert!(try_lcf(&[99], 5).is_err());
+        // [2]^4 doubles every chord and actually yields K4 (cubic, fine);
+        // [2]^5 gives each vertex two distinct chords — 4-regular, not cubic.
+        assert!(try_lcf(&[2], 4).is_ok());
+        assert!(try_lcf(&[2], 5).is_err());
+    }
+
+    #[test]
+    fn lcf_and_try_lcf_agree() {
+        let a = lcf(&[5, -5], 7);
+        let b = try_lcf(&[5, -5], 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! Named graphs and graph families for the bilateral network-formation
+//! reproduction.
+//!
+//! Provides every concrete graph the paper reasons about: the Figure 1
+//! gallery (Petersen, McGee, octahedron, Clebsch, Hoffman–Singleton,
+//! star), the cages and Moore graphs behind Proposition 3's lower bound,
+//! the link-convexity pair (Desargues / dodecahedron) of Section 4.1, the
+//! elementary families (stars, cycles, complete and complete multipartite
+//! graphs), and random models for dynamics experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use bnf_atlas::named::petersen;
+//!
+//! let p = petersen();
+//! assert_eq!(p.srg_params().map(|s| (s.n, s.k, s.lambda, s.mu)), Some((10, 3, 0, 1)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod families;
+pub mod lcf;
+pub mod named;
+pub mod random;
+
+pub use families::{
+    circulant, complete, complete_bipartite, complete_multipartite, cycle, grid, hypercube, path,
+    star, wheel,
+};
+pub use lcf::{lcf, try_lcf};

@@ -1,0 +1,268 @@
+//! The named graphs of the paper: the Figure 1 gallery (Petersen, McGee,
+//! octahedron, Clebsch, Hoffman–Singleton, star), the link-convexity
+//! examples of Section 4.1 (Desargues vs dodecahedron), and the extra
+//! cages used by the Proposition 3 lower-bound experiments.
+
+use bnf_graph::Graph;
+
+use crate::families::complete_multipartite;
+use crate::lcf::lcf;
+
+/// The generalized Petersen graph `GP(n, k)`: outer cycle `0..n`, inner
+/// vertices `n..2n` with star polygon step `k`, and spokes `i — n+i`.
+///
+/// # Panics
+///
+/// Panics unless `n >= 3` and `1 <= k < n/2` or (`k = n/2` is rejected:
+/// it would create doubled inner edges).
+pub fn generalized_petersen(n: usize, k: usize) -> Graph {
+    assert!(n >= 3, "GP(n,k) needs n >= 3");
+    assert!(k >= 1 && 2 * k < n, "GP(n,k) needs 1 <= k < n/2");
+    let mut g = Graph::empty(2 * n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n); // outer cycle
+        g.add_edge(n + i, n + (i + k) % n); // inner star polygon
+        g.add_edge(i, n + i); // spoke
+    }
+    g
+}
+
+/// The Petersen graph `GP(5, 2)` — the unique (3,5)-cage and Moore graph,
+/// strongly regular with parameters (10, 3, 0, 1). Item 1 of Figure 1.
+pub fn petersen() -> Graph {
+    generalized_petersen(5, 2)
+}
+
+/// The Desargues graph `GP(10, 3)` — bipartite symmetric cubic graph on 20
+/// vertices, girth 6. The paper claims it is link convex; exact
+/// computation refutes that (margins 10 vs 8 — see EXPERIMENTS.md §5).
+pub fn desargues() -> Graph {
+    generalized_petersen(10, 3)
+}
+
+/// The dodecahedral graph `GP(10, 2)` — planar symmetric cubic graph on 20
+/// vertices, girth 5. Not link convex (the paper agrees).
+pub fn dodecahedron() -> Graph {
+    generalized_petersen(10, 2)
+}
+
+/// The Möbius–Kantor graph `GP(8, 3)` — vertex-transitive cubic graph on
+/// 16 vertices, girth 6.
+pub fn mobius_kantor() -> Graph {
+    generalized_petersen(8, 3)
+}
+
+/// The Nauru graph `GP(12, 5)` — vertex-transitive cubic graph on 24
+/// vertices, girth 6.
+pub fn nauru() -> Graph {
+    generalized_petersen(12, 5)
+}
+
+/// The McGee graph — the (3,7)-cage on 24 vertices. Item 2 of Figure 1.
+pub fn mcgee() -> Graph {
+    lcf(&[12, 7, -7], 8)
+}
+
+/// The Heawood graph — the (3,6)-cage on 14 vertices (a Moore-bound
+/// attaining bipartite cage, used in the Prop 3 experiments).
+pub fn heawood() -> Graph {
+    lcf(&[5, -5], 7)
+}
+
+/// The Pappus graph — distance-regular cubic graph on 18 vertices,
+/// girth 6.
+pub fn pappus() -> Graph {
+    lcf(&[5, 7, -7, 7, -7, -5], 3)
+}
+
+/// The Tutte–Coxeter graph (Levi graph of GQ(2,2)) — the (3,8)-cage on 30
+/// vertices.
+pub fn tutte_coxeter() -> Graph {
+    lcf(&[-13, -9, 7, -7, 9, 13], 5)
+}
+
+/// The octahedral graph `K_{2,2,2}` — strongly regular with parameters
+/// (6, 4, 2, 4). Item 3 of Figure 1.
+pub fn octahedron() -> Graph {
+    complete_multipartite(&[2, 2, 2])
+}
+
+/// The Clebsch graph (folded 5-cube) — strongly regular with parameters
+/// (16, 5, 0, 2). Item 4 of Figure 1.
+///
+/// Vertices are the 16 vectors of GF(2)^4; `x ~ y` iff `x ⊕ y` is one of
+/// the four unit vectors or the all-ones vector.
+pub fn clebsch() -> Graph {
+    let mut g = Graph::empty(16);
+    let diffs = [0b0001u16, 0b0010, 0b0100, 0b1000, 0b1111];
+    for x in 0..16u16 {
+        for &d in &diffs {
+            let y = x ^ d;
+            if y > x {
+                g.add_edge(x as usize, y as usize);
+            }
+        }
+    }
+    g
+}
+
+/// The Hoffman–Singleton graph — the unique (7,5)-cage and Moore graph,
+/// strongly regular with parameters (50, 7, 0, 1). Item 5 of Figure 1.
+///
+/// Standard pentagon/pentagram construction: five pentagons `P_h` and five
+/// pentagrams `Q_i` (all on Z_5), with `P_h[j] ~ Q_i[h·i + j mod 5]`.
+pub fn hoffman_singleton() -> Graph {
+    let p = |h: usize, j: usize| 5 * h + j; // pentagons occupy 0..25
+    let q = |i: usize, j: usize| 25 + 5 * i + j; // pentagrams occupy 25..50
+    let mut g = Graph::empty(50);
+    for h in 0..5 {
+        for j in 0..5 {
+            g.add_edge(p(h, j), p(h, (j + 1) % 5)); // pentagon: step 1
+            g.add_edge(q(h, j), q(h, (j + 2) % 5)); // pentagram: step 2
+        }
+    }
+    for h in 0..5 {
+        for i in 0..5 {
+            for j in 0..5 {
+                g.add_edge(p(h, j), q(i, (h * i + j) % 5));
+            }
+        }
+    }
+    g
+}
+
+/// The star on 8 vertices, `K_{1,7}` — item 6 of Figure 1 (the efficient
+/// graph for α > 1, which is also pairwise stable).
+pub fn star8() -> Graph {
+    crate::families::star(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnf_graph::{cage_bound, moore_bound, SrgParams};
+
+    #[test]
+    fn petersen_certificates() {
+        let p = petersen();
+        assert_eq!(p.order(), 10);
+        assert_eq!(p.regular_degree(), Some(3));
+        assert_eq!(p.girth(), Some(5));
+        assert_eq!(p.diameter(), Some(2));
+        // Moore graph: order attains moore_bound(3, 2) and cage_bound(3, 5).
+        assert_eq!(p.order() as u64, moore_bound(3, 2));
+        assert_eq!(p.order() as u64, cage_bound(3, 5));
+        assert_eq!(
+            p.srg_params(),
+            Some(SrgParams { n: 10, k: 3, lambda: 0, mu: 1 })
+        );
+    }
+
+    #[test]
+    fn mcgee_is_3_7_cage_order() {
+        let m = mcgee();
+        assert_eq!(m.order(), 24);
+        assert_eq!(m.girth(), Some(7));
+        assert_eq!(m.regular_degree(), Some(3));
+    }
+
+    #[test]
+    fn octahedron_srg() {
+        assert_eq!(
+            octahedron().srg_params(),
+            Some(SrgParams { n: 6, k: 4, lambda: 2, mu: 4 })
+        );
+    }
+
+    #[test]
+    fn clebsch_srg() {
+        let c = clebsch();
+        assert_eq!(
+            c.srg_params(),
+            Some(SrgParams { n: 16, k: 5, lambda: 0, mu: 2 })
+        );
+        assert_eq!(c.diameter(), Some(2));
+        assert_eq!(c.girth(), Some(4));
+    }
+
+    #[test]
+    fn hoffman_singleton_certificates() {
+        let hs = hoffman_singleton();
+        assert_eq!(hs.order(), 50);
+        assert_eq!(hs.edge_count(), 175);
+        assert_eq!(hs.regular_degree(), Some(7));
+        assert_eq!(hs.girth(), Some(5));
+        assert_eq!(hs.diameter(), Some(2));
+        assert_eq!(hs.order() as u64, moore_bound(7, 2));
+        assert_eq!(
+            hs.srg_params(),
+            Some(SrgParams { n: 50, k: 7, lambda: 0, mu: 1 })
+        );
+    }
+
+    #[test]
+    fn heawood_tutte_coxeter_cages() {
+        let h = heawood();
+        assert_eq!((h.order(), h.girth()), (14, Some(6)));
+        assert_eq!(h.order() as u64, cage_bound(3, 6));
+        let tc = tutte_coxeter();
+        assert_eq!((tc.order(), tc.girth()), (30, Some(8)));
+        assert_eq!(tc.order() as u64, cage_bound(3, 8));
+        assert!(h.is_bipartite());
+        assert!(tc.is_bipartite());
+    }
+
+    #[test]
+    fn desargues_vs_dodecahedron() {
+        let de = desargues();
+        let dd = dodecahedron();
+        assert_eq!(de.order(), 20);
+        assert_eq!(dd.order(), 20);
+        assert_eq!(de.edge_count(), 30);
+        assert_eq!(dd.edge_count(), 30);
+        assert_eq!(de.girth(), Some(6));
+        assert_eq!(dd.girth(), Some(5));
+        assert_eq!(de.diameter(), Some(5));
+        assert_eq!(dd.diameter(), Some(5));
+        assert!(!de.is_isomorphic(&dd));
+    }
+
+    #[test]
+    fn pappus_shape() {
+        let p = pappus();
+        assert_eq!(p.order(), 18);
+        assert_eq!(p.girth(), Some(6));
+        assert_eq!(p.regular_degree(), Some(3));
+    }
+
+    #[test]
+    fn star8_shape() {
+        let s = star8();
+        assert_eq!(s.order(), 8);
+        assert!(s.is_tree());
+        assert_eq!(s.degree(0), 7);
+    }
+
+    #[test]
+    fn mobius_kantor_and_nauru() {
+        let mk = mobius_kantor();
+        assert_eq!((mk.order(), mk.girth(), mk.regular_degree()), (16, Some(6), Some(3)));
+        assert!(mk.is_bipartite());
+        let na = nauru();
+        assert_eq!((na.order(), na.girth(), na.regular_degree()), (24, Some(6), Some(3)));
+        assert!(!na.is_isomorphic(&mcgee()), "same order, different girth");
+    }
+
+    #[test]
+    fn generalized_petersen_validation() {
+        let gp = generalized_petersen(7, 2);
+        assert_eq!(gp.order(), 14);
+        assert_eq!(gp.regular_degree(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < n/2")]
+    fn gp_rejects_half_step() {
+        generalized_petersen(6, 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Random graph models, used by the dynamics experiments and by
+//! property-based tests.
+
+use bnf_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: each pair is an edge independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+pub fn gnp<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random labelled free tree on `n` vertices, via a random
+/// Prüfer sequence.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Graph {
+    assert!(n >= 1, "tree needs at least one vertex");
+    if n <= 2 {
+        return if n == 2 {
+            Graph::from_edges(2, [(0, 1)]).expect("valid edge")
+        } else {
+            Graph::empty(n)
+        };
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    prufer_to_tree(n, &prufer)
+}
+
+/// Decodes a Prüfer sequence of length `n - 2` into its labelled tree.
+///
+/// # Panics
+///
+/// Panics if `seq.len() != n - 2`, `n < 2`, or any entry is `>= n`.
+pub fn prufer_to_tree(n: usize, seq: &[usize]) -> Graph {
+    assert!(n >= 2, "prufer decoding needs n >= 2");
+    assert_eq!(seq.len(), n - 2, "prufer sequence must have length n-2");
+    assert!(seq.iter().all(|&v| v < n), "prufer entries must be < n");
+    let mut degree = vec![1usize; n];
+    for &v in seq {
+        degree[v] += 1;
+    }
+    let mut g = Graph::empty(n);
+    // Min-leaf selection via a simple scan; n is small in this workspace.
+    let mut used = vec![false; n];
+    for &v in seq {
+        let leaf = (0..n)
+            .find(|&u| degree[u] == 1 && !used[u])
+            .expect("a leaf always exists while decoding");
+        g.add_edge(leaf, v);
+        used[leaf] = true;
+        degree[v] -= 1;
+    }
+    let mut last: Vec<usize> = (0..n).filter(|&u| !used[u] && degree[u] == 1).collect();
+    assert_eq!(last.len(), 2, "exactly two vertices remain");
+    g.add_edge(last.pop().expect("two remain"), last.pop().expect("one remains"));
+    g
+}
+
+/// A connected `G(n, p)` sample: a random spanning tree plus independent
+/// extra edges with probability `p`. (This is *not* `G(n,p)` conditioned
+/// on connectivity, but a convenient connected random model for dynamics
+/// experiments.)
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `n == 0`.
+pub fn random_connected<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut g = random_tree(rng, n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random `k`-regular graph via the pairing (configuration) model with
+/// rejection; retries until a simple graph appears.
+///
+/// # Panics
+///
+/// Panics if `n * k` is odd or `k >= n`.
+pub fn random_regular<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Graph {
+    assert!((n * k).is_multiple_of(2), "n*k must be even for a k-regular graph");
+    assert!(k < n, "degree must be below order");
+    if k == 0 {
+        return Graph::empty(n);
+    }
+    loop {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, k)).collect();
+        stubs.shuffle(rng);
+        let mut g = Graph::empty(n);
+        let mut ok = true;
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                ok = false;
+                break;
+            }
+            g.add_edge(u, v);
+        }
+        if ok {
+            return g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(gnp(&mut rng, 6, 0.0).edge_count(), 0);
+        assert_eq!(gnp(&mut rng, 6, 1.0).edge_count(), 15);
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in 1..12 {
+            for _ in 0..20 {
+                let t = random_tree(&mut rng, n);
+                assert_eq!(t.order(), n);
+                if n >= 1 {
+                    assert!(t.is_tree() || n == 0, "n={n}, t={t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prufer_known_decoding() {
+        // Sequence [3, 3] on n=4: leaves 0,1 attach to 3, then 2-3.
+        let t = prufer_to_tree(4, &[3, 3]);
+        assert!(t.has_edge(0, 3) && t.has_edge(1, 3) && t.has_edge(2, 3));
+        assert!(t.is_tree());
+        // The star on n has the constant sequence [centre; n-2].
+        let s = prufer_to_tree(6, &[0, 0, 0, 0]);
+        assert_eq!(s.degree(0), 5);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let g = random_connected(&mut rng, 9, 0.2);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(n, k) in &[(8, 3), (10, 4), (7, 2), (6, 5)] {
+            let g = random_regular(&mut rng, n, k);
+            assert_eq!(g.regular_degree(), Some(k), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_sum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        random_regular(&mut rng, 5, 3);
+    }
+}

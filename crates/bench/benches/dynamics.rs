@@ -1,0 +1,47 @@
+//! Dynamics benchmarks: pairwise link dynamics (BCG) and exact
+//! best-response dynamics (UCG) to convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bnf_bench::BENCH_SEEDS;
+use bnf_dynamics::{run_best_response_dynamics, run_pairwise_dynamics};
+use bnf_games::{Ratio, StrategyProfile};
+use bnf_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics");
+    group.sample_size(20);
+    group.bench_function("pairwise_dynamics_n8_alpha2", |b| {
+        b.iter(|| {
+            for seed in BENCH_SEEDS {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let r =
+                    run_pairwise_dynamics(&Graph::empty(8), Ratio::from(2), &mut rng, 100_000);
+                assert!(r.converged);
+                black_box(r);
+            }
+        })
+    });
+    group.bench_function("best_response_dynamics_n7_alpha2", |b| {
+        b.iter(|| {
+            for seed in BENCH_SEEDS {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let r = run_best_response_dynamics(
+                    &StrategyProfile::new(7),
+                    Ratio::from(2),
+                    &mut rng,
+                    500,
+                );
+                assert!(r.converged);
+                black_box(r);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamics);
+criterion_main!(benches);

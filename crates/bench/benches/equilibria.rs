@@ -1,0 +1,44 @@
+//! Equilibrium-analysis benchmarks: exact stability windows, pairwise
+//! Nash checks and the UCG orientation solver — the kernels of the
+//! Figure 2/3 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bnf_atlas::named::{clebsch, mcgee, petersen};
+use bnf_core::{is_pairwise_nash, stability_window, UcgAnalyzer};
+use bnf_games::Ratio;
+use bnf_graph::Graph;
+
+fn theta7() -> Graph {
+    // A 7-vertex workhorse: two hubs joined by three paths.
+    Graph::from_edges(7, [(0, 5), (0, 6), (1, 5), (1, 6), (2, 3), (2, 6), (3, 4), (4, 5)])
+        .unwrap()
+}
+
+fn bench_equilibria(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibria");
+    for (name, g) in [("petersen", petersen()), ("mcgee", mcgee()), ("clebsch", clebsch())] {
+        group.bench_function(format!("stability_window_{name}"), |b| {
+            b.iter(|| black_box(stability_window(&g)))
+        });
+    }
+    let t = theta7();
+    group.bench_function("pairwise_nash_theta7", |b| {
+        b.iter(|| black_box(is_pairwise_nash(&t, Ratio::from(2))))
+    });
+    group.bench_function("ucg_analyzer_build_theta7", |b| {
+        b.iter(|| black_box(UcgAnalyzer::new(&t)))
+    });
+    let solver = UcgAnalyzer::new(&t);
+    group.bench_function("ucg_supportable_theta7", |b| {
+        b.iter(|| black_box(solver.is_nash_supportable(Ratio::new(5, 2))))
+    });
+    group.bench_function("ucg_support_intervals_theta7", |b| {
+        b.iter(|| black_box(solver.support_intervals()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_equilibria);
+criterion_main!(benches);

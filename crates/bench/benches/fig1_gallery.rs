@@ -1,0 +1,24 @@
+//! Figure 1: time to rebuild and fully certify the stable-graph gallery
+//! (construction, SRG/cage certificates, link convexity, exact windows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gallery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+    group.bench_function("figure1_gallery_certified", |b| {
+        b.iter(|| {
+            let entries = bnf_empirics::figure1_gallery();
+            assert_eq!(entries.len(), 6);
+            black_box(entries)
+        })
+    });
+    group.bench_function("extended_gallery_certified", |b| {
+        b.iter(|| black_box(bnf_empirics::extended_gallery()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gallery);
+criterion_main!(benches);

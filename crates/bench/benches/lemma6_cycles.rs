@@ -1,0 +1,17 @@
+//! Lemma 6: exact cycle stability windows versus the paper's formulas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bnf_core::cycle_stability_window;
+use bnf_empirics::lemma6_rows;
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma6");
+    group.bench_function("rows_4_to_16", |b| b.iter(|| black_box(lemma6_rows(4..=16))));
+    group.bench_function("window_c24", |b| b.iter(|| black_box(cycle_stability_window(24))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

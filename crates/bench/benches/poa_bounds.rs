@@ -1,0 +1,19 @@
+//! Propositions 3 and 4: the Moore-bound lower-bound series and the
+//! empirical worst-case-PoA envelope table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bnf_empirics::{prop3_series, prop4_rows, SweepConfig, SweepResult};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+    group.sample_size(10);
+    group.bench_function("prop3_series", |b| b.iter(|| black_box(prop3_series())));
+    let sweep = SweepResult::run(&SweepConfig::standard(6));
+    group.bench_function("prop4_rows_n6", |b| b.iter(|| black_box(prop4_rows(&sweep))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

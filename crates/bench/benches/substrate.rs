@@ -1,0 +1,44 @@
+//! Substrate micro-benchmarks: BFS distance sums, canonical labelling,
+//! exhaustive enumeration and the graph6 codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bnf_atlas::named::{hoffman_singleton, petersen};
+use bnf_enumerate::connected_graphs;
+use bnf_graph::{BfsScratch, Graph};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    let hs = hoffman_singleton();
+    let mut scratch = BfsScratch::new();
+    group.bench_function("bfs_distance_sum_hoffman_singleton", |b| {
+        b.iter(|| black_box(hs.distance_sum_with(0, &mut scratch)))
+    });
+    group.bench_function("apsp_hoffman_singleton", |b| {
+        b.iter(|| black_box(hs.total_distance()))
+    });
+    let p = petersen();
+    group.bench_function("canonical_key_petersen", |b| {
+        b.iter(|| black_box(p.canonical_key()))
+    });
+    let asym = Graph::from_edges(9, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (0, 4), (2, 7)]).unwrap();
+    group.bench_function("canonical_key_asymmetric9", |b| {
+        b.iter(|| black_box(asym.canonical_key()))
+    });
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("connected_graphs", n), &n, |b, &n| {
+            b.iter(|| black_box(connected_graphs(n).len()))
+        });
+    }
+    group.bench_function("graph6_round_trip_hs", |b| {
+        b.iter(|| {
+            let enc = hs.to_graph6();
+            black_box(Graph::from_graph6(&enc).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Convexity of the BCG cost function (Lemma 1 / Definition 4) and link
+//! convexity (Definition 6 / Lemma 2).
+//!
+//! Cost convexity — the joint distance penalty of severing a set of links
+//! is at least the sum of the individual penalties — is what upgrades
+//! pairwise stability to pairwise Nash (Proposition 1). Link convexity —
+//! every possible single-link *addition* saves less distance than every
+//! possible single-link *deletion* costs — is the paper's sufficient
+//! condition for a nonempty stability window (Lemma 2) and hence for
+//! proper-equilibrium achievability (Proposition 2). The paper's
+//! examples: the Desargues graph is link convex, the dodecahedron is not.
+
+use bnf_graph::{BfsScratch, Graph};
+
+use crate::delta::{DeltaCalc, DistanceDelta};
+use crate::interval::{StabilityWindow, Threshold};
+use crate::stability::stability_window;
+
+/// Verifies inequality (2) of Definition 4 for player `i`: for every set
+/// `B` of `i`'s links, the joint deletion penalty is at least the sum of
+/// single-link penalties. The α terms cancel, so this is a pure
+/// distance-sum statement.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range or `deg(i) > 24`.
+pub fn cost_convex_for(g: &Graph, i: usize) -> bool {
+    let n = g.order();
+    let nbrs: Vec<usize> = g.neighbors(i).collect();
+    assert!(nbrs.len() <= 24, "degree too large for exhaustive subsets");
+    let mut scratch = BfsScratch::new();
+    let base = match g.distance_sum_with(i, &mut scratch).finite_total(n) {
+        Some(b) => b,
+        // Disconnected base: every deletion penalty is infinite under the
+        // game's cost; the inequality holds vacuously.
+        None => return true,
+    };
+    // Single-link penalties (None = infinite).
+    let mut work = g.clone();
+    let singles: Vec<Option<u64>> = nbrs
+        .iter()
+        .map(|&j| {
+            work.remove_edge(i, j);
+            let d = work.distance_sum_with(i, &mut scratch).finite_total(n);
+            work.add_edge(i, j);
+            d.map(|a| a - base)
+        })
+        .collect();
+    for mask in 1u64..(1 << nbrs.len()) {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        for (bit, &j) in nbrs.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                work.remove_edge(i, j);
+            }
+        }
+        let joint = work.distance_sum_with(i, &mut scratch).finite_total(n);
+        for (bit, &j) in nbrs.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                work.add_edge(i, j);
+            }
+        }
+        let mut rhs: u64 = 0;
+        let mut rhs_infinite = false;
+        for (bit, s) in singles.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                match s {
+                    Some(v) => rhs += v,
+                    None => rhs_infinite = true,
+                }
+            }
+        }
+        match joint {
+            // Joint deletion disconnects: infinite ≥ anything.
+            None => {}
+            Some(j) => {
+                // A single deletion in B disconnects but the joint one
+                // does not — impossible (deleting more edges only removes
+                // paths); assert the invariant and compare finitely.
+                assert!(!rhs_infinite, "superset deletion cannot reconnect");
+                if j - base < rhs {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Lemma 1: the BCG cost function is convex for every player on every
+/// graph. `true` for all inputs if the lemma holds — asserted over
+/// exhaustive enumerations and random graphs in the test suite.
+pub fn cost_convex(g: &Graph) -> bool {
+    (0..g.order()).all(|i| cost_convex_for(g, i))
+}
+
+/// Definition 6 (link convexity): for every ordered non-adjacent pair the
+/// addition saving is strictly less than every ordered adjacent pair's
+/// deletion penalty.
+///
+/// Disconnected graphs are not link convex (an addition has infinite
+/// benefit).
+pub fn is_link_convex(g: &Graph) -> bool {
+    match link_convexity_margin(g) {
+        Some((amax, dmin)) => match dmin {
+            Threshold::Infinite => true,
+            Threshold::Finite(d) => bnf_games::Ratio::from(amax as i64) < d,
+        },
+        None => false,
+    }
+}
+
+/// The two sides of the link-convexity comparison: the largest addition
+/// saving and the smallest deletion penalty (`Infinite` when every edge
+/// is a bridge). Returns `None` when some addition has infinite benefit
+/// (disconnected graph) or the graph has no missing links (then link
+/// convexity is vacuous — represented as `Some((0, dmin))`).
+pub fn link_convexity_margin(g: &Graph) -> Option<(u64, Threshold)> {
+    let mut calc = DeltaCalc::new(g);
+    let mut amax: u64 = 0;
+    for (u, v) in g.non_edges().collect::<Vec<_>>() {
+        for (a, b) in [(u, v), (v, u)] {
+            match calc.add_delta(a, b) {
+                DistanceDelta::Infinite => return None,
+                DistanceDelta::Finite(t) => amax = amax.max(t),
+            }
+        }
+    }
+    let mut dmin = Threshold::Infinite;
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        for (a, b) in [(u, v), (v, u)] {
+            if let DistanceDelta::Finite(t) = calc.drop_delta(a, b) {
+                dmin = Threshold::min(dmin, Threshold::Finite(bnf_games::Ratio::from(t as i64)));
+            }
+        }
+    }
+    Some((amax, dmin))
+}
+
+/// Lemma 2 as an executable statement: a link-convex graph has a
+/// nonempty pairwise-stability window. Returns the window when the
+/// premise holds.
+pub fn lemma2_window(g: &Graph) -> Option<StabilityWindow> {
+    if !is_link_convex(g) {
+        return None;
+    }
+    let w = stability_window(g).expect("link-convex graphs are connected");
+    debug_assert!(!w.is_empty(), "Lemma 2: link convexity implies a nonempty window");
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn lemma1_on_handmade_graphs() {
+        let graphs = [
+            Graph::complete(6),
+            cycle(7),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap(),
+            Graph::from_edges(7, [(0, 1), (0, 2), (0, 3), (3, 4), (3, 5), (5, 6)]).unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+                .unwrap(),
+        ];
+        for g in &graphs {
+            assert!(cost_convex(g), "Lemma 1 violated on {g:?}");
+        }
+    }
+
+    #[test]
+    fn lemma1_on_disconnected_graph() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert!(cost_convex(&g));
+    }
+
+    #[test]
+    fn cycles_are_link_convex() {
+        for n in 4..12 {
+            assert!(is_link_convex(&cycle(n)), "C{n}");
+        }
+    }
+
+    #[test]
+    fn paths_are_link_convex_vacuously_strong() {
+        // Trees: every deletion is a bridge (infinite penalty).
+        let p = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let (amax, dmin) = link_convexity_margin(&p).unwrap();
+        assert_eq!(dmin, Threshold::Infinite);
+        assert!(amax >= 1);
+        assert!(is_link_convex(&p));
+    }
+
+    #[test]
+    fn complete_graph_is_link_convex_vacuously() {
+        let (amax, dmin) = link_convexity_margin(&Graph::complete(5)).unwrap();
+        assert_eq!(amax, 0);
+        assert_eq!(dmin, Threshold::Finite(bnf_games::Ratio::ONE));
+        assert!(is_link_convex(&Graph::complete(5)));
+    }
+
+    #[test]
+    fn disconnected_is_not_link_convex() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!is_link_convex(&g));
+        assert_eq!(link_convexity_margin(&g), None);
+    }
+
+    #[test]
+    fn lemma2_gives_nonempty_windows() {
+        for n in 4..10 {
+            let w = lemma2_window(&cycle(n)).expect("cycles are link convex");
+            assert!(!w.is_empty());
+            let alpha = w.sample().unwrap();
+            assert!(crate::stability::is_pairwise_stable(&cycle(n), alpha));
+        }
+    }
+
+    #[test]
+    fn not_link_convex_example() {
+        // Triangle with a pendant path: adding (1,3) saves 2 hops for
+        // vertex 1 while deleting a triangle edge costs its endpoint only
+        // 1 — not link convex.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]).unwrap();
+        assert!(!is_link_convex(&g));
+    }
+}

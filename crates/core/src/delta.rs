@@ -1,0 +1,237 @@
+//! Distance-sum deltas under single-link moves.
+//!
+//! Every stability and equilibrium condition in the paper compares the
+//! link cost α to the change in a player's distance sum `Σ_j d(i,j)`
+//! caused by adding or severing one link. These deltas are exact integers
+//! (or infinite, when a move disconnects/connects components).
+
+use bnf_graph::{BfsScratch, Graph};
+
+/// An exact nonnegative distance-sum change: finite or infinite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceDelta {
+    /// A finite change in hops.
+    Finite(u64),
+    /// The move connects or disconnects the player's component.
+    Infinite,
+}
+
+impl DistanceDelta {
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<u64> {
+        match self {
+            DistanceDelta::Finite(v) => Some(*v),
+            DistanceDelta::Infinite => None,
+        }
+    }
+
+    /// Whether the delta is infinite.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, DistanceDelta::Infinite)
+    }
+}
+
+/// Reusable calculator for link-move deltas on one graph.
+///
+/// Keeps a scratch BFS buffer and the base distance sums so repeated
+/// queries (one per edge endpoint and non-edge endpoint, as in the
+/// stability window computation) do minimal work.
+///
+/// # Examples
+///
+/// ```
+/// use bnf_core::{DeltaCalc, DistanceDelta};
+/// use bnf_graph::Graph;
+///
+/// // On the 4-cycle, severing an edge costs its endpoint 2 extra hops...
+/// let c4 = Graph::from_edges(4, (0..4).map(|i| (i, (i + 1) % 4)))?;
+/// let mut calc = DeltaCalc::new(&c4);
+/// assert_eq!(calc.drop_delta(0, 1), DistanceDelta::Finite(2));
+/// // ...and adding a chord saves 1 hop.
+/// assert_eq!(calc.add_delta(0, 2), DistanceDelta::Finite(1));
+/// # Ok::<(), bnf_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct DeltaCalc<'g> {
+    g: &'g Graph,
+    scratch: BfsScratch,
+    work: Graph,
+    base: Vec<Option<u64>>, // distance sum per vertex; None = disconnected
+}
+
+impl<'g> DeltaCalc<'g> {
+    /// Prepares a calculator for `g` (computes all base distance sums).
+    pub fn new(g: &'g Graph) -> Self {
+        let mut scratch = BfsScratch::new();
+        let n = g.order();
+        let base = (0..n)
+            .map(|v| g.distance_sum_with(v, &mut scratch).finite_total(n))
+            .collect();
+        DeltaCalc { g, scratch, work: g.clone(), base }
+    }
+
+    /// The base distance sum of `i` (`None` when `g` is disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn base_distance_sum(&self, i: usize) -> Option<u64> {
+        self.base[i]
+    }
+
+    /// Increase in `i`'s distance sum when the existing edge `(i, j)` is
+    /// severed. [`DistanceDelta::Infinite`] when the edge is a bridge (the
+    /// deviator's cost becomes infinite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is not an edge of the graph.
+    pub fn drop_delta(&mut self, i: usize, j: usize) -> DistanceDelta {
+        assert!(self.g.has_edge(i, j), "drop_delta requires an existing edge ({i},{j})");
+        let n = self.g.order();
+        self.work.remove_edge(i, j);
+        let after = self.work.distance_sum_with(i, &mut self.scratch);
+        self.work.add_edge(i, j);
+        match (after.finite_total(n), self.base[i]) {
+            (Some(a), Some(b)) => {
+                debug_assert!(a >= b, "removing an edge cannot shorten paths");
+                DistanceDelta::Finite(a - b)
+            }
+            // Base disconnected: distances within i's component still
+            // change finitely, but both costs are infinite; treat the move
+            // as infinite (it cannot flip an infinite cost to finite).
+            _ => DistanceDelta::Infinite,
+        }
+    }
+
+    /// Decrease in `i`'s distance sum when the missing edge `(i, j)` is
+    /// added. [`DistanceDelta::Infinite`] when `j` was unreachable from
+    /// `i` (the link merges components, an infinite gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is an edge of the graph or `i == j`.
+    pub fn add_delta(&mut self, i: usize, j: usize) -> DistanceDelta {
+        assert!(!self.g.has_edge(i, j), "add_delta requires a missing edge ({i},{j})");
+        let n = self.g.order();
+        self.work.add_edge(i, j);
+        let after = self.work.distance_sum_with(i, &mut self.scratch);
+        self.work.remove_edge(i, j);
+        match (self.base[i], after.finite_total(n)) {
+            (Some(b), Some(a)) => {
+                debug_assert!(b >= a, "adding an edge cannot lengthen paths");
+                DistanceDelta::Finite(b - a)
+            }
+            (None, Some(_)) => DistanceDelta::Infinite,
+            (None, None) => {
+                // Still disconnected afterwards: compare reachable sums —
+                // an infinite-cost player strictly gains from any new
+                // reachability; otherwise compare the finite parts.
+                let before = self.g.distance_sum_with(i, &mut self.scratch);
+                if after.reached > before.reached {
+                    DistanceDelta::Infinite
+                } else {
+                    DistanceDelta::Finite(before.sum.saturating_sub(after.sum))
+                }
+            }
+            (Some(_), None) => unreachable!("adding an edge cannot disconnect"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn cycle_drop_deltas_match_formula() {
+        // Removing an incident edge of C_n turns i into a path endpoint:
+        // delta = n(n-1)/2 - percycle where percycle = n^2/4 (even),
+        // (n^2-1)/4 (odd).
+        for n in [4usize, 5, 6, 7, 8, 9, 10] {
+            let g = cycle(n);
+            let mut calc = DeltaCalc::new(&g);
+            let path_sum = (n * (n - 1) / 2) as u64;
+            let cyc_sum = if n % 2 == 0 { (n * n / 4) as u64 } else { ((n * n - 1) / 4) as u64 };
+            assert_eq!(
+                calc.drop_delta(0, 1),
+                DistanceDelta::Finite(path_sum - cyc_sum),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_add_deltas_antipodal() {
+        // C6 + chord (0,3): d(0,3) drops 3 -> 1, others unchanged: Δ = 2.
+        // C6 + chord (0,2): d(0,2) 2 -> 1 and d(0,3) 3 -> 2: Δ = 2 too.
+        let g = cycle(6);
+        let mut calc = DeltaCalc::new(&g);
+        assert_eq!(calc.add_delta(0, 3), DistanceDelta::Finite(2));
+        assert_eq!(calc.add_delta(0, 2), DistanceDelta::Finite(2));
+        // C7 + chord (0,2): d(0,2) saves 1, d(0,3) saves 1: Δ = 2;
+        // antipodal-ish chord (0,3): d(0,3) 3->1, d(0,4) 3->2: Δ = 3.
+        let g7 = cycle(7);
+        let mut calc7 = DeltaCalc::new(&g7);
+        assert_eq!(calc7.add_delta(0, 2), DistanceDelta::Finite(2));
+        assert_eq!(calc7.add_delta(0, 3), DistanceDelta::Finite(3));
+    }
+
+    #[test]
+    fn bridge_drop_is_infinite() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut calc = DeltaCalc::new(&g);
+        assert_eq!(calc.drop_delta(1, 2), DistanceDelta::Infinite);
+        assert_eq!(calc.drop_delta(0, 1), DistanceDelta::Infinite);
+    }
+
+    #[test]
+    fn connecting_components_is_infinite_gain() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut calc = DeltaCalc::new(&g);
+        assert_eq!(calc.add_delta(0, 2), DistanceDelta::Infinite);
+        assert_eq!(calc.base_distance_sum(0), None);
+    }
+
+    #[test]
+    fn add_within_component_of_disconnected_graph() {
+        // Path 0-1-2-3 plus isolated 4: adding chord (0,2) saves 1 hop to
+        // vertex 2 and 1 hop to vertex 3, while 4 stays unreachable.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut calc = DeltaCalc::new(&g);
+        assert_eq!(calc.add_delta(0, 2), DistanceDelta::Finite(2));
+    }
+
+    #[test]
+    fn non_bridge_drop_in_disconnected_graph_is_infinite_cost() {
+        // Triangle 0-1-2 plus isolated 3: all costs infinite already; the
+        // convention is Infinite (the move cannot rescue the player).
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let mut calc = DeltaCalc::new(&g);
+        assert_eq!(calc.drop_delta(0, 1), DistanceDelta::Infinite);
+    }
+
+    #[test]
+    fn work_graph_restored_between_queries() {
+        let g = cycle(5);
+        let mut calc = DeltaCalc::new(&g);
+        let first = calc.add_delta(0, 2);
+        let second = calc.add_delta(0, 2);
+        assert_eq!(first, second);
+        let d1 = calc.drop_delta(0, 1);
+        let d2 = calc.drop_delta(0, 1);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn complete_graph_deltas() {
+        let g = Graph::complete(5);
+        let mut calc = DeltaCalc::new(&g);
+        // Dropping any edge raises the endpoint's sum by exactly 1.
+        assert_eq!(calc.drop_delta(0, 1), DistanceDelta::Finite(1));
+    }
+}

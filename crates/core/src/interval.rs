@@ -1,0 +1,309 @@
+//! Interval types over the extended link-cost line.
+//!
+//! Stability and equilibrium conditions reduce to exact comparisons of α
+//! against rational thresholds; windows can be half-open below (strict
+//! addition incentives) and unbounded above (trees: severing disconnects,
+//! so no link is ever worth dropping).
+
+use std::fmt;
+
+use bnf_games::Ratio;
+
+/// An upper threshold on the extended nonnegative line: a finite rational
+/// or `+∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Threshold {
+    /// A finite rational threshold.
+    Finite(Ratio),
+    /// No constraint (`+∞`).
+    Infinite,
+}
+
+impl Threshold {
+    /// Whether `alpha` is at or below the threshold.
+    pub fn admits(&self, alpha: Ratio) -> bool {
+        match self {
+            Threshold::Finite(t) => alpha <= *t,
+            Threshold::Infinite => true,
+        }
+    }
+
+    /// The smaller of two thresholds.
+    pub fn min(a: Threshold, b: Threshold) -> Threshold {
+        match (a, b) {
+            (Threshold::Infinite, x) | (x, Threshold::Infinite) => x,
+            (Threshold::Finite(x), Threshold::Finite(y)) => Threshold::Finite(Ratio::min(x, y)),
+        }
+    }
+
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<Ratio> {
+        match self {
+            Threshold::Finite(t) => Some(*t),
+            Threshold::Infinite => None,
+        }
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Threshold::Finite(t) => write!(f, "{t}"),
+            Threshold::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+/// A lower bound that may be strict (`α > value`) or weak (`α ≥ value`).
+///
+/// The paper's Lemma 2 writes the stability window as `(α_min, α_max]`;
+/// the exact boundary at `α_min` depends on whether the two endpoints of
+/// the binding missing link benefit *equally* (then `α = α_min` is stable)
+/// or not (then it is blocked) — this type keeps that distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LowerBound {
+    /// The bounding value.
+    pub value: Ratio,
+    /// Whether `α = value` itself is admitted.
+    pub inclusive: bool,
+}
+
+impl LowerBound {
+    /// The trivial bound `α > 0` (link costs are positive).
+    pub const POSITIVE: LowerBound = LowerBound { value: Ratio::ZERO, inclusive: false };
+
+    /// Whether `alpha` satisfies the bound.
+    pub fn admits(&self, alpha: Ratio) -> bool {
+        if self.inclusive {
+            alpha >= self.value
+        } else {
+            alpha > self.value
+        }
+    }
+
+    /// The tighter (larger) of two lower bounds; exclusivity wins ties.
+    pub fn max(a: LowerBound, b: LowerBound) -> LowerBound {
+        match a.value.cmp(&b.value) {
+            std::cmp::Ordering::Greater => a,
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Equal => LowerBound {
+                value: a.value,
+                inclusive: a.inclusive && b.inclusive,
+            },
+        }
+    }
+}
+
+impl fmt::Display for LowerBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.inclusive { "[" } else { "(" }, self.value)
+    }
+}
+
+/// The set of link costs α for which a graph is pairwise stable:
+/// `{α : lower ⋖ α ≤ upper}` intersected with `α > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StabilityWindow {
+    /// Lower bound (from blocking link additions).
+    pub lower: LowerBound,
+    /// Upper bound (from profitable link deletions); inclusive when
+    /// finite.
+    pub upper: Threshold,
+}
+
+impl StabilityWindow {
+    /// Whether `alpha` lies in the window (and is positive).
+    pub fn contains(&self, alpha: Ratio) -> bool {
+        alpha > Ratio::ZERO && self.lower.admits(alpha) && self.upper.admits(alpha)
+    }
+
+    /// Whether the window contains no positive α.
+    pub fn is_empty(&self) -> bool {
+        match self.upper {
+            Threshold::Infinite => false,
+            Threshold::Finite(u) => {
+                if u <= Ratio::ZERO {
+                    return true;
+                }
+                let lo = Ratio::max(self.lower.value, Ratio::ZERO);
+                match lo.cmp(&u) {
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => {
+                        // Only α = u remains; admitted iff the lower bound
+                        // is inclusive there (upper always inclusive).
+                        !(self.lower.admits(u) && u > Ratio::ZERO)
+                    }
+                    std::cmp::Ordering::Greater => true,
+                }
+            }
+        }
+    }
+
+    /// A representative α strictly inside the window, if one exists.
+    pub fn sample(&self) -> Option<Ratio> {
+        if self.is_empty() {
+            return None;
+        }
+        let lo = Ratio::max(self.lower.value, Ratio::ZERO);
+        Some(match self.upper {
+            Threshold::Infinite => lo + Ratio::ONE,
+            Threshold::Finite(u) => {
+                if lo < u {
+                    Ratio::midpoint(lo, u)
+                } else {
+                    u
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Display for StabilityWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}]", self.lower, self.upper)
+    }
+}
+
+/// A closed interval `[lo, hi]` of link costs (hi possibly `+∞`), used for
+/// best-response regions in the unilateral game (all Nash constraints are
+/// weak inequalities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClosedInterval {
+    /// Inclusive lower end.
+    pub lo: Ratio,
+    /// Inclusive upper end or `+∞`.
+    pub hi: Threshold,
+}
+
+impl ClosedInterval {
+    /// The full positive line `[0, ∞)` (callers intersect with α > 0).
+    pub const ALL: ClosedInterval = ClosedInterval { lo: Ratio::ZERO, hi: Threshold::Infinite };
+
+    /// Whether `alpha` lies in the interval.
+    pub fn contains(&self, alpha: Ratio) -> bool {
+        alpha >= self.lo && self.hi.admits(alpha)
+    }
+
+    /// Intersection of two intervals, or `None` when empty.
+    pub fn intersect(a: ClosedInterval, b: ClosedInterval) -> Option<ClosedInterval> {
+        let lo = Ratio::max(a.lo, b.lo);
+        let hi = Threshold::min(a.hi, b.hi);
+        match hi {
+            Threshold::Finite(h) if h < lo => None,
+            _ => Some(ClosedInterval { lo, hi }),
+        }
+    }
+}
+
+impl fmt::Display for ClosedInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn threshold_ordering() {
+        assert!(Threshold::Infinite.admits(r(1000, 1)));
+        assert!(Threshold::Finite(r(3, 2)).admits(r(3, 2)));
+        assert!(!Threshold::Finite(r(3, 2)).admits(r(2, 1)));
+        assert_eq!(
+            Threshold::min(Threshold::Infinite, Threshold::Finite(r(1, 1))),
+            Threshold::Finite(r(1, 1))
+        );
+    }
+
+    #[test]
+    fn lower_bound_strictness() {
+        let strict = LowerBound { value: r(2, 1), inclusive: false };
+        let weak = LowerBound { value: r(2, 1), inclusive: true };
+        assert!(!strict.admits(r(2, 1)));
+        assert!(weak.admits(r(2, 1)));
+        // Ties: exclusivity (the stricter constraint) wins.
+        assert_eq!(LowerBound::max(strict, weak), strict);
+        assert_eq!(
+            LowerBound::max(strict, LowerBound { value: r(3, 1), inclusive: true }).value,
+            r(3, 1)
+        );
+    }
+
+    #[test]
+    fn window_membership_and_emptiness() {
+        let w = StabilityWindow {
+            lower: LowerBound { value: r(2, 1), inclusive: false },
+            upper: Threshold::Finite(r(6, 1)),
+        };
+        assert!(!w.contains(r(2, 1)));
+        assert!(w.contains(r(5, 2)));
+        assert!(w.contains(r(6, 1)));
+        assert!(!w.contains(r(7, 1)));
+        assert!(!w.is_empty());
+        let empty = StabilityWindow {
+            lower: LowerBound { value: r(6, 1), inclusive: false },
+            upper: Threshold::Finite(r(6, 1)),
+        };
+        assert!(empty.is_empty());
+        assert_eq!(empty.sample(), None);
+        let point = StabilityWindow {
+            lower: LowerBound { value: r(6, 1), inclusive: true },
+            upper: Threshold::Finite(r(6, 1)),
+        };
+        assert!(!point.is_empty());
+        assert_eq!(point.sample(), Some(r(6, 1)));
+        assert!(point.contains(r(6, 1)));
+    }
+
+    #[test]
+    fn window_unbounded_above() {
+        let w = StabilityWindow {
+            lower: LowerBound { value: r(1, 1), inclusive: false },
+            upper: Threshold::Infinite,
+        };
+        assert!(!w.is_empty());
+        assert!(w.contains(r(1_000_000, 1)));
+        let s = w.sample().unwrap();
+        assert!(w.contains(s));
+    }
+
+    #[test]
+    fn window_requires_positive_alpha() {
+        let w = StabilityWindow { lower: LowerBound::POSITIVE, upper: Threshold::Infinite };
+        assert!(!w.contains(Ratio::ZERO));
+        assert!(!w.contains(r(-1, 1)));
+        assert!(w.contains(r(1, 100)));
+    }
+
+    #[test]
+    fn closed_interval_intersection() {
+        let a = ClosedInterval { lo: r(1, 1), hi: Threshold::Finite(r(3, 1)) };
+        let b = ClosedInterval { lo: r(2, 1), hi: Threshold::Infinite };
+        let i = ClosedInterval::intersect(a, b).unwrap();
+        assert_eq!(i.lo, r(2, 1));
+        assert_eq!(i.hi, Threshold::Finite(r(3, 1)));
+        assert!(i.contains(r(2, 1)) && i.contains(r(3, 1)));
+        let c = ClosedInterval { lo: r(4, 1), hi: Threshold::Infinite };
+        assert_eq!(ClosedInterval::intersect(a, c), None);
+        // Degenerate single-point intersections survive.
+        let d = ClosedInterval { lo: r(3, 1), hi: Threshold::Infinite };
+        let p = ClosedInterval::intersect(a, d).unwrap();
+        assert!(p.contains(r(3, 1)) && !p.contains(r(5, 2)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let w = StabilityWindow {
+            lower: LowerBound { value: r(2, 1), inclusive: false },
+            upper: Threshold::Infinite,
+        };
+        assert_eq!(w.to_string(), "(2, inf]");
+        let i = ClosedInterval { lo: r(1, 2), hi: Threshold::Finite(r(5, 2)) };
+        assert_eq!(i.to_string(), "[1/2, 5/2]");
+    }
+}

@@ -1,0 +1,210 @@
+//! Pairwise Nash equilibrium (Definition 2) for the bilateral game.
+//!
+//! A pairwise Nash network is supported by a strategy profile that is a
+//! Nash equilibrium *and* admits no mutually improving missing link.
+//! Proposition 1 shows this coincides with pairwise stability in the BCG
+//! (via convexity of the cost function, Lemma 1). This module implements
+//! the definition directly — including exhaustive multi-link unilateral
+//! deviations — so the equivalence can be *tested* rather than assumed.
+
+use bnf_games::Ratio;
+use bnf_graph::{BfsScratch, Graph};
+
+use crate::delta::{DeltaCalc, DistanceDelta};
+
+/// Largest vertex degree for which exhaustive subset deviations are
+/// enumerated (2^degree subsets per player).
+pub const MAX_EXHAUSTIVE_DEGREE: usize = 24;
+
+/// Whether the canonical bilateral support of `g` (`s_ij = 1` iff
+/// `(i,j) ∈ A`) is a Nash equilibrium of the BCG at `alpha`: no player
+/// can strictly gain by *any* unilateral rewrite of its wish list.
+///
+/// In the BCG a unilateral deviation can only destroy own links or buy
+/// unreciprocated wishes (which cost α and create nothing), so the
+/// binding deviations are exactly the subsets of the player's current
+/// links to sever. All `2^deg(i)` subsets are checked.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or some degree exceeds
+/// [`MAX_EXHAUSTIVE_DEGREE`].
+pub fn is_nash_bcg(g: &Graph, alpha: Ratio) -> bool {
+    assert!(alpha > Ratio::ZERO, "link cost must be positive");
+    let n = g.order();
+    let mut scratch = BfsScratch::new();
+    for i in 0..n {
+        let nbrs: Vec<usize> = g.neighbors(i).collect();
+        assert!(
+            nbrs.len() <= MAX_EXHAUSTIVE_DEGREE,
+            "degree {} exceeds exhaustive-deviation cap",
+            nbrs.len()
+        );
+        let base = g.distance_sum_with(i, &mut scratch).finite_total(n);
+        let mut work = g.clone();
+        // Iterate non-empty subsets of i's links to drop.
+        for mask in 1u64..(1 << nbrs.len()) {
+            let mut dropped = 0u64;
+            for (bit, &j) in nbrs.iter().enumerate() {
+                if mask >> bit & 1 == 1 {
+                    work.remove_edge(i, j);
+                    dropped += 1;
+                }
+            }
+            let after = work.distance_sum_with(i, &mut scratch).finite_total(n);
+            for (bit, &j) in nbrs.iter().enumerate() {
+                if mask >> bit & 1 == 1 {
+                    work.add_edge(i, j);
+                }
+            }
+            let beneficial = match (base, after) {
+                // cost change = -α·dropped + (after - base) < 0 ?
+                (Some(b), Some(a)) => {
+                    Ratio::from((a - b) as i64) < alpha * Ratio::from(dropped as i64)
+                }
+                // Deviating from finite to infinite cost never helps; from
+                // infinite cost, dropping links saves α without losing
+                // reachability only if `after` stays at the same reach —
+                // conservatively: infinite base, any drop that keeps the
+                // reachable sum is beneficial (saves α).
+                (Some(_), None) => false,
+                (None, _) => {
+                    let before_reach = g.distance_sum_with(i, &mut scratch);
+                    for (bit, &j) in nbrs.iter().enumerate() {
+                        if mask >> bit & 1 == 1 {
+                            work.remove_edge(i, j);
+                        }
+                    }
+                    let after_reach = work.distance_sum_with(i, &mut scratch);
+                    for (bit, &j) in nbrs.iter().enumerate() {
+                        if mask >> bit & 1 == 1 {
+                            work.add_edge(i, j);
+                        }
+                    }
+                    // Both infinite: compare (reach desc, then cost asc).
+                    after_reach.reached == before_reach.reached
+                }
+            };
+            if beneficial {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `g` is a pairwise Nash network of the BCG at `alpha`
+/// (Definition 2): Nash in unilateral deviations *and* free of blocking
+/// missing links.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or some degree exceeds
+/// [`MAX_EXHAUSTIVE_DEGREE`].
+pub fn is_pairwise_nash(g: &Graph, alpha: Ratio) -> bool {
+    if !is_nash_bcg(g, alpha) {
+        return false;
+    }
+    let mut calc = DeltaCalc::new(g);
+    for (u, v) in g.non_edges() {
+        let du = calc.add_delta(u, v);
+        let dv = calc.add_delta(v, u);
+        let strict = |d: DistanceDelta| match d {
+            DistanceDelta::Infinite => true,
+            DistanceDelta::Finite(t) => Ratio::from(t as i64) > alpha,
+        };
+        let weak = |d: DistanceDelta| match d {
+            DistanceDelta::Infinite => true,
+            DistanceDelta::Finite(t) => Ratio::from(t as i64) >= alpha,
+        };
+        if (strict(du) && weak(dv)) || (strict(dv) && weak(du)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability::is_pairwise_stable;
+
+    fn r(n: i64) -> Ratio {
+        Ratio::from(n)
+    }
+
+    #[test]
+    fn star_is_pairwise_nash_above_one() {
+        let star = Graph::from_edges(6, (1..6).map(|i| (0, i))).unwrap();
+        assert!(is_pairwise_nash(&star, r(1)));
+        assert!(is_pairwise_nash(&star, r(100)));
+        assert!(!is_pairwise_nash(&star, Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn complete_is_pairwise_nash_below_one() {
+        let k5 = Graph::complete(5);
+        assert!(is_pairwise_nash(&k5, Ratio::new(1, 2)));
+        assert!(is_pairwise_nash(&k5, r(1)));
+        assert!(!is_pairwise_nash(&k5, r(2)));
+    }
+
+    #[test]
+    fn multi_link_severance_is_covered() {
+        // Wheel W5 at large α: the hub wants to drop its spokes; a
+        // single-link check already fails, but the multi-drop path is the
+        // distinctive pairwise-Nash requirement — exercise both.
+        let wheel = Graph::from_edges(
+            5,
+            [(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (4, 1), (4, 2), (4, 3)],
+        )
+        .unwrap();
+        assert!(!is_nash_bcg(&wheel, r(10)));
+    }
+
+    #[test]
+    fn nash_but_not_pairwise_nash() {
+        // The empty-wish support of C6 at α = 1: every single or multiple
+        // severance on the cycle costs more distance than it saves, so it
+        // is Nash; but antipodal chords are mutually improving at α = 1
+        // (Δ = 2 > 1 for both), so it is not pairwise Nash.
+        let c6 = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap();
+        assert!(is_nash_bcg(&c6, r(1)));
+        assert!(!is_pairwise_nash(&c6, r(1)));
+    }
+
+    #[test]
+    fn agrees_with_pairwise_stability_on_small_graphs() {
+        // Proposition 1, spot-checked (the exhaustive version lives in the
+        // integration tests): pairwise Nash ⇔ pairwise stable.
+        let graphs = [
+            Graph::complete(4),
+            Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap(),
+            Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+                .unwrap(),
+        ];
+        for g in &graphs {
+            for num in [1i64, 2, 3, 4, 6, 9, 12, 20] {
+                for den in [1i64, 2] {
+                    let alpha = Ratio::new(num, den);
+                    assert_eq!(
+                        is_pairwise_nash(g, alpha),
+                        is_pairwise_stable(g, alpha),
+                        "{g:?} at alpha={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_nash_but_not_pairwise_nash() {
+        // Mutual blocking makes the empty profile Nash (the coordination
+        // failure motivating pairwise concepts in Section 3).
+        let e = Graph::empty(4);
+        assert!(is_nash_bcg(&e, r(2)));
+        assert!(!is_pairwise_nash(&e, r(2)));
+    }
+}

@@ -1,0 +1,237 @@
+//! Executable forms of the paper's lemmas and propositions, plus the
+//! paper's literal formulas for cross-checking (the published version is
+//! an errata'd revision; where our exact computation disagrees with a
+//! printed formula, EXPERIMENTS.md records both).
+
+use bnf_games::Ratio;
+use bnf_graph::Graph;
+
+use crate::interval::StabilityWindow;
+use crate::stability::stability_window;
+use crate::ucg::UcgAnalyzer;
+
+/// The paper's Lemma 6 window formulas for the cycle `C_n`, literally as
+/// printed: `(α_min, α_max)` with
+/// * `n = 4k-2`: `((n²-4n+4)/8, n(n-2)/4)`
+/// * `n = 4k`:   `((n²-4n+8)/8, n(n-2)/4)`
+/// * odd `n`:    `((n-3)(n+1)/8, (n+1)(n-1)/4)`
+///
+/// Compare with the exact window from [`stability_window`]; the even
+/// α_max matches exactly, the odd α_max as printed is `(n+1)(n-1)/4`
+/// whereas the exact value is `(n-1)²/4` (a known slip in the sketch).
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn lemma6_paper_window(n: usize) -> (Ratio, Ratio) {
+    assert!(n >= 4, "Lemma 6 applies to cycles C_n with n >= 4");
+    let ni = n as i64;
+    if n % 2 == 1 {
+        (
+            Ratio::new((ni - 3) * (ni + 1), 8),
+            Ratio::new((ni + 1) * (ni - 1), 4),
+        )
+    } else if n % 4 == 2 {
+        (Ratio::new(ni * ni - 4 * ni + 4, 8), Ratio::new(ni * (ni - 2), 4))
+    } else {
+        (Ratio::new(ni * ni - 4 * ni + 8, 8), Ratio::new(ni * (ni - 2), 4))
+    }
+}
+
+/// The exact stability window of the cycle `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle_stability_window(n: usize) -> StabilityWindow {
+    assert!(n >= 3, "cycles need n >= 3");
+    let g = Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("valid cycle");
+    stability_window(&g).expect("cycles are connected")
+}
+
+/// Proposition 4's upper-bound envelope `min(√α, n/√α)` (up to the
+/// constant): the worst-case price of anarchy of the BCG is
+/// `O(min(√α, n/√α))`.
+pub fn prop4_envelope(n: usize, alpha: Ratio) -> f64 {
+    let a = alpha.to_f64();
+    debug_assert!(a > 0.0);
+    a.sqrt().min(n as f64 / a.sqrt())
+}
+
+/// Proposition 5 (restated for trees): a tree that is Nash-supportable in
+/// the UCG at link cost α is pairwise stable in the BCG at the same α.
+/// Returns `true` when the implication holds for every α in the tree's
+/// exact UCG support set (checked at all interval endpoints and interior
+/// samples).
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree.
+pub fn prop5_holds_for_tree(g: &Graph) -> bool {
+    assert!(g.is_tree(), "Proposition 5 is stated for trees");
+    let bcg = stability_window(g).expect("trees are connected");
+    let ucg = UcgAnalyzer::new(g);
+    for iv in ucg.support_intervals() {
+        let mut samples = vec![];
+        if iv.lo > Ratio::ZERO {
+            samples.push(iv.lo);
+        }
+        match iv.hi {
+            crate::interval::Threshold::Finite(h) => {
+                samples.push(h);
+                let lo = Ratio::max(iv.lo, Ratio::new(1, 1000));
+                if lo < h {
+                    samples.push(Ratio::midpoint(lo, h));
+                }
+            }
+            crate::interval::Threshold::Infinite => {
+                samples.push(Ratio::max(iv.lo, Ratio::ONE) + Ratio::from(10));
+            }
+        }
+        for alpha in samples {
+            if alpha > Ratio::ZERO && !bcg.contains(alpha) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The conjecture of Section 4.3, checkable per graph and α: if `g` is
+/// Nash-supportable in the UCG at α then it is pairwise stable in the
+/// BCG at α.
+///
+/// The conjecture is **false** in general — see
+/// [`conjecture_counterexample`] — though it holds for trees
+/// (Proposition 5) and held on every n ≤ 5 topology at generic α in our
+/// exhaustive scans.
+pub fn conjecture_ucg_subset_bcg(g: &Graph, alpha: Ratio) -> bool {
+    let ucg = UcgAnalyzer::new(g);
+    if !ucg.is_nash_supportable(alpha) {
+        return true; // vacuous
+    }
+    crate::stability::is_pairwise_stable(g, alpha)
+}
+
+/// A counterexample, found by this reproduction's exhaustive scan, to the
+/// paper's Section 4.3 conjecture that every UCG Nash graph is BCG
+/// pairwise stable at the same link cost.
+///
+/// The *theta graph* on 6 vertices — hubs 4 and 5 joined by the three
+/// internally disjoint paths `4-0-5`, `4-1-5` and `4-3-2-5` — is
+/// Nash-supportable in the UCG exactly for `α ∈ [1, 3]` (the degree-2
+/// path vertices buy their own edges), but pairwise stable in the BCG
+/// only for `α ∈ [1, 2]`: for `α > 2` a *hub* — which owns none of its
+/// links in the supporting UCG orientation and therefore has no say
+/// there — strictly gains by severing a path edge whose removal costs it
+/// only 2 extra hops. The mechanism is exactly why the revised paper
+/// restates Proposition 5 for trees only (where severing always
+/// disconnects).
+pub fn conjecture_counterexample() -> (Graph, Ratio) {
+    let g = Graph::from_edges(6, [(0, 4), (0, 5), (1, 4), (1, 5), (2, 3), (2, 5), (3, 4)])
+        .expect("valid theta graph");
+    (g, Ratio::new(5, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Threshold;
+
+    #[test]
+    fn lemma6_even_alpha_max_matches_exact() {
+        for n in [6usize, 8, 10, 12, 14] {
+            let (_, paper_max) = lemma6_paper_window(n);
+            let exact = cycle_stability_window(n);
+            assert_eq!(
+                exact.upper,
+                Threshold::Finite(paper_max),
+                "even C{n}: α_max should match the paper"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma6_odd_alpha_max_documented_discrepancy() {
+        // The paper prints (n+1)(n-1)/4; the exact value is (n-1)^2/4.
+        for n in [5usize, 7, 9, 11] {
+            let (_, paper_max) = lemma6_paper_window(n);
+            let exact = cycle_stability_window(n);
+            let ni = n as i64;
+            assert_eq!(
+                exact.upper,
+                Threshold::Finite(Ratio::new((ni - 1) * (ni - 1), 4)),
+                "odd C{n}: exact α_max is (n-1)^2/4"
+            );
+            assert!(
+                Threshold::Finite(paper_max) != exact.upper,
+                "odd C{n}: the printed formula differs from the exact window"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma6_windows_are_nonempty_for_n_at_least_5() {
+        for n in 5..14 {
+            let w = cycle_stability_window(n);
+            assert!(!w.is_empty(), "C{n} should be stable for some alpha");
+        }
+    }
+
+    #[test]
+    fn prop4_envelope_shape() {
+        // Below α = n the √α branch binds; above, the n/√α branch.
+        assert_eq!(prop4_envelope(100, Ratio::from(25)), 5.0);
+        assert_eq!(prop4_envelope(4, Ratio::from(64)), 0.5);
+    }
+
+    #[test]
+    fn prop5_on_small_trees() {
+        let trees = [
+            Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)]).unwrap(),
+        ];
+        for t in &trees {
+            assert!(prop5_holds_for_tree(t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn conjecture_counterexample_verified() {
+        let (g, alpha) = conjecture_counterexample();
+        assert!(!conjecture_ucg_subset_bcg(&g, alpha));
+        // Exact windows: UCG support [1, 3], BCG stability [1, 2].
+        let ucg = UcgAnalyzer::new(&g);
+        let support = ucg.support_intervals();
+        assert_eq!(support.len(), 1);
+        assert_eq!(support[0].lo, Ratio::ONE);
+        assert_eq!(
+            support[0].hi,
+            crate::interval::Threshold::Finite(Ratio::from(3))
+        );
+        let bcg = stability_window(&g).unwrap();
+        assert!(bcg.contains(Ratio::from(2)) && !bcg.contains(alpha));
+        // Cross-check with the independent pairwise-Nash implementation.
+        assert!(!crate::pairwise_nash::is_pairwise_nash(&g, alpha));
+        assert!(ucg.is_nash_supportable(alpha));
+    }
+
+    #[test]
+    fn conjecture_holds_on_samples() {
+        let graphs = [
+            Graph::complete(5),
+            Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap(),
+            Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap(),
+        ];
+        for g in &graphs {
+            for num in [1i64, 2, 3, 5, 8] {
+                assert!(
+                    conjecture_ucg_subset_bcg(g, Ratio::new(num, 2)),
+                    "{g:?} at {num}/2"
+                );
+            }
+        }
+    }
+}

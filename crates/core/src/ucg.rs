@@ -1,0 +1,543 @@
+//! Exact Nash analysis of the unilateral connection game (UCG) of
+//! Fabrikant et al. — the baseline the paper compares against.
+//!
+//! A graph `G` is *Nash-supportable* at link cost α if some strategy
+//! profile supporting `G` is a Nash equilibrium. In any UCG equilibrium
+//! every edge is bought by exactly one endpoint (double purchases and
+//! unreciprocated wishes waste α), so the question becomes: does some
+//! *orientation* (edge → buyer assignment) make every player's purchase
+//! set a best response among all `2^(n-1)` wish sets?
+//!
+//! # Method
+//!
+//! 1. For player `i`, the deviation graph depends only on `i`'s *effective
+//!    row* `R = (N(i) \ O_i) ∪ S` (others' purchases survive; `i` rewires
+//!    freely), so one BFS per subset `R ⊆ N \ {i}` — `n · 2^(n-1)` BFS
+//!    total — tabulates every distance sum the analysis can ever need.
+//! 2. Every Nash constraint is linear in α with integer coefficients:
+//!    `α(|S| - |O_i|) + (D_S - D_cur) ≥ 0`. Folding over all `S` yields,
+//!    per (vertex, owned set), an exact closed rational interval of
+//!    admissible α ([`ClosedInterval`]).
+//! 3. Nash-supportability at α is an exact cover search: assign each edge
+//!    an owner so every vertex's owned set has an interval containing α —
+//!    backtracking with per-vertex forward pruning.
+
+use std::collections::HashMap;
+
+use bnf_games::Ratio;
+use bnf_graph::Graph;
+
+use crate::delta::{DeltaCalc, DistanceDelta};
+use crate::interval::{ClosedInterval, Threshold};
+
+/// Maximum order accepted by the exact solver (`2^(n-1)` wish sets per
+/// player are enumerated).
+pub const MAX_UCG_ORDER: usize = 16;
+
+/// Precomputed exact Nash data for one graph in the UCG.
+///
+/// # Examples
+///
+/// ```
+/// use bnf_core::UcgAnalyzer;
+/// use bnf_games::Ratio;
+/// use bnf_graph::Graph;
+///
+/// // The star is Nash-supportable in the UCG exactly for α ≥ 1.
+/// let star = Graph::from_edges(5, (1..5).map(|i| (0, i)))?;
+/// let ucg = UcgAnalyzer::new(&star);
+/// assert!(!ucg.is_nash_supportable(Ratio::new(1, 2)));
+/// assert!(ucg.is_nash_supportable(Ratio::ONE));
+/// assert!(ucg.is_nash_supportable(Ratio::from(50)));
+/// # Ok::<(), bnf_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct UcgAnalyzer {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    rows: Vec<u64>,
+    /// Per vertex: owned-neighbour mask → admissible α interval (absent
+    /// masks are infeasible at every α).
+    tables: Vec<HashMap<u64, ClosedInterval>>,
+}
+
+/// Distance sums from `src` over the row-substituted graph: the base rows
+/// of `g` with `rows[src]` replaced by `src_row`. Only expansion *out of*
+/// `src` uses the substituted row, which is sound because `src` is the
+/// BFS source (edges into `src` are never needed).
+fn distsum_with_row(rows: &[u64], n: usize, src: usize, src_row: u64) -> Option<u64> {
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut seen = 1u64 << src;
+    let mut frontier = seen;
+    let mut d = 0u64;
+    let mut sum = 0u64;
+    while frontier != 0 {
+        let mut next = 0u64;
+        let mut f = frontier;
+        while f != 0 {
+            let v = f.trailing_zeros() as usize;
+            f &= f - 1;
+            next |= if v == src { src_row } else { rows[v] };
+        }
+        next &= !seen;
+        d += 1;
+        sum += d * u64::from(next.count_ones());
+        seen |= next;
+        frontier = next;
+    }
+    (seen == full).then_some(sum)
+}
+
+/// Inserts a zero bit at position `i`, expanding a compressed
+/// `(n-1)`-bit mask over `N \ {i}` to an `n`-bit vertex mask.
+#[inline]
+fn expand_mask(c: u64, i: usize) -> u64 {
+    let low = c & ((1u64 << i) - 1);
+    let high = c >> i;
+    low | (high << (i + 1))
+}
+
+/// Inverse of [`expand_mask`] (bit `i` of `m` must be zero).
+#[inline]
+fn compress_mask(m: u64, i: usize) -> u64 {
+    let low = m & ((1u64 << i) - 1);
+    let high = m >> (i + 1);
+    low | (high << i)
+}
+
+impl UcgAnalyzer {
+    /// Builds the exact per-(vertex, owned set) best-response tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or its order exceeds
+    /// [`MAX_UCG_ORDER`].
+    pub fn new(g: &Graph) -> UcgAnalyzer {
+        let n = g.order();
+        assert!(n <= MAX_UCG_ORDER, "UCG solver supports order <= {MAX_UCG_ORDER}");
+        assert!(g.is_connected(), "UCG Nash analysis requires a connected graph");
+        let rows: Vec<u64> = (0..n).map(|v| g.neighbor_bits(v)).collect();
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        let half = if n == 0 { 0 } else { 1u64 << (n - 1) };
+        let mut tables = Vec::with_capacity(n);
+        for i in 0..n {
+            // Tabulate D_i(R) for every effective row R (compressed index).
+            let dist: Vec<Option<u64>> = (0..half)
+                .map(|c| distsum_with_row(&rows, n, i, expand_mask(c, i)))
+                .collect();
+            let row = rows[i];
+            let d_cur = dist[compress_mask(row, i) as usize]
+                .expect("connected graph has finite distance sums");
+            let mut table = HashMap::new();
+            // Enumerate owned subsets O of N(i) (submask enumeration).
+            let mut o = row;
+            loop {
+                if let Some(iv) = best_response_interval(&dist, row, o, d_cur, i, half) {
+                    table.insert(o, iv);
+                }
+                if o == 0 {
+                    break;
+                }
+                o = (o - 1) & row;
+            }
+            tables.push(table);
+        }
+        UcgAnalyzer { n, edges, rows, tables }
+    }
+
+    /// The exact α interval for which owning exactly the edges to
+    /// `owned_mask` is a best response for player `i` (given all other
+    /// purchases of the graph fixed), or `None` when some deviation
+    /// dominates at every α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `owned_mask` is not a subset of
+    /// `i`'s neighbourhood.
+    pub fn best_response_window(&self, i: usize, owned_mask: u64) -> Option<ClosedInterval> {
+        assert!(i < self.n, "vertex {i} out of range");
+        assert_eq!(owned_mask & !self.rows[i], 0, "owned mask must be a neighbour subset");
+        self.tables[i].get(&owned_mask).copied()
+    }
+
+    /// Whether `g` is Nash-supportable at `alpha`: some orientation makes
+    /// every player best-respond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0`.
+    pub fn is_nash_supportable(&self, alpha: Ratio) -> bool {
+        self.find_orientation(alpha).is_some()
+    }
+
+    /// A witness orientation at `alpha` as `(buyer, other)` pairs, or
+    /// `None` when the graph is not Nash-supportable at `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0`.
+    pub fn find_orientation(&self, alpha: Ratio) -> Option<Vec<(usize, usize)>> {
+        assert!(alpha > Ratio::ZERO, "link cost must be positive");
+        let allowed: Vec<Vec<u64>> = self
+            .tables
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .filter(|(_, iv)| iv.contains(alpha))
+                    .map(|(&m, _)| m)
+                    .collect()
+            })
+            .collect();
+        if allowed.iter().any(Vec::is_empty) {
+            return None;
+        }
+        let mut remaining = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            remaining[u] += 1;
+            remaining[v] += 1;
+        }
+        let mut owned = vec![0u64; self.n];
+        let mut decided = vec![0u64; self.n];
+        let mut owners = Vec::with_capacity(self.edges.len());
+        if self.assign(0, &allowed, &mut remaining, &mut owned, &mut decided, &mut owners) {
+            Some(owners)
+        } else {
+            None
+        }
+    }
+
+    fn vertex_feasible(&self, allowed: &[Vec<u64>], v: usize, owned: u64, decided: u64) -> bool {
+        allowed[v].iter().any(|&m| m & decided == owned)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &self,
+        idx: usize,
+        allowed: &[Vec<u64>],
+        remaining: &mut [usize],
+        owned: &mut [u64],
+        decided: &mut [u64],
+        owners: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        if idx == self.edges.len() {
+            return true;
+        }
+        let (u, v) = self.edges[idx];
+        for (buyer, other) in [(u, v), (v, u)] {
+            owned[buyer] |= 1 << other;
+            decided[u] |= 1 << v;
+            decided[v] |= 1 << u;
+            remaining[u] -= 1;
+            remaining[v] -= 1;
+            let ok = [u, v].into_iter().all(|w| {
+                if remaining[w] == 0 {
+                    allowed[w].contains(&owned[w])
+                } else {
+                    self.vertex_feasible(allowed, w, owned[w], decided[w])
+                }
+            });
+            if ok && self.assign(idx + 1, allowed, remaining, owned, decided, owners) {
+                owners.push((buyer, other));
+                return true;
+            }
+            owned[buyer] &= !(1u64 << other);
+            decided[u] &= !(1u64 << v);
+            decided[v] &= !(1u64 << u);
+            remaining[u] += 1;
+            remaining[v] += 1;
+        }
+        false
+    }
+
+    /// The exact set of link costs at which the graph is
+    /// Nash-supportable, as a union of disjoint closed intervals (last
+    /// one possibly unbounded). Computed by sampling the finitely many
+    /// interval endpoints of the best-response tables plus the midpoints
+    /// between them — supportability is constant between consecutive
+    /// endpoints.
+    pub fn support_intervals(&self) -> Vec<ClosedInterval> {
+        let mut endpoints: Vec<Ratio> = Vec::new();
+        for t in &self.tables {
+            for iv in t.values() {
+                if iv.lo > Ratio::ZERO {
+                    endpoints.push(iv.lo);
+                }
+                if let Threshold::Finite(h) = iv.hi {
+                    if h > Ratio::ZERO {
+                        endpoints.push(h);
+                    }
+                }
+            }
+        }
+        endpoints.push(Ratio::new(1, 2)); // ensure at least one probe
+        endpoints.sort();
+        endpoints.dedup();
+        // Probe sequence: a point below every endpoint (supportability
+        // there means "all α > 0 up to the first endpoint"), each
+        // endpoint, midpoints between neighbours, and one point beyond
+        // the largest endpoint.
+        let eps = endpoints[0] / Ratio::from(2);
+        let mut probes: Vec<Ratio> = Vec::with_capacity(endpoints.len() * 2 + 2);
+        probes.push(eps);
+        for (k, &e) in endpoints.iter().enumerate() {
+            if k > 0 {
+                probes.push(Ratio::midpoint(endpoints[k - 1], e));
+            }
+            probes.push(e);
+        }
+        probes.push(*endpoints.last().expect("nonempty") + Ratio::ONE);
+        probes.retain(|&p| p > Ratio::ZERO);
+        let status: Vec<bool> = probes.iter().map(|&p| self.is_nash_supportable(p)).collect();
+        let mut out: Vec<ClosedInterval> = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for k in 0..probes.len() {
+            match (status[k], run_start) {
+                (true, None) => run_start = Some(k),
+                (false, Some(s)) => {
+                    // A run starting at the eps probe extends down to 0
+                    // (exclusive — α must be positive); report lo = 0.
+                    let lo = if s == 0 { Ratio::ZERO } else { probes[s] };
+                    out.push(ClosedInterval { lo, hi: Threshold::Finite(probes[k - 1]) });
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = run_start {
+            let lo = if s == 0 { Ratio::ZERO } else { probes[s] };
+            out.push(ClosedInterval { lo, hi: Threshold::Infinite });
+        }
+        out
+    }
+}
+
+fn best_response_interval(
+    dist: &[Option<u64>],
+    row: u64,
+    owned: u64,
+    d_cur: u64,
+    i: usize,
+    half: u64,
+) -> Option<ClosedInterval> {
+    let k = i64::from(owned.count_ones());
+    let keep = row & !owned; // others' purchases at i, which survive
+    let mut lo = Ratio::ZERO;
+    let mut hi = Threshold::Infinite;
+    for c in 0..half {
+        let s_mask = expand_mask(c, i);
+        let eff = keep | s_mask;
+        let d_s = match dist[compress_mask(eff, i) as usize] {
+            Some(d) => d,
+            None => continue, // infinite deviation cost, never better
+        };
+        let m = i64::from(s_mask.count_ones());
+        let diff = d_s as i64 - d_cur as i64; // distance change of deviation
+        let coeff = m - k; // α-units change of deviation
+        match coeff.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                // need α ≥ -diff / coeff
+                lo = Ratio::max(lo, Ratio::new(-diff, coeff));
+            }
+            std::cmp::Ordering::Less => {
+                // need α ≤ diff / (-coeff)
+                hi = Threshold::min(hi, Threshold::Finite(Ratio::new(diff, -coeff)));
+            }
+            std::cmp::Ordering::Equal => {
+                if diff < 0 {
+                    return None; // strictly dominating deviation at all α
+                }
+            }
+        }
+    }
+    match hi {
+        Threshold::Finite(h) if h < lo => None,
+        _ => Some(ClosedInterval { lo, hi }),
+    }
+}
+
+/// Orientation-free necessary bounds for UCG Nash-supportability — the
+/// cheap pre-filter ("fast checks to rule out inadmissible topologies",
+/// Section 5 footnote): every single-link addition must be unprofitable
+/// for *both* endpoints (`α ≥ max(Δ_u, Δ_v)` per missing link — contrast
+/// the BCG's `min`), and every edge must admit *some* owner who keeps it
+/// (`α ≤ max(Δdrop_u, Δdrop_v)` per edge).
+///
+/// Returns `None` when no positive α passes, which proves the graph is
+/// not Nash-supportable at any α. A returned interval is necessary, not
+/// sufficient.
+pub fn ucg_necessary_window(g: &Graph) -> Option<ClosedInterval> {
+    if !g.is_connected() {
+        return None;
+    }
+    let mut calc = DeltaCalc::new(g);
+    let mut lo = Ratio::ZERO;
+    for (u, v) in g.non_edges().collect::<Vec<_>>() {
+        for (a, b) in [(u, v), (v, u)] {
+            match calc.add_delta(a, b) {
+                DistanceDelta::Infinite => return None,
+                DistanceDelta::Finite(t) => lo = Ratio::max(lo, Ratio::from(t as i64)),
+            }
+        }
+    }
+    let mut hi = Threshold::Infinite;
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        let du = calc.drop_delta(u, v);
+        let dv = calc.drop_delta(v, u);
+        let edge_cap = match (du, dv) {
+            (DistanceDelta::Infinite, _) | (_, DistanceDelta::Infinite) => Threshold::Infinite,
+            (DistanceDelta::Finite(a), DistanceDelta::Finite(b)) => {
+                Threshold::Finite(Ratio::from(a.max(b) as i64))
+            }
+        };
+        hi = Threshold::min(hi, edge_cap);
+    }
+    match hi {
+        Threshold::Finite(h) if h < lo => None,
+        _ => Some(ClosedInterval { lo, hi }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Ratio {
+        Ratio::from(n)
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    fn star(n: usize) -> Graph {
+        Graph::from_edges(n, (1..n).map(|i| (0, i))).unwrap()
+    }
+
+    #[test]
+    fn mask_compress_expand_roundtrip() {
+        for i in 0..8 {
+            for c in 0..128u64 {
+                let m = expand_mask(c, i);
+                assert_eq!(m >> i & 1, 0);
+                assert_eq!(compress_mask(m, i), c);
+            }
+        }
+    }
+
+    #[test]
+    fn star_supportable_from_one() {
+        let ucg = UcgAnalyzer::new(&star(6));
+        assert!(!ucg.is_nash_supportable(Ratio::new(9, 10)));
+        assert!(ucg.is_nash_supportable(r(1)));
+        assert!(ucg.is_nash_supportable(r(7)));
+        let ivs = ucg.support_intervals();
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].lo, r(1));
+        assert_eq!(ivs[0].hi, Threshold::Infinite);
+    }
+
+    #[test]
+    fn complete_supportable_up_to_one() {
+        // K_n is Nash for α ≤ 1 (dropping an owned edge saves α, costs 1
+        // hop) and for α ≤ 2 via ... no: adding is never profitable in
+        // K_n; the binding move is dropping. At α slightly above 1 a
+        // buyer drops its edge.
+        let ucg = UcgAnalyzer::new(&Graph::complete(5));
+        assert!(ucg.is_nash_supportable(Ratio::new(1, 2)));
+        assert!(ucg.is_nash_supportable(r(1)));
+        assert!(!ucg.is_nash_supportable(Ratio::new(3, 2)));
+    }
+
+    #[test]
+    fn cycle6_never_supportable() {
+        // Footnote 5 of the paper: C_n for n > 5 is not Nash-supportable
+        // in the UCG (node 0 re-links to node 2 instead), yet it is
+        // pairwise stable in the BCG.
+        let ucg = UcgAnalyzer::new(&cycle(6));
+        assert!(ucg.support_intervals().is_empty());
+        for num in 1..30 {
+            assert!(!ucg.is_nash_supportable(Ratio::new(num, 2)), "alpha={num}/2");
+        }
+    }
+
+    #[test]
+    fn cycle5_supportable_somewhere() {
+        // C5 *is* Nash-supportable for a window of α (each player buys
+        // its clockwise edge).
+        let ucg = UcgAnalyzer::new(&cycle(5));
+        let ivs = ucg.support_intervals();
+        assert!(!ivs.is_empty(), "C5 should be Nash for some alpha");
+        let any = ivs[0].lo;
+        assert!(ucg.is_nash_supportable(Ratio::max(any, Ratio::new(1, 2))));
+    }
+
+    #[test]
+    fn path_supportable_for_large_alpha() {
+        let p4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let ucg = UcgAnalyzer::new(&p4);
+        // At α ≥ 2 no one wants extra links; severing disconnects.
+        assert!(ucg.is_nash_supportable(r(2)));
+        assert!(ucg.is_nash_supportable(r(400)));
+        // At α = 1/2, endpoints buy shortcuts: not Nash.
+        assert!(!ucg.is_nash_supportable(Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn orientation_witness_is_valid() {
+        let g = star(5);
+        let ucg = UcgAnalyzer::new(&g);
+        let owners = ucg.find_orientation(r(2)).expect("star is Nash at 2");
+        assert_eq!(owners.len(), g.edge_count());
+        // The witness must cover the edge set exactly once — the
+        // StrategyProfile constructor re-validates this.
+        let profile = bnf_games::StrategyProfile::supporting_unilateral(&g, &owners);
+        assert_eq!(profile.induced_graph(bnf_games::GameKind::Unilateral), g);
+    }
+
+    #[test]
+    fn necessary_window_filters() {
+        // C6 necessary window is empty or misses its BCG window entirely:
+        // adding the antipodal chord helps both ends by 2, so α ≥ 2; but
+        // each edge's drop delta is 6 ≥ ... the necessary window is
+        // [2, 6] — nonempty! (necessary ≠ sufficient; the exact solver
+        // says never.) The star's necessary window is [1, ∞).
+        let w = ucg_necessary_window(&cycle(6)).unwrap();
+        assert_eq!(w.lo, r(2));
+        assert_eq!(w.hi, Threshold::Finite(r(6)));
+        let ws = ucg_necessary_window(&star(7)).unwrap();
+        assert_eq!(ws.lo, r(1));
+        assert_eq!(ws.hi, Threshold::Infinite);
+        assert_eq!(ucg_necessary_window(&Graph::empty(3)), None);
+    }
+
+    #[test]
+    fn necessary_window_contains_exact_support() {
+        for g in [star(5), cycle(5), Graph::complete(5), cycle(4)] {
+            let necessary = ucg_necessary_window(&g);
+            let ucg = UcgAnalyzer::new(&g);
+            for iv in ucg.support_intervals() {
+                let nec = necessary.expect("supportable graph passes necessary check");
+                assert!(nec.contains(iv.lo), "{g:?}: lo {} outside {nec}", iv.lo);
+                if let Threshold::Finite(h) = iv.hi {
+                    assert!(nec.contains(h), "{g:?}: hi {h} outside {nec}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_vertices() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let ucg = UcgAnalyzer::new(&g);
+        // One player buys the edge; severing disconnects: Nash for all α.
+        assert!(ucg.is_nash_supportable(r(1)));
+        assert!(ucg.is_nash_supportable(r(1000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        UcgAnalyzer::new(&Graph::empty(3));
+    }
+}

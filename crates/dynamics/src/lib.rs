@@ -1,0 +1,355 @@
+//! Myopic dynamics for the connection games.
+//!
+//! The paper studies the *static* stable sets; the dynamics here answer
+//! the companion question of which equilibria decentralized play actually
+//! reaches ("the network is formed endogenously solely by the actions of
+//! players", Section 4):
+//!
+//! * [`run_pairwise_dynamics`] — Jackson–Watts-style link dynamics for
+//!   the bilateral game: a random pair may add its missing link when the
+//!   addition is not vetoed (one strictly gains, the other at least
+//!   weakly), and a random endpoint may unilaterally sever a link it
+//!   strictly wants gone. Fixed points are exactly the pairwise stable
+//!   graphs.
+//! * [`run_best_response_dynamics`] — exact best-response dynamics for
+//!   the unilateral game: players take turns replacing their wish set
+//!   with an exact cost minimizer (over all `2^(n-1)` subsets). Fixed
+//!   points are Nash profiles.
+//!
+//! All cost comparisons are exact ([`Ratio`]); randomness only selects
+//! the order of moves.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use bnf_core::{DeltaCalc, DistanceDelta};
+use bnf_games::{GameKind, Ratio, StrategyProfile};
+use bnf_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Outcome of a pairwise-dynamics run on the bilateral game.
+#[derive(Debug, Clone)]
+pub struct PairwiseReport {
+    /// The final graph.
+    pub graph: Graph,
+    /// Number of accepted link changes.
+    pub moves: usize,
+    /// Whether a full improving-move scan found nothing (the graph is
+    /// pairwise stable) before the move budget ran out.
+    pub converged: bool,
+}
+
+fn strictly(d: DistanceDelta, alpha: Ratio) -> bool {
+    match d {
+        DistanceDelta::Infinite => true,
+        DistanceDelta::Finite(t) => Ratio::from(t as i64) > alpha,
+    }
+}
+
+fn weakly(d: DistanceDelta, alpha: Ratio) -> bool {
+    match d {
+        DistanceDelta::Infinite => true,
+        DistanceDelta::Finite(t) => Ratio::from(t as i64) >= alpha,
+    }
+}
+
+/// Runs myopic pairwise link dynamics from `initial` at link cost
+/// `alpha`: each sweep visits all vertex pairs in random order and
+/// applies the first improving move (severance if an endpoint strictly
+/// gains; addition if the pair is blocking). Stops after a sweep with no
+/// improving move (converged to a pairwise stable graph) or after
+/// `max_moves` accepted moves.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn run_pairwise_dynamics<R: Rng + ?Sized>(
+    initial: &Graph,
+    alpha: Ratio,
+    rng: &mut R,
+    max_moves: usize,
+) -> PairwiseReport {
+    assert!(alpha > Ratio::ZERO, "link cost must be positive");
+    let n = initial.order();
+    let mut g = initial.clone();
+    let mut moves = 0usize;
+    let mut pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+    loop {
+        pairs.shuffle(rng);
+        let mut changed = false;
+        for &(u, v) in &pairs {
+            if moves >= max_moves {
+                return PairwiseReport { graph: g, moves, converged: false };
+            }
+            let mut calc = DeltaCalc::new(&g);
+            if g.has_edge(u, v) {
+                // Unilateral severance: either endpoint strictly gains
+                // when α exceeds its drop delta.
+                let sever = [(u, v), (v, u)].into_iter().any(|(a, b)| {
+                    match calc.drop_delta(a, b) {
+                        DistanceDelta::Infinite => false,
+                        DistanceDelta::Finite(t) => alpha > Ratio::from(t as i64),
+                    }
+                });
+                if sever {
+                    g.remove_edge(u, v);
+                    moves += 1;
+                    changed = true;
+                    break;
+                }
+            } else {
+                let du = calc.add_delta(u, v);
+                let dv = calc.add_delta(v, u);
+                let blocking = (strictly(du, alpha) && weakly(dv, alpha))
+                    || (strictly(dv, alpha) && weakly(du, alpha));
+                if blocking {
+                    g.add_edge(u, v);
+                    moves += 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return PairwiseReport { graph: g, moves, converged: true };
+        }
+    }
+}
+
+/// Outcome of a best-response-dynamics run on the unilateral game.
+#[derive(Debug, Clone)]
+pub struct BestResponseReport {
+    /// The final strategy profile.
+    pub profile: StrategyProfile,
+    /// The realised graph of the final profile.
+    pub graph: Graph,
+    /// Completed player turns.
+    pub turns: usize,
+    /// Whether a full round of turns changed nothing (a Nash profile).
+    pub converged: bool,
+}
+
+/// Distance sum from `src` over the given adjacency rows with the
+/// source's row overridden (sound because every mutated edge is incident
+/// to the source; see the UCG solver in `bnf-core` for the argument).
+fn distsum_override(rows: &[u64], n: usize, src: usize, src_row: u64) -> Option<u64> {
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut seen = 1u64 << src;
+    let mut frontier = seen;
+    let mut d = 0u64;
+    let mut sum = 0u64;
+    while frontier != 0 {
+        let mut next = 0u64;
+        let mut f = frontier;
+        while f != 0 {
+            let v = f.trailing_zeros() as usize;
+            f &= f - 1;
+            next |= if v == src { src_row } else { rows[v] };
+        }
+        next &= !seen;
+        d += 1;
+        sum += d * u64::from(next.count_ones());
+        seen |= next;
+        frontier = next;
+    }
+    (seen == full).then_some(sum)
+}
+
+/// Exact best response of player `i` in the UCG given the other players'
+/// wishes fixed: the wish mask minimizing `α|S| + Σ_j d(i,j)`.
+/// Deterministic tie-breaking: lower cost, then fewer links, then the
+/// current mask, then the numerically smallest mask. If every wish set
+/// leaves some player unreachable, the empty set wins (spend nothing on
+/// an infinite-cost position).
+///
+/// # Panics
+///
+/// Panics if `profile.order() > 16` (exhaustive enumeration), `i` is out
+/// of range, or `alpha <= 0`.
+pub fn best_response_ucg(profile: &StrategyProfile, i: usize, alpha: Ratio) -> u64 {
+    assert!(alpha > Ratio::ZERO, "link cost must be positive");
+    let n = profile.order();
+    assert!(n <= 16, "exhaustive best response supports order <= 16");
+    assert!(i < n, "player {i} out of range");
+    if n == 1 {
+        return 0;
+    }
+    // Rows of the graph formed by the *other* players' wishes only (in
+    // the UCG a single wish creates the edge). Player i's wish set is the
+    // free variable.
+    let mut rows = vec![0u64; n];
+    for a in 0..n {
+        if a == i {
+            continue;
+        }
+        let mut m = profile.wish_mask(a);
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            rows[a] |= 1 << b;
+            rows[b] |= 1 << a;
+        }
+    }
+    let incoming = rows[i];
+    let cur = profile.wish_mask(i);
+    let expand = |c: u64| (c & ((1u64 << i) - 1)) | ((c >> i) << (i + 1));
+    let half = 1u64 << (n - 1);
+    // Key: (cost, links, is-not-current, mask); minimize lexicographically.
+    let mut best: Option<(Ratio, u32, bool, u64)> = None;
+    for c in 0..half {
+        let s = expand(c);
+        let links = s.count_ones();
+        let Some(d) = distsum_override(&rows, n, i, incoming | s) else {
+            continue;
+        };
+        let cost = alpha * Ratio::from(i64::from(links)) + Ratio::from(d as i64);
+        let key = (cost, links, s != cur, s);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map_or(0, |(_, _, _, mask)| mask)
+}
+
+/// Runs round-robin exact best-response dynamics in the UCG from
+/// `initial` (player order reshuffled each round). Stops when a full
+/// round leaves the profile unchanged (a Nash equilibrium) or after
+/// `max_rounds` rounds.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `initial.order() > 16`.
+pub fn run_best_response_dynamics<R: Rng + ?Sized>(
+    initial: &StrategyProfile,
+    alpha: Ratio,
+    rng: &mut R,
+    max_rounds: usize,
+) -> BestResponseReport {
+    let n = initial.order();
+    let mut profile = initial.clone();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut turns = 0usize;
+    for _ in 0..max_rounds {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &i in &order {
+            let br = best_response_ucg(&profile, i, alpha);
+            if br != profile.wish_mask(i) {
+                profile.set_wish_mask(i, br);
+                changed = true;
+            }
+            turns += 1;
+        }
+        if !changed {
+            let graph = profile.induced_graph(GameKind::Unilateral);
+            return BestResponseReport { profile, graph, turns, converged: true };
+        }
+    }
+    let graph = profile.induced_graph(GameKind::Unilateral);
+    BestResponseReport { profile, graph, turns, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnf_core::is_pairwise_stable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pairwise_dynamics_reaches_stable_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for seed_graph in [Graph::empty(6), Graph::complete(6)] {
+            for num in [1i64, 3, 7] {
+                let alpha = Ratio::new(num, 2);
+                let report = run_pairwise_dynamics(&seed_graph, alpha, &mut rng, 10_000);
+                assert!(report.converged, "alpha={alpha}");
+                assert!(
+                    is_pairwise_stable(&report.graph, alpha),
+                    "fixed point must be pairwise stable at {alpha}: {:?}",
+                    report.graph
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_dynamics_small_alpha_completes() {
+        // α < 1: the unique stable graph is complete (Lemma 4).
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            run_pairwise_dynamics(&Graph::empty(5), Ratio::new(1, 2), &mut rng, 10_000);
+        assert!(report.converged);
+        assert_eq!(report.graph, Graph::complete(5));
+    }
+
+    #[test]
+    fn best_response_is_exact_on_star() {
+        // Star with centre 0 bought by leaves; the centre's best response
+        // is to buy nothing.
+        let star = Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap();
+        let profile =
+            StrategyProfile::supporting_unilateral(&star, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        assert_eq!(best_response_ucg(&profile, 0, Ratio::from(2)), 0);
+        // A leaf keeps its single link at α = 2 (dropping disconnects;
+        // each extra link saves only 1 hop).
+        assert_eq!(best_response_ucg(&profile, 1, Ratio::from(2)), 1 << 0);
+        // At α = 1/2 a leaf buys links to everyone (each saves 1 > 1/2).
+        assert_eq!(
+            best_response_ucg(&profile, 1, Ratio::new(1, 2)).count_ones(),
+            4
+        );
+    }
+
+    #[test]
+    fn best_response_dynamics_converges_to_nash() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for num in [1i64, 2, 4, 9] {
+            let alpha = Ratio::new(num, 2);
+            let initial = StrategyProfile::new(6);
+            let report = run_best_response_dynamics(&initial, alpha, &mut rng, 200);
+            assert!(report.converged, "alpha={alpha}");
+            assert!(report.graph.is_connected(), "BR dynamics builds a connected graph");
+            for i in 0..6 {
+                assert_eq!(
+                    best_response_ucg(&report.profile, i, alpha),
+                    report.profile.wish_mask(i),
+                    "fixed point must be a mutual best response (alpha={alpha}, i={i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_response_dynamics_small_alpha_yields_complete() {
+        // For α < 1 any missing link is worth buying unilaterally.
+        let mut rng = StdRng::seed_from_u64(23);
+        let report = run_best_response_dynamics(
+            &StrategyProfile::new(5),
+            Ratio::new(1, 2),
+            &mut rng,
+            100,
+        );
+        assert!(report.converged);
+        assert_eq!(report.graph, Graph::complete(5));
+    }
+
+    #[test]
+    fn dynamics_respect_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = run_pairwise_dynamics(&Graph::empty(6), Ratio::new(1, 2), &mut rng, 3);
+        assert!(!report.converged);
+        assert_eq!(report.moves, 3);
+    }
+
+    #[test]
+    fn single_player_trivia() {
+        let profile = StrategyProfile::new(1);
+        assert_eq!(best_response_ucg(&profile, 0, Ratio::ONE), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = run_pairwise_dynamics(&Graph::empty(1), Ratio::ONE, &mut rng, 10);
+        assert!(report.converged);
+    }
+}

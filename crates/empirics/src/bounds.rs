@@ -1,0 +1,176 @@
+//! Proposition 3 and Proposition 4 experiments.
+//!
+//! Prop 3 (lower bound): regular graphs whose order sits at (a constant
+//! factor of) the Moore bound are pairwise stable for some α and have
+//! price of anarchy Ω(log α). We reproduce the series on the concrete
+//! Moore graphs and cages the paper names, evaluating the PoA at the top
+//! of each exact stability window and comparing against `log2 α`.
+//!
+//! Prop 4 (upper bound): the worst-case PoA at link cost α is
+//! `O(min(√α, n/√α))`. We reproduce it empirically as a max over the
+//! exhaustively enumerated stable set per α, with the envelope column.
+
+use bnf_core::{prop4_envelope, stability_window, Threshold};
+use bnf_games::{price_of_anarchy, GameKind, Ratio};
+use bnf_graph::Graph;
+
+use crate::gallery::{extended_gallery, figure1_gallery};
+use crate::sweep::SweepResult;
+
+/// One row of the Proposition 3 lower-bound series.
+#[derive(Debug, Clone)]
+pub struct LowerBoundRow {
+    /// Graph name.
+    pub name: String,
+    /// Order.
+    pub n: usize,
+    /// Degree (regular graphs only — the Moore-bound setting).
+    pub degree: usize,
+    /// Girth.
+    pub girth: u32,
+    /// Diameter.
+    pub diameter: u32,
+    /// Top of the exact stability window (the α at which the Ω(log α)
+    /// bound is read off).
+    pub alpha_top: Ratio,
+    /// PoA at `alpha_top` in the BCG.
+    pub poa: f64,
+    /// `log2(alpha_top)` — the lower-bound yardstick.
+    pub log2_alpha: f64,
+}
+
+/// Builds the Prop 3 series over the regular gallery graphs with a finite
+/// stability window (Moore graphs, cages, hypercubes, a long cycle).
+pub fn prop3_series() -> Vec<LowerBoundRow> {
+    let mut rows = Vec::new();
+    for e in figure1_gallery().into_iter().chain(extended_gallery()) {
+        let (Some(degree), Some(window)) = (e.degree, e.window) else {
+            continue;
+        };
+        if window.is_empty() {
+            continue;
+        }
+        let Threshold::Finite(alpha_top) = window.upper else {
+            continue; // trees: no finite top
+        };
+        let poa = price_of_anarchy(&e.graph, GameKind::Bilateral, alpha_top);
+        rows.push(LowerBoundRow {
+            name: e.name.to_string(),
+            n: e.graph.order(),
+            degree,
+            girth: e.girth.unwrap_or(0),
+            diameter: e.diameter.unwrap_or(0),
+            alpha_top,
+            poa,
+            log2_alpha: alpha_top.to_f64().log2(),
+        });
+    }
+    rows.sort_by_key(|a| a.alpha_top);
+    rows
+}
+
+/// One row of the Proposition 4 empirical upper-bound table.
+#[derive(Debug, Clone, Copy)]
+pub struct UpperBoundRow {
+    /// The link cost.
+    pub alpha: Ratio,
+    /// Worst-case PoA over the enumerated BCG-stable set.
+    pub max_poa: f64,
+    /// The `min(√α, n/√α)` envelope of Proposition 4.
+    pub envelope: f64,
+}
+
+/// Reads the worst-case stable PoA per α out of a sweep and pairs it with
+/// the Prop 4 envelope.
+pub fn prop4_rows(sweep: &SweepResult) -> Vec<UpperBoundRow> {
+    sweep
+        .stats(GameKind::Bilateral)
+        .into_iter()
+        .map(|s| UpperBoundRow {
+            alpha: s.alpha,
+            max_poa: s.max_poa,
+            envelope: prop4_envelope(sweep.n, s.alpha),
+        })
+        .collect()
+}
+
+/// Exact stability verdict for an arbitrary graph at the top of its
+/// window — convenience for ad-hoc lower-bound exhibits.
+pub fn window_top_poa(g: &Graph) -> Option<(Ratio, f64)> {
+    let w = stability_window(g)?;
+    if w.is_empty() {
+        return None;
+    }
+    let Threshold::Finite(top) = w.upper else {
+        return None;
+    };
+    Some((top, price_of_anarchy(g, GameKind::Bilateral, top)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepConfig;
+
+    #[test]
+    fn prop3_series_is_nonempty_and_monotone_in_alpha() {
+        let rows = prop3_series();
+        assert!(rows.len() >= 6, "expected the gallery regulars, got {}", rows.len());
+        // The PoA of the series should grow with log α overall: compare
+        // the first and last rows.
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(last.alpha_top > first.alpha_top);
+        assert!(
+            last.poa > first.poa,
+            "PoA should grow along the Moore series: {} -> {}",
+            first.poa,
+            last.poa
+        );
+    }
+
+    #[test]
+    fn petersen_and_hoffman_singleton_in_series() {
+        let rows = prop3_series();
+        assert!(rows.iter().any(|r| r.name == "Petersen"));
+        assert!(rows.iter().any(|r| r.name == "Hoffman-Singleton"));
+        for r in &rows {
+            assert!(r.poa >= 1.0, "{}: PoA >= 1", r.name);
+        }
+    }
+
+    #[test]
+    fn prop4_envelope_dominates_at_small_n() {
+        let config = SweepConfig {
+            n: 6,
+            alphas: vec![
+                Ratio::new(1, 2),
+                Ratio::from(2),
+                Ratio::from(4),
+                Ratio::from(9),
+                Ratio::from(16),
+            ],
+            threads: 2,
+        };
+        let sweep = SweepResult::run(&config);
+        for row in prop4_rows(&sweep) {
+            // Prop 4 is asymptotic (constant factor); at n = 6 a factor
+            // of 3 comfortably covers it and catches regressions.
+            assert!(
+                row.max_poa <= 3.0 * row.envelope.max(1.0),
+                "alpha={}: max_poa={} envelope={}",
+                row.alpha,
+                row.max_poa,
+                row.envelope
+            );
+        }
+    }
+
+    #[test]
+    fn window_top_poa_on_cycle() {
+        let c8 = bnf_atlas::cycle(8);
+        let (top, poa) = window_top_poa(&c8).unwrap();
+        assert_eq!(top, Ratio::from(12)); // n(n-2)/4
+        assert!(poa > 1.0);
+    }
+}

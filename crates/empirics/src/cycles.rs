@@ -1,0 +1,81 @@
+//! Lemma 6: exact stability windows of cycles versus the paper's printed
+//! formulas (the revised paper fixed several errors; the odd-cycle α_max
+//! in the Lemma 6 sketch is still off by the exact computation — both are
+//! reported so EXPERIMENTS.md can record paper-vs-measured).
+
+use bnf_core::{cycle_stability_window, lemma6_paper_window, Threshold};
+use bnf_games::Ratio;
+
+/// One row of the Lemma 6 comparison table.
+#[derive(Debug, Clone)]
+pub struct CycleRow {
+    /// Cycle length.
+    pub n: usize,
+    /// Exact lower end of the stability window (value, inclusive?).
+    pub exact_min: (Ratio, bool),
+    /// Exact upper end.
+    pub exact_max: Ratio,
+    /// The paper's printed α_min.
+    pub paper_min: Ratio,
+    /// The paper's printed α_max.
+    pub paper_max: Ratio,
+    /// Whether the printed α_max equals the exact one.
+    pub max_matches: bool,
+}
+
+/// Builds the comparison for `C_n`, `n` in `range`.
+///
+/// # Panics
+///
+/// Panics if the range contains `n < 4`.
+pub fn lemma6_rows(range: impl IntoIterator<Item = usize>) -> Vec<CycleRow> {
+    range
+        .into_iter()
+        .map(|n| {
+            let exact = cycle_stability_window(n);
+            let (paper_min, paper_max) = lemma6_paper_window(n);
+            let exact_max = match exact.upper {
+                Threshold::Finite(t) => t,
+                Threshold::Infinite => unreachable!("cycles have finite drop deltas"),
+            };
+            CycleRow {
+                n,
+                exact_min: (exact.lower.value, exact.lower.inclusive),
+                exact_max,
+                paper_min,
+                paper_max,
+                max_matches: paper_max == exact_max,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycles_match_paper_alpha_max() {
+        for row in lemma6_rows([6, 8, 10, 12]) {
+            assert!(row.max_matches, "C{}: paper={} exact={}", row.n, row.paper_max, row.exact_max);
+        }
+    }
+
+    #[test]
+    fn odd_cycles_document_discrepancy() {
+        for row in lemma6_rows([5, 7, 9, 11]) {
+            assert!(!row.max_matches, "C{}: the printed odd formula differs", row.n);
+            let ni = row.n as i64;
+            assert_eq!(row.exact_max, Ratio::new((ni - 1) * (ni - 1), 4));
+        }
+    }
+
+    #[test]
+    fn windows_grow_quadratically() {
+        let rows = lemma6_rows([6, 10, 14]);
+        assert!(rows[0].exact_max < rows[1].exact_max);
+        assert!(rows[1].exact_max < rows[2].exact_max);
+        // α_max = n(n-2)/4 exactly for even n.
+        assert_eq!(rows[2].exact_max, Ratio::from(14 * 12 / 4));
+    }
+}

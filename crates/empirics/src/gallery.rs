@@ -1,0 +1,154 @@
+//! The Figure 1 gallery: the paper's exhibited pairwise-stable graphs,
+//! re-verified from scratch — construction, structural certificates
+//! (cage/Moore/strong-regularity parameters), link convexity, and the
+//! exact stability window.
+
+use bnf_atlas::named;
+use bnf_core::{is_link_convex, stability_window, StabilityWindow};
+use bnf_games::{price_of_anarchy, GameKind, Ratio};
+use bnf_graph::Graph;
+
+/// One gallery graph with its computed certificates.
+#[derive(Debug, Clone)]
+pub struct GalleryEntry {
+    /// Display name.
+    pub name: &'static str,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Common degree, when regular.
+    pub degree: Option<usize>,
+    /// Girth (`None` for forests).
+    pub girth: Option<u32>,
+    /// Diameter.
+    pub diameter: Option<u32>,
+    /// Strong-regularity parameters `(n, k, λ, μ)`, when strongly regular.
+    pub srg: Option<(usize, usize, usize, usize)>,
+    /// Whether the graph is link convex (Definition 6).
+    pub link_convex: bool,
+    /// The exact pairwise-stability window.
+    pub window: Option<StabilityWindow>,
+    /// A representative stable link cost, when one exists.
+    pub sample_alpha: Option<Ratio>,
+    /// Price of anarchy at the sample α.
+    pub poa_at_sample: Option<f64>,
+}
+
+fn entry(name: &'static str, graph: Graph) -> GalleryEntry {
+    let window = stability_window(&graph);
+    let sample_alpha = window.and_then(|w| w.sample());
+    let poa_at_sample =
+        sample_alpha.map(|a| price_of_anarchy(&graph, GameKind::Bilateral, a));
+    GalleryEntry {
+        degree: graph.regular_degree(),
+        girth: graph.girth(),
+        diameter: graph.diameter(),
+        srg: graph.srg_params().map(|p| (p.n, p.k, p.lambda, p.mu)),
+        link_convex: is_link_convex(&graph),
+        window,
+        sample_alpha,
+        poa_at_sample,
+        name,
+        graph,
+    }
+}
+
+/// The six graphs of Figure 1, in the paper's order.
+pub fn figure1_gallery() -> Vec<GalleryEntry> {
+    vec![
+        entry("Petersen", named::petersen()),
+        entry("McGee", named::mcgee()),
+        entry("Octahedron", named::octahedron()),
+        entry("Clebsch", named::clebsch()),
+        entry("Hoffman-Singleton", named::hoffman_singleton()),
+        entry("Star K(1,7)", named::star8()),
+    ]
+}
+
+/// Supplementary stable/unstable exhibits discussed in Section 4.1: the
+/// link-convexity pair (Desargues vs dodecahedron), extra cages for the
+/// Proposition 3 series, and hypercubes.
+pub fn extended_gallery() -> Vec<GalleryEntry> {
+    vec![
+        entry("Heawood", named::heawood()),
+        entry("Pappus", named::pappus()),
+        entry("Tutte-Coxeter", named::tutte_coxeter()),
+        entry("Desargues", named::desargues()),
+        entry("Dodecahedron", named::dodecahedron()),
+        entry("Hypercube Q3", bnf_atlas::hypercube(3)),
+        entry("Hypercube Q4", bnf_atlas::hypercube(4)),
+        entry("Cycle C12", bnf_atlas::cycle(12)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_graphs_are_all_stable_somewhere() {
+        for e in figure1_gallery() {
+            let w = e.window.unwrap_or_else(|| panic!("{} has no window", e.name));
+            assert!(!w.is_empty(), "{} should be pairwise stable for some α", e.name);
+            let alpha = e.sample_alpha.expect("sample exists");
+            assert!(
+                bnf_core::is_pairwise_stable(&e.graph, alpha),
+                "{} unstable at its sample α = {alpha}",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_certificates_match_the_paper() {
+        let g = figure1_gallery();
+        assert_eq!(g[0].srg, Some((10, 3, 0, 1)), "Petersen SRG");
+        assert_eq!(g[1].girth, Some(7), "McGee is the (3,7)-cage");
+        assert_eq!(g[2].srg, Some((6, 4, 2, 4)), "octahedron SRG");
+        assert_eq!(g[3].srg, Some((16, 5, 0, 2)), "Clebsch SRG");
+        assert_eq!(g[4].srg, Some((50, 7, 0, 1)), "Hoffman–Singleton SRG");
+        assert!(g[5].graph.is_tree(), "star");
+    }
+
+    #[test]
+    fn desargues_dodecahedron_paper_discrepancy() {
+        // Section 4.1 claims the Desargues graph is link convex and the
+        // dodecahedron is not. Exact computation agrees about the
+        // dodecahedron but *refutes* the Desargues claim: its diameter
+        // (5) exceeds girth/2 (3), so the best addition (between
+        // antipodal vertices, saving 10 hops) beats the cheapest
+        // deletion (8 hops) — recorded as a paper-vs-measured
+        // discrepancy in EXPERIMENTS.md.
+        let ext = extended_gallery();
+        let desargues = ext.iter().find(|e| e.name == "Desargues").unwrap();
+        let dodeca = ext.iter().find(|e| e.name == "Dodecahedron").unwrap();
+        assert!(!desargues.link_convex, "exact margins: max_add 10 vs min_drop 8");
+        assert!(
+            desargues.window.is_none_or(|w| w.is_empty()),
+            "Desargues is pairwise stable for no α"
+        );
+        assert!(!dodeca.link_convex, "dodecahedron is not link convex (matches paper)");
+        let (amax, dmin) = bnf_core::link_convexity_margin(&desargues.graph).unwrap();
+        assert_eq!(amax, 10);
+        assert_eq!(dmin, bnf_core::Threshold::Finite(bnf_games::Ratio::from(8)));
+    }
+
+    #[test]
+    fn srg_gallery_stability_certificates() {
+        // Section 4's strongly-regular claim, exactly: SRGs with λ = 0
+        // (Petersen, Clebsch, Hoffman–Singleton — triangle-free, so a
+        // deletion costs ≥ 2 while an addition saves exactly 1) are link
+        // convex; SRGs with λ > 0, μ > 1 (octahedron) have the point
+        // window [1, 1]: pairwise stable exactly at α = 1.
+        for e in figure1_gallery() {
+            let Some((_, _, lambda, mu)) = e.srg else { continue };
+            if lambda == 0 {
+                assert!(e.link_convex, "{} (λ=0) should be link convex", e.name);
+            } else {
+                assert!(mu > 1, "{}", e.name);
+                let w = e.window.expect("stable somewhere");
+                assert!(w.contains(bnf_games::Ratio::ONE), "{} stable at α=1", e.name);
+                assert_eq!(e.sample_alpha, Some(bnf_games::Ratio::ONE), "{}", e.name);
+            }
+        }
+    }
+}

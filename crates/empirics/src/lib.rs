@@ -1,0 +1,60 @@
+//! Empirical harness reproducing the evaluation of Corbo & Parkes
+//! (PODC 2005).
+//!
+//! Each figure of the paper has a module and a binary:
+//!
+//! | Paper item | Module | Binary |
+//! |---|---|---|
+//! | Figure 1 (stable-graph gallery) | [`gallery`] | `fig1_gallery` |
+//! | Figure 2 (average PoA vs link cost) | [`sweep`] | `fig2_avg_poa` |
+//! | Figure 3 (average #links vs link cost) | [`sweep`] | `fig3_avg_links` |
+//! | Propositions 3–4 (PoA bounds) | [`bounds`] | `poa_bounds` |
+//! | Lemma 6 (cycle windows) | [`cycles`] | `lemma6_cycles` |
+//! | Lemmas 4–5 (efficiency) | binary only | `efficiency_scan` |
+//!
+//! Run any of them with `cargo run --release -p bnf-empirics --bin <name>`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod cycles;
+pub mod gallery;
+pub mod parallel;
+pub mod sweep;
+pub mod tables;
+
+pub use bounds::{prop3_series, prop4_rows, window_top_poa, LowerBoundRow, UpperBoundRow};
+pub use cycles::{lemma6_rows, CycleRow};
+pub use gallery::{extended_gallery, figure1_gallery, GalleryEntry};
+pub use parallel::{default_threads, parallel_map};
+pub use sweep::{stable_catalog, EquilibriumStats, GraphRecord, SweepConfig, SweepResult};
+pub use tables::{fmt_stat, render_csv, render_table};
+
+/// Parses `--name value` from a raw argument list (first occurrence).
+pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--n", "7", "--csv"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--n"), Some("7".into()));
+        assert_eq!(arg_value(&args, "--threads"), None);
+        assert!(arg_flag(&args, "--csv"));
+        assert!(!arg_flag(&args, "--json"));
+    }
+}

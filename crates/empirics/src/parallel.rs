@@ -1,0 +1,81 @@
+//! A small scoped worker pool for embarrassingly parallel sweeps.
+//!
+//! The Figure 2/3 sweeps classify every connected topology independently,
+//! so a work-stealing index counter over scoped threads is all the
+//! machinery needed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item on `threads` worker threads, preserving
+/// input order in the output.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope join panics).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::SeqCst);
+                if idx >= items.len() {
+                    break;
+                }
+                let r = f(&items[idx]);
+                results.lock().push((idx, r));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut pairs = results.into_inner();
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A reasonable default worker count for this machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u8> = Vec::new();
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![5u32];
+        assert_eq!(parallel_map(&items, 64, |&x| x * x), vec![25]);
+    }
+}

@@ -1,0 +1,376 @@
+//! The Section 5 empirical study: classify every connected topology on
+//! `n` vertices as BCG-pairwise-stable / UCG-Nash-supportable across a
+//! grid of link costs, then aggregate the statistics behind Figures 2
+//! (average price of anarchy) and 3 (average number of links).
+//!
+//! The paper ran this at n = 10 (11 716 571 connected topologies); the
+//! default here is n = 7 (853) with n = 8 (11 117) a command-line flag —
+//! see DESIGN.md §4 for the substitution rationale. The pipeline is
+//! identical: exhaustive non-isomorphic enumeration, exact equilibrium
+//! tests, per-α aggregation.
+
+use bnf_core::{stability_window, transfer_stability_window, ucg_necessary_window, UcgAnalyzer};
+use bnf_enumerate::connected_graphs;
+use bnf_games::{poa_of_summary, CostSummary, GameKind, Ratio};
+use bnf_graph::Graph;
+
+use crate::parallel::{default_threads, parallel_map};
+
+/// Configuration of an empirical sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of players (vertices).
+    pub n: usize,
+    /// Link-cost grid (exact rationals; the paper plots a log-α axis).
+    pub alphas: Vec<Ratio>,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// The standard grid used by the figure binaries: log-spaced link
+    /// costs from 1/4 to 64.
+    pub fn standard(n: usize) -> SweepConfig {
+        let alphas = [
+            (1, 4),
+            (1, 2),
+            (3, 4),
+            (1, 1),
+            (3, 2),
+            (2, 1),
+            (3, 1),
+            (4, 1),
+            (6, 1),
+            (8, 1),
+            (12, 1),
+            (16, 1),
+            (24, 1),
+            (32, 1),
+            (48, 1),
+            (64, 1),
+        ]
+        .into_iter()
+        .map(|(p, q)| Ratio::new(p, q))
+        .collect();
+        SweepConfig { n, alphas, threads: default_threads() }
+    }
+}
+
+/// Per-topology classification across the α grid.
+#[derive(Debug, Clone)]
+pub struct GraphRecord {
+    /// Number of edges `|A|`.
+    pub edges: u64,
+    /// Exact ordered-pair distance total `Σ_{i,j} d(i,j)`.
+    pub total_distance: u64,
+    /// Pairwise stable in the BCG at `alphas[k]`?
+    pub bcg_stable: Vec<bool>,
+    /// Nash-supportable in the UCG at `alphas[k]`?
+    pub ucg_nash: Vec<bool>,
+    /// Pairwise stable **with transfers** at `alphas[k]`? (The paper's
+    /// future-work extension; see `bnf_core::is_transfer_stable`.)
+    pub transfer_stable: Vec<bool>,
+}
+
+/// The classified catalogue of all connected topologies on `n` vertices.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Number of players.
+    pub n: usize,
+    /// The link-cost grid.
+    pub alphas: Vec<Ratio>,
+    /// One record per connected non-isomorphic graph.
+    pub records: Vec<GraphRecord>,
+}
+
+/// Per-α aggregate statistics over one game's equilibrium set — the data
+/// series of Figures 2 and 3.
+#[derive(Debug, Clone, Copy)]
+pub struct EquilibriumStats {
+    /// The link cost.
+    pub alpha: Ratio,
+    /// Number of equilibrium topologies at this α.
+    pub count: usize,
+    /// Mean price of anarchy over the equilibrium set (Figure 2).
+    pub mean_poa: f64,
+    /// Worst-case price of anarchy over the equilibrium set.
+    pub max_poa: f64,
+    /// Mean number of links over the equilibrium set (Figure 3).
+    pub mean_links: f64,
+}
+
+fn classify(g: &Graph, alphas: &[Ratio]) -> GraphRecord {
+    let edges = g.edge_count() as u64;
+    let total_distance = g
+        .total_distance()
+        .expect("enumeration yields connected graphs");
+    let window = stability_window(g);
+    let bcg_stable = alphas
+        .iter()
+        .map(|&a| window.is_some_and(|w| w.contains(a)))
+        .collect();
+    let twindow = transfer_stability_window(g);
+    let transfer_stable = alphas
+        .iter()
+        .map(|&a| twindow.is_some_and(|w| w.contains(a)))
+        .collect();
+    // Fast necessary check first (the paper's Section 5 footnote), full
+    // orientation solve only where it passes.
+    let necessary = ucg_necessary_window(g);
+    let ucg_nash = match necessary {
+        None => vec![false; alphas.len()],
+        Some(nec) => {
+            if alphas.iter().any(|&a| nec.contains(a)) {
+                let solver = UcgAnalyzer::new(g);
+                alphas
+                    .iter()
+                    .map(|&a| nec.contains(a) && solver.is_nash_supportable(a))
+                    .collect()
+            } else {
+                vec![false; alphas.len()]
+            }
+        }
+    };
+    GraphRecord { edges, total_distance, bcg_stable, ucg_nash, transfer_stable }
+}
+
+impl SweepResult {
+    /// Enumerates all connected topologies on `config.n` vertices and
+    /// classifies each across the α grid, in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n > 8` (the UCG orientation solve on all 261 080
+    /// 9-vertex graphs exceeds a sensible time budget; raise deliberately
+    /// if you have the hours).
+    pub fn run(config: &SweepConfig) -> SweepResult {
+        assert!(config.n <= 8, "sweeps beyond n=8 need a deliberate opt-in");
+        let graphs = connected_graphs(config.n);
+        let records = parallel_map(&graphs, config.threads, |g| classify(g, &config.alphas));
+        SweepResult { n: config.n, alphas: config.alphas.clone(), records }
+    }
+
+    fn equilibrium_flags<'a>(&'a self, kind: GameKind) -> impl Fn(&'a GraphRecord, usize) -> bool {
+        move |r: &GraphRecord, k: usize| match kind {
+            GameKind::Bilateral => r.bcg_stable[k],
+            GameKind::Unilateral => r.ucg_nash[k],
+        }
+    }
+
+    /// Aggregates the per-α equilibrium statistics for one game.
+    pub fn stats(&self, kind: GameKind) -> Vec<EquilibriumStats> {
+        let flag = self.equilibrium_flags(kind);
+        self.alphas
+            .iter()
+            .enumerate()
+            .map(|(k, &alpha)| {
+                let mut count = 0usize;
+                let mut poa_sum = 0.0;
+                let mut poa_max = 0.0f64;
+                let mut links = 0u64;
+                for r in &self.records {
+                    if !flag(r, k) {
+                        continue;
+                    }
+                    count += 1;
+                    links += r.edges;
+                    let summary = CostSummary {
+                        order: self.n,
+                        edges: r.edges,
+                        total_distance: Some(r.total_distance),
+                        kind,
+                    };
+                    let rho = poa_of_summary(&summary, alpha);
+                    poa_sum += rho;
+                    poa_max = poa_max.max(rho);
+                }
+                EquilibriumStats {
+                    alpha,
+                    count,
+                    mean_poa: if count == 0 { f64::NAN } else { poa_sum / count as f64 },
+                    max_poa: poa_max,
+                    mean_links: if count == 0 { f64::NAN } else { links as f64 / count as f64 },
+                }
+            })
+            .collect()
+    }
+
+    /// Conjecture check (Section 4.3): per α, the number of topologies
+    /// that are UCG-Nash-supportable but *not* BCG-pairwise-stable. The
+    /// conjecture (proved for trees as Proposition 5) predicts all zeros.
+    pub fn conjecture_violations(&self) -> Vec<(Ratio, usize)> {
+        self.alphas
+            .iter()
+            .enumerate()
+            .map(|(k, &alpha)| {
+                let bad = self
+                    .records
+                    .iter()
+                    .filter(|r| r.ucg_nash[k] && !r.bcg_stable[k])
+                    .count();
+                (alpha, bad)
+            })
+            .collect()
+    }
+
+    /// Aggregates per-α statistics over the transfer-stable set
+    /// (evaluated with the bilateral social cost — transfers move money
+    /// between the pair, not in or out).
+    pub fn transfer_stats(&self) -> Vec<EquilibriumStats> {
+        self.alphas
+            .iter()
+            .enumerate()
+            .map(|(k, &alpha)| {
+                let mut count = 0usize;
+                let mut poa_sum = 0.0;
+                let mut poa_max = 0.0f64;
+                let mut links = 0u64;
+                for r in &self.records {
+                    if !r.transfer_stable[k] {
+                        continue;
+                    }
+                    count += 1;
+                    links += r.edges;
+                    let summary = CostSummary {
+                        order: self.n,
+                        edges: r.edges,
+                        total_distance: Some(r.total_distance),
+                        kind: GameKind::Bilateral,
+                    };
+                    let rho = poa_of_summary(&summary, alpha);
+                    poa_sum += rho;
+                    poa_max = poa_max.max(rho);
+                }
+                EquilibriumStats {
+                    alpha,
+                    count,
+                    mean_poa: if count == 0 { f64::NAN } else { poa_sum / count as f64 },
+                    max_poa: poa_max,
+                    mean_links: if count == 0 { f64::NAN } else { links as f64 / count as f64 },
+                }
+            })
+            .collect()
+    }
+
+    /// Per α, how many equilibrium topologies each game admits — the
+    /// multiplicity the paper blames for the average-PoA hump at
+    /// intermediate α.
+    pub fn equilibrium_counts(&self) -> Vec<(Ratio, usize, usize)> {
+        self.alphas
+            .iter()
+            .enumerate()
+            .map(|(k, &alpha)| {
+                let bcg = self.records.iter().filter(|r| r.bcg_stable[k]).count();
+                let ucg = self.records.iter().filter(|r| r.ucg_nash[k]).count();
+                (alpha, bcg, ucg)
+            })
+            .collect()
+    }
+}
+
+/// Enumerates the *graphs* (not just counts) that are pairwise stable in
+/// the BCG at `alpha` — the catalogue behind the figures, exposed for
+/// cross-validation against dynamics fixed points and for inspection.
+///
+/// # Panics
+///
+/// Panics if `n > 8` or `alpha <= 0`.
+pub fn stable_catalog(n: usize, alpha: Ratio) -> Vec<Graph> {
+    assert!(n <= 8, "catalogues beyond n=8 need a deliberate opt-in");
+    assert!(alpha > Ratio::ZERO, "link cost must be positive");
+    connected_graphs(n)
+        .into_iter()
+        .filter(|g| stability_window(g).is_some_and(|w| w.contains(alpha)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep(n: usize) -> SweepResult {
+        let config = SweepConfig {
+            n,
+            alphas: vec![
+                Ratio::new(1, 2),
+                Ratio::ONE,
+                Ratio::from(2),
+                Ratio::from(4),
+                Ratio::from(10),
+            ],
+            threads: 2,
+        };
+        SweepResult::run(&config)
+    }
+
+    #[test]
+    fn unique_stable_graph_below_one() {
+        // Lemma 4: at α = 1/2 the complete graph is the only pairwise
+        // stable topology (and the only UCG Nash graph is complete too).
+        let sweep = tiny_sweep(5);
+        let k = 0; // α = 1/2
+        let stable: Vec<&GraphRecord> =
+            sweep.records.iter().filter(|r| r.bcg_stable[k]).collect();
+        assert_eq!(stable.len(), 1);
+        assert_eq!(stable[0].edges, 10); // K5
+        let nash: Vec<&GraphRecord> = sweep.records.iter().filter(|r| r.ucg_nash[k]).collect();
+        assert_eq!(nash.len(), 1);
+        assert_eq!(nash[0].edges, 10);
+    }
+
+    #[test]
+    fn star_always_among_stable_above_one() {
+        let sweep = tiny_sweep(5);
+        for k in 1..sweep.alphas.len() {
+            let has_tree_stable = sweep
+                .records
+                .iter()
+                .any(|r| r.bcg_stable[k] && r.edges == 4);
+            assert!(has_tree_stable, "alpha={}", sweep.alphas[k]);
+        }
+    }
+
+    #[test]
+    fn stats_shapes_and_sanity() {
+        let sweep = tiny_sweep(5);
+        let bcg = sweep.stats(GameKind::Bilateral);
+        let ucg = sweep.stats(GameKind::Unilateral);
+        assert_eq!(bcg.len(), 5);
+        for s in bcg.iter().chain(&ucg) {
+            assert!(s.count > 0, "equilibrium set never empty (star/complete)");
+            assert!(s.mean_poa >= 1.0 - 1e-12, "PoA >= 1, got {}", s.mean_poa);
+            assert!(s.max_poa >= s.mean_poa - 1e-12);
+            assert!(s.mean_links >= (sweep.n - 1) as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn conjecture_violations_at_n5_only_at_boundary() {
+        // The paper conjectures UCG-Nash ⊆ BCG-stable (Section 4.3). At
+        // n = 5 exactly one violating topology exists on this grid — the
+        // triangle with two pendants at the knife-edge α = 2, where the
+        // UCG owner of the severable edge is exactly indifferent while
+        // the BCG non-owner strictly gains by severing. (At n = 6 the
+        // theta graph violates the conjecture on a whole interval; see
+        // bnf-core::theorems.)
+        let sweep = tiny_sweep(5);
+        for (alpha, bad) in sweep.conjecture_violations() {
+            if alpha == Ratio::from(2) {
+                assert_eq!(bad, 1, "exactly the pendant-triangle at alpha=2");
+            } else {
+                assert_eq!(bad, 0, "no violation at alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcg_admits_at_least_as_many_equilibria_in_tail() {
+        // Section 4.4: the BCG stable set is richer; by α large both
+        // collapse toward trees, but BCG keeps (weakly) more topologies
+        // at every grid point here.
+        let sweep = tiny_sweep(6);
+        for (alpha, bcg, ucg) in sweep.equilibrium_counts() {
+            assert!(bcg >= ucg, "alpha={alpha}: bcg={bcg} < ucg={ucg}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text and CSV table rendering for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned monospace table.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header width");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (w, h) in widths.iter().zip(headers) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(row) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders comma-separated values (no quoting — callers pass numeric
+/// cells and simple identifiers only).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an `f64` statistic compactly (4 significant decimals, `-` for
+/// NaN).
+pub fn fmt_stat(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["alpha", "poa"],
+            &[
+                vec!["1/2".into(), "1.0000".into()],
+                vec!["16".into(), "1.2345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("alpha"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].ends_with("1.0000"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let c = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn stat_formatting() {
+        assert_eq!(fmt_stat(f64::NAN), "-");
+        assert_eq!(fmt_stat(f64::INFINITY), "inf");
+        assert_eq!(fmt_stat(1.23456), "1.2346");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

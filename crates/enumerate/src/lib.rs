@@ -1,0 +1,251 @@
+//! Exhaustive enumeration of non-isomorphic graphs, connected graphs and
+//! free trees.
+//!
+//! The paper's empirical study (Section 5) computes *all* pairwise-stable
+//! graphs of the bilateral connection game and all Nash graphs of the
+//! unilateral game "by enumeration of all connected topologies" on a fixed
+//! number of vertices. This crate provides that enumeration.
+//!
+//! # Method
+//!
+//! Vertex augmentation with canonical-form deduplication: every
+//! (connected) graph on `n` vertices arises from some (connected) graph on
+//! `n - 1` vertices by adding one vertex with a (non-empty) neighbour set —
+//! for the connected case because every connected graph has at least two
+//! non-cut vertices, for trees because every tree has a leaf. Candidates
+//! are canonicalized with [`Graph::canonical_key`] and deduplicated in a
+//! hash set.
+//!
+//! Counts are cross-checked against OEIS A000088 (graphs), A001349
+//! (connected graphs) and A000055 (free trees) in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use bnf_enumerate::connected_graphs;
+//!
+//! // There are 6 connected graphs on 4 vertices.
+//! assert_eq!(connected_graphs(4).len(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashSet;
+
+use bnf_graph::{Graph, VertexSet};
+
+/// Known counts of simple graphs on `n` unlabelled vertices (OEIS A000088).
+pub const GRAPH_COUNTS: [u64; 10] = [1, 1, 2, 4, 11, 34, 156, 1044, 12346, 274668];
+
+/// Known counts of connected graphs on `n` unlabelled vertices (OEIS
+/// A001349).
+pub const CONNECTED_GRAPH_COUNTS: [u64; 10] = [1, 1, 1, 2, 6, 21, 112, 853, 11117, 261080];
+
+/// Known counts of free trees on `n` vertices (OEIS A000055).
+pub const FREE_TREE_COUNTS: [u64; 11] = [1, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106];
+
+fn mask_to_set(cap: usize, mask: u64) -> VertexSet {
+    let mut s = VertexSet::new(cap);
+    let mut m = mask;
+    while m != 0 {
+        let v = m.trailing_zeros() as usize;
+        s.insert(v);
+        m &= m - 1;
+    }
+    s
+}
+
+/// Extends each parent by one vertex over the given neighbour-mask range,
+/// deduplicating canonically.
+fn augment<F>(parents: &[Graph], k: usize, masks: F) -> Vec<Graph>
+where
+    F: Fn() -> std::ops::Range<u64>,
+{
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for parent in parents {
+        for mask in masks() {
+            let nbrs = mask_to_set(k, mask);
+            let child = parent.with_extra_vertex(&nbrs).canonical_form();
+            if seen.insert(child.canonical_key()) {
+                out.push(child);
+            }
+        }
+    }
+    sort_deterministically(&mut out);
+    out
+}
+
+fn sort_deterministically(graphs: &mut [Graph]) {
+    graphs.sort_by_cached_key(|g| (g.edge_count(), g.canonical_key()));
+}
+
+/// All non-isomorphic simple graphs on `n` vertices, in canonical form,
+/// sorted by edge count then canonical key.
+///
+/// Runtime and memory grow super-exponentially; intended for `n <= 9`.
+///
+/// # Panics
+///
+/// Panics if `n > 10` (the dedup set would not fit in memory).
+pub fn all_graphs(n: usize) -> Vec<Graph> {
+    assert!(n <= 10, "exhaustive enumeration beyond n=10 is not supported");
+    if n == 0 {
+        return vec![Graph::empty(0)];
+    }
+    let mut cur = vec![Graph::empty(1)];
+    for k in 1..n {
+        cur = augment(&cur, k, || 0..(1u64 << k));
+    }
+    cur
+}
+
+/// All non-isomorphic *connected* graphs on `n` vertices, in canonical
+/// form, sorted by edge count then canonical key.
+///
+/// # Panics
+///
+/// Panics if `n > 10`.
+pub fn connected_graphs(n: usize) -> Vec<Graph> {
+    assert!(n <= 10, "exhaustive enumeration beyond n=10 is not supported");
+    if n == 0 {
+        return vec![Graph::empty(0)];
+    }
+    let mut cur = vec![Graph::empty(1)];
+    for k in 1..n {
+        // Non-empty neighbour sets keep every intermediate graph connected.
+        cur = augment(&cur, k, || 1..(1u64 << k));
+    }
+    debug_assert!(cur.iter().all(Graph::is_connected));
+    cur
+}
+
+/// All non-isomorphic free trees on `n` vertices, in canonical form.
+///
+/// # Panics
+///
+/// Panics if `n > 16`.
+pub fn free_trees(n: usize) -> Vec<Graph> {
+    assert!(n <= 16, "tree enumeration beyond n=16 is not supported");
+    if n == 0 {
+        return vec![Graph::empty(0)];
+    }
+    let mut cur = vec![Graph::empty(1)];
+    for k in 1..n {
+        // Attach the new vertex as a leaf to each possible anchor.
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for parent in &cur {
+            for anchor in 0..k {
+                let nbrs: VertexSet = std::iter::once(anchor).collect();
+                // Capacity of a one-element set is anchor+1; widen to k.
+                let mut wide = VertexSet::new(k);
+                for v in nbrs.iter() {
+                    wide.insert(v);
+                }
+                let child = parent.with_extra_vertex(&wide).canonical_form();
+                if seen.insert(child.canonical_key()) {
+                    out.push(child);
+                }
+            }
+        }
+        sort_deterministically(&mut out);
+        cur = out;
+    }
+    debug_assert!(cur.iter().all(Graph::is_tree));
+    cur
+}
+
+/// Streaming variant of [`connected_graphs`]: invokes `visit` once per
+/// non-isomorphic connected graph on `n` vertices without retaining the
+/// full list (the dedup set is still retained).
+///
+/// # Panics
+///
+/// Panics if `n > 10`.
+pub fn for_each_connected_graph<F: FnMut(&Graph)>(n: usize, mut visit: F) {
+    for g in connected_graphs(n) {
+        visit(&g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_counts_match_oeis_small() {
+        for n in 0..=7 {
+            assert_eq!(
+                all_graphs(n).len() as u64,
+                GRAPH_COUNTS[n],
+                "graph count mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn connected_counts_match_oeis_small() {
+        for n in 0..=7 {
+            assert_eq!(
+                connected_graphs(n).len() as u64,
+                CONNECTED_GRAPH_COUNTS[n],
+                "connected count mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_counts_match_oeis() {
+        for n in 0..=10 {
+            assert_eq!(
+                free_trees(n).len() as u64,
+                FREE_TREE_COUNTS[n],
+                "tree count mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn connected_graphs_are_connected_and_distinct() {
+        let gs = connected_graphs(6);
+        assert!(gs.iter().all(Graph::is_connected));
+        let keys: std::collections::HashSet<_> = gs.iter().map(Graph::canonical_key).collect();
+        assert_eq!(keys.len(), gs.len());
+    }
+
+    #[test]
+    fn all_graphs_include_disconnected() {
+        let gs = all_graphs(4);
+        assert!(gs.iter().any(|g| !g.is_connected()));
+        assert!(gs.iter().any(|g| g.edge_count() == 0));
+        assert!(gs.iter().any(|g| g.edge_count() == 6));
+    }
+
+    #[test]
+    fn trees_are_trees() {
+        let ts = free_trees(7);
+        assert!(ts.iter().all(Graph::is_tree));
+        // The path and the star are among them.
+        assert!(ts.iter().any(|t| t.degree_sequence() == vec![6, 1, 1, 1, 1, 1, 1]));
+        assert!(ts.iter().any(|t| t.degree_sequence() == vec![2, 2, 2, 2, 2, 1, 1]));
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let a = connected_graphs(5);
+        let b = connected_graphs(5);
+        assert_eq!(a, b);
+        // Sorted by edge count first.
+        assert!(a.windows(2).all(|w| w[0].edge_count() <= w[1].edge_count()));
+    }
+
+    #[test]
+    fn trivial_orders() {
+        assert_eq!(all_graphs(0).len(), 1);
+        assert_eq!(connected_graphs(1).len(), 1);
+        assert_eq!(free_trees(1).len(), 1);
+        assert_eq!(free_trees(2).len(), 1);
+    }
+}

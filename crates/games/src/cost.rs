@@ -1,0 +1,178 @@
+//! The cost function of the connection games.
+//!
+//! Equation (1) of the paper: `c_i(s) = α |s_i| + Σ_j d(i,j)(G(s))`, with
+//! `d = ∞` when `j` is unreachable. Equation (4): the social cost of a
+//! graph in the BCG is `C(G) = 2α|A| + Σ_{i,j} d(i,j)`; in the UCG every
+//! realised edge is paid once, `C(G) = α|A| + Σ_{i,j} d`.
+
+use bnf_graph::Graph;
+
+use crate::ratio::Ratio;
+use crate::strategy::{GameKind, StrategyProfile};
+
+/// Exact per-player cost components: wish count and the distance sum
+/// (`None` when some player is unreachable, i.e. infinite cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlayerCost {
+    /// `|s_i|` — number of wished links (each costs α).
+    pub wishes: u64,
+    /// `Σ_j d(i,j)`, or `None` when infinite.
+    pub distance: Option<u64>,
+}
+
+impl PlayerCost {
+    /// The cost value at link cost `alpha`, as `f64`
+    /// (`f64::INFINITY` when disconnected).
+    pub fn value(&self, alpha: Ratio) -> f64 {
+        match self.distance {
+            Some(d) => alpha.to_f64() * self.wishes as f64 + d as f64,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// Player `i`'s exact cost components under profile `s` in the given game.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn player_cost(s: &StrategyProfile, kind: GameKind, i: usize) -> PlayerCost {
+    let g = s.induced_graph(kind);
+    let ds = g.distance_sum(i);
+    PlayerCost {
+        wishes: s.wish_count(i),
+        distance: ds.finite_total(g.order()),
+    }
+}
+
+/// Exact social-cost components of a *graph* (strategy-independent): the
+/// paper evaluates equilibria and efficiency on realised graphs, where in
+/// equilibrium no wish is wasted, so `Σ_i |s_i|` equals `|A|` (UCG) or
+/// `2|A|` (BCG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostSummary {
+    /// Number of vertices.
+    pub order: usize,
+    /// Number of edges `|A|`.
+    pub edges: u64,
+    /// `Σ_{i,j} d(i,j)` over ordered pairs, or `None` when disconnected.
+    pub total_distance: Option<u64>,
+    /// Which game's link-cost multiplicity applies.
+    pub kind: GameKind,
+}
+
+impl CostSummary {
+    /// Computes the exact components for `g` under `kind`.
+    pub fn of(g: &Graph, kind: GameKind) -> CostSummary {
+        CostSummary {
+            order: g.order(),
+            edges: g.edge_count() as u64,
+            total_distance: g.total_distance(),
+            kind,
+        }
+    }
+
+    /// The number of α units in the social cost
+    /// (`|A|` for UCG, `2|A|` for BCG).
+    pub fn link_units(&self) -> u64 {
+        self.kind.social_link_multiplicity() * self.edges
+    }
+
+    /// The social cost at `alpha` (`f64::INFINITY` when disconnected).
+    ///
+    /// Evaluating from precomputed components makes α-sweeps over an
+    /// enumerated graph catalogue O(1) per (graph, α) pair.
+    pub fn social_cost(&self, alpha: Ratio) -> f64 {
+        match self.total_distance {
+            Some(d) => alpha.to_f64() * self.link_units() as f64 + d as f64,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// The social cost as an exact rational, or `None` when disconnected.
+    pub fn social_cost_exact(&self, alpha: Ratio) -> Option<Ratio> {
+        let d = self.total_distance?;
+        Some(
+            alpha * Ratio::from(self.link_units() as i64)
+                + Ratio::from(d as i64),
+        )
+    }
+}
+
+/// The social cost of graph `g` in game `kind` at link cost `alpha`.
+pub fn social_cost(g: &Graph, kind: GameKind, alpha: Ratio) -> f64 {
+    CostSummary::of(g, kind).social_cost(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star5() -> Graph {
+        Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap()
+    }
+
+    #[test]
+    fn player_cost_centre_vs_leaf() {
+        let s = StrategyProfile::supporting_bilateral(&star5());
+        let centre = player_cost(&s, GameKind::Bilateral, 0);
+        let leaf = player_cost(&s, GameKind::Bilateral, 1);
+        assert_eq!(centre, PlayerCost { wishes: 4, distance: Some(4) });
+        assert_eq!(leaf, PlayerCost { wishes: 1, distance: Some(1 + 2 * 3) });
+        let alpha = Ratio::new(3, 2);
+        assert_eq!(centre.value(alpha), 4.0 * 1.5 + 4.0);
+        assert_eq!(leaf.value(alpha), 1.5 + 7.0);
+    }
+
+    #[test]
+    fn unreciprocated_wish_costs_alpha_but_builds_nothing() {
+        let mut s = StrategyProfile::new(3);
+        s.set_wish(0, 1, true);
+        s.set_wish(1, 0, true);
+        s.set_wish(0, 2, true); // 2 does not consent
+        let c = player_cost(&s, GameKind::Bilateral, 0);
+        assert_eq!(c.wishes, 2);
+        assert_eq!(c.distance, None, "2 unreachable: infinite cost");
+        assert_eq!(c.value(Ratio::ONE), f64::INFINITY);
+    }
+
+    #[test]
+    fn social_cost_star_formulas() {
+        // BCG star on n: 2α(n-1) + 2(n-1)^2; UCG star: α(n-1) + 2(n-1)^2.
+        let g = star5();
+        let alpha = Ratio::from(3);
+        let bcg = CostSummary::of(&g, GameKind::Bilateral);
+        let ucg = CostSummary::of(&g, GameKind::Unilateral);
+        assert_eq!(bcg.social_cost(alpha), 2.0 * 3.0 * 4.0 + 32.0);
+        assert_eq!(ucg.social_cost(alpha), 3.0 * 4.0 + 32.0);
+        assert_eq!(
+            bcg.social_cost_exact(alpha),
+            Some(Ratio::from(24 + 32))
+        );
+    }
+
+    #[test]
+    fn social_cost_complete() {
+        // BCG complete on n: αn(n-1) + n(n-1).
+        let g = Graph::complete(6);
+        let alpha = Ratio::new(1, 2);
+        assert_eq!(
+            social_cost(&g, GameKind::Bilateral, alpha),
+            0.5 * 30.0 + 30.0
+        );
+        assert_eq!(
+            social_cost(&g, GameKind::Unilateral, alpha),
+            0.5 * 15.0 + 30.0
+        );
+    }
+
+    #[test]
+    fn disconnected_social_cost_is_infinite() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(social_cost(&g, GameKind::Bilateral, Ratio::ONE), f64::INFINITY);
+        assert_eq!(
+            CostSummary::of(&g, GameKind::Bilateral).social_cost_exact(Ratio::ONE),
+            None
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Efficient (social-cost-minimizing) graphs and the price of anarchy.
+//!
+//! Lemma 4 / Lemma 5 of the paper: in the BCG the complete graph is the
+//! unique efficient graph for α < 1 and the star for α > 1 (both at
+//! α = 1). In the UCG (Fabrikant et al.) the crossover is at α = 2. The
+//! price of anarchy of a graph, equation (7), is its social cost divided
+//! by the efficient social cost.
+
+use bnf_graph::Graph;
+
+use crate::cost::CostSummary;
+use crate::ratio::Ratio;
+use crate::strategy::GameKind;
+
+/// Exact social cost of the star `K_{1,n-1}` in game `kind`:
+/// `mult·α·(n-1) + 2(n-1)²`.
+pub fn star_social_cost(kind: GameKind, n: usize, alpha: Ratio) -> Ratio {
+    if n <= 1 {
+        return Ratio::ZERO;
+    }
+    let n1 = (n - 1) as i64;
+    alpha * Ratio::from(kind.social_link_multiplicity() as i64 * n1)
+        + Ratio::from(2 * n1 * n1)
+}
+
+/// Exact social cost of the complete graph `K_n` in game `kind`:
+/// `mult·α·n(n-1)/2 + n(n-1)`.
+pub fn complete_social_cost(kind: GameKind, n: usize, alpha: Ratio) -> Ratio {
+    if n <= 1 {
+        return Ratio::ZERO;
+    }
+    let pairs = (n * (n - 1) / 2) as i64;
+    alpha * Ratio::from(kind.social_link_multiplicity() as i64 * pairs)
+        + Ratio::from(2 * pairs)
+}
+
+/// The link cost at which the efficient graph switches from complete to
+/// star: α = 1 in the BCG (Lemmas 4–5), α = 2 in the UCG.
+pub fn efficiency_crossover(kind: GameKind) -> Ratio {
+    match kind {
+        GameKind::Bilateral => Ratio::ONE,
+        GameKind::Unilateral => Ratio::from(2i64),
+    }
+}
+
+/// The minimum social cost over all graphs on `n` vertices, exactly.
+///
+/// By Lemmas 4 and 5 (and their unilateral analogues) the minimum is
+/// attained by the complete graph below the crossover and by the star
+/// above it, so this is `min(star, complete)` cost.
+pub fn optimal_social_cost(kind: GameKind, n: usize, alpha: Ratio) -> Ratio {
+    Ratio::min(
+        star_social_cost(kind, n, alpha),
+        complete_social_cost(kind, n, alpha),
+    )
+}
+
+/// An efficient graph on `n` vertices at link cost `alpha` (complete below
+/// the crossover, star at or above it).
+pub fn efficient_graph(kind: GameKind, n: usize, alpha: Ratio) -> Graph {
+    if alpha < efficiency_crossover(kind) {
+        Graph::complete(n)
+    } else {
+        let mut g = Graph::empty(n);
+        for v in 1..n {
+            g.add_edge(0, v);
+        }
+        g
+    }
+}
+
+/// The price of anarchy of `g` relative to the efficient graph,
+/// equation (7): `ρ(G) = C(G) / min_G' C(G')`. Returns `f64::INFINITY`
+/// for disconnected graphs and 1.0 for the degenerate orders `n <= 1`.
+pub fn price_of_anarchy(g: &Graph, kind: GameKind, alpha: Ratio) -> f64 {
+    poa_of_summary(&CostSummary::of(g, kind), alpha)
+}
+
+/// Price of anarchy from precomputed cost components (O(1) per α).
+pub fn poa_of_summary(summary: &CostSummary, alpha: Ratio) -> f64 {
+    if summary.order <= 1 {
+        return 1.0;
+    }
+    let opt = optimal_social_cost(summary.kind, summary.order, alpha);
+    match summary.social_cost_exact(alpha) {
+        Some(c) => (c / opt).to_f64(),
+        None => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::social_cost;
+
+    #[test]
+    fn crossover_points() {
+        // BCG: equal cost at α = 1.
+        for n in 2..8 {
+            assert_eq!(
+                star_social_cost(GameKind::Bilateral, n, Ratio::ONE),
+                complete_social_cost(GameKind::Bilateral, n, Ratio::ONE),
+                "BCG crossover at n={n}"
+            );
+            assert_eq!(
+                star_social_cost(GameKind::Unilateral, n, Ratio::from(2)),
+                complete_social_cost(GameKind::Unilateral, n, Ratio::from(2)),
+                "UCG crossover at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_picks_the_right_side() {
+        let n = 6;
+        let below = Ratio::new(1, 2);
+        let above = Ratio::from(3);
+        assert_eq!(
+            optimal_social_cost(GameKind::Bilateral, n, below),
+            complete_social_cost(GameKind::Bilateral, n, below)
+        );
+        assert_eq!(
+            optimal_social_cost(GameKind::Bilateral, n, above),
+            star_social_cost(GameKind::Bilateral, n, above)
+        );
+        // UCG at α = 3/2 still prefers the complete graph.
+        let mid = Ratio::new(3, 2);
+        assert_eq!(
+            optimal_social_cost(GameKind::Unilateral, n, mid),
+            complete_social_cost(GameKind::Unilateral, n, mid)
+        );
+    }
+
+    #[test]
+    fn formulas_match_direct_costs() {
+        let n = 7;
+        let alpha = Ratio::new(5, 3);
+        let star = efficient_graph(GameKind::Bilateral, n, Ratio::from(2));
+        let complete = Graph::complete(n);
+        assert!(star.is_tree() && star.degree(0) == n - 1);
+        for kind in [GameKind::Bilateral, GameKind::Unilateral] {
+            assert_eq!(
+                social_cost(&star, kind, alpha),
+                star_social_cost(kind, n, alpha).to_f64()
+            );
+            assert_eq!(
+                social_cost(&complete, kind, alpha),
+                complete_social_cost(kind, n, alpha).to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn efficient_graph_shape() {
+        assert_eq!(
+            efficient_graph(GameKind::Bilateral, 5, Ratio::new(1, 2)),
+            Graph::complete(5)
+        );
+        let s = efficient_graph(GameKind::Bilateral, 5, Ratio::from(4));
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.edge_count(), 4);
+        // UCG at α = 3/2: complete still optimal.
+        assert_eq!(
+            efficient_graph(GameKind::Unilateral, 5, Ratio::new(3, 2)),
+            Graph::complete(5)
+        );
+    }
+
+    #[test]
+    fn poa_of_efficient_graph_is_one() {
+        for &alpha in &[Ratio::new(1, 2), Ratio::from(1), Ratio::from(5)] {
+            for kind in [GameKind::Bilateral, GameKind::Unilateral] {
+                let g = efficient_graph(kind, 6, alpha);
+                let rho = price_of_anarchy(&g, kind, alpha);
+                assert!((rho - 1.0).abs() < 1e-12, "kind={kind:?} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn poa_examples() {
+        // Path P4 in the BCG at α = 2: C = 2·2·3 + 20 = 32;
+        // star cost = 2·2·3 + 18 = 30; ρ = 32/30.
+        let p4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let rho = price_of_anarchy(&p4, GameKind::Bilateral, Ratio::from(2));
+        assert!((rho - 32.0 / 30.0).abs() < 1e-12);
+        // Disconnected graph: infinite PoA.
+        let d = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(
+            price_of_anarchy(&d, GameKind::Bilateral, Ratio::ONE),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn degenerate_orders() {
+        assert_eq!(optimal_social_cost(GameKind::Bilateral, 0, Ratio::ONE), Ratio::ZERO);
+        assert_eq!(optimal_social_cost(GameKind::Bilateral, 1, Ratio::ONE), Ratio::ZERO);
+        assert_eq!(price_of_anarchy(&Graph::empty(1), GameKind::Bilateral, Ratio::ONE), 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The unilateral and bilateral connection games of Corbo & Parkes
+//! (PODC 2005) and Fabrikant et al. (PODC 2003).
+//!
+//! Defines the model layer both games share: strategy profiles with the
+//! OR (unilateral) and AND (bilateral consent) link rules, the cost
+//! function `c_i = α|s_i| + Σ_j d(i,j)`, social cost, efficient graphs
+//! (complete below the α-crossover, star above it) and the price of
+//! anarchy. Link costs are exact rationals ([`Ratio`]); every equilibrium
+//! decision downstream stays in exact arithmetic.
+//!
+//! # Examples
+//!
+//! ```
+//! use bnf_games::{efficient_graph, price_of_anarchy, GameKind, Ratio};
+//! use bnf_graph::Graph;
+//!
+//! // At α = 3 the BCG-efficient graph is the star; the cycle C5 pays more.
+//! let alpha = Ratio::from(3);
+//! let star = efficient_graph(GameKind::Bilateral, 5, alpha);
+//! let c5 = Graph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)))?;
+//! assert_eq!(price_of_anarchy(&star, GameKind::Bilateral, alpha), 1.0);
+//! assert!(price_of_anarchy(&c5, GameKind::Bilateral, alpha) > 1.0);
+//! # Ok::<(), bnf_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod efficiency;
+mod ratio;
+mod strategy;
+
+pub use cost::{player_cost, social_cost, CostSummary, PlayerCost};
+pub use efficiency::{
+    complete_social_cost, efficiency_crossover, efficient_graph, optimal_social_cost,
+    poa_of_summary, price_of_anarchy, star_social_cost,
+};
+pub use ratio::Ratio;
+pub use strategy::{GameKind, StrategyProfile, MAX_STRATEGY_ORDER};

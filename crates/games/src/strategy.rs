@@ -1,0 +1,269 @@
+//! Strategy profiles and the link rules of the two connection games.
+//!
+//! In both games each player `i` announces a wish set `s_i ⊆ N \ {i}`
+//! (Section 2 of the paper). The unilateral game (UCG, Fabrikant et al.)
+//! creates edge `(i, j)` when *either* wish is present; the bilateral game
+//! (BCG, this paper) requires *both* — the consent rule that changes the
+//! whole equilibrium landscape.
+
+use bnf_graph::Graph;
+
+/// Which connection game a strategy profile or cost is evaluated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GameKind {
+    /// The unilateral connection game of Fabrikant et al. (PODC 2003):
+    /// a wish by either endpoint creates the link; the wisher pays α.
+    Unilateral,
+    /// The bilateral connection game of Corbo & Parkes (PODC 2005):
+    /// links require mutual consent; each endpoint pays α (equal split of
+    /// a doubled link cost).
+    Bilateral,
+}
+
+impl GameKind {
+    /// How many times α is charged per realised edge in the *social* cost:
+    /// once in the UCG (one buyer), twice in the BCG (both endpoints).
+    pub fn social_link_multiplicity(self) -> u64 {
+        match self {
+            GameKind::Unilateral => 1,
+            GameKind::Bilateral => 2,
+        }
+    }
+}
+
+/// Maximum order supported by [`StrategyProfile`] (wish sets are stored as
+/// single `u64` rows).
+pub const MAX_STRATEGY_ORDER: usize = 64;
+
+/// A pure-strategy profile: one wish set per player.
+///
+/// # Examples
+///
+/// ```
+/// use bnf_games::{GameKind, StrategyProfile};
+///
+/// let mut s = StrategyProfile::new(3);
+/// s.set_wish(0, 1, true);
+/// s.set_wish(1, 0, true);
+/// s.set_wish(1, 2, true); // unreciprocated
+///
+/// let bcg = s.induced_graph(GameKind::Bilateral);
+/// assert_eq!(bcg.edge_count(), 1); // only the mutual wish forms
+///
+/// let ucg = s.induced_graph(GameKind::Unilateral);
+/// assert_eq!(ucg.edge_count(), 2); // either wish suffices
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StrategyProfile {
+    n: usize,
+    wish: Vec<u64>,
+}
+
+impl StrategyProfile {
+    /// The profile where nobody wishes any link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= MAX_STRATEGY_ORDER, "strategy profiles support order <= 64");
+        StrategyProfile { n, wish: vec![0; n] }
+    }
+
+    /// Number of players.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Whether player `i` wishes a link to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `i == j`.
+    pub fn wishes(&self, i: usize, j: usize) -> bool {
+        self.check_pair(i, j);
+        self.wish[i] >> j & 1 == 1
+    }
+
+    /// Sets or clears player `i`'s wish for a link to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `i == j`.
+    pub fn set_wish(&mut self, i: usize, j: usize, wanted: bool) {
+        self.check_pair(i, j);
+        if wanted {
+            self.wish[i] |= 1 << j;
+        } else {
+            self.wish[i] &= !(1 << j);
+        }
+    }
+
+    /// The number of links player `i` wishes — the `|s_i|` term of the
+    /// cost function (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn wish_count(&self, i: usize) -> u64 {
+        assert!(i < self.n, "player {i} out of range");
+        u64::from(self.wish[i].count_ones())
+    }
+
+    /// Player `i`'s wish set as a bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn wish_mask(&self, i: usize) -> u64 {
+        assert!(i < self.n, "player {i} out of range");
+        self.wish[i]
+    }
+
+    /// Replaces player `i`'s entire wish set with the given bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the mask includes `i` itself or
+    /// bits at or beyond the order.
+    pub fn set_wish_mask(&mut self, i: usize, mask: u64) {
+        assert!(i < self.n, "player {i} out of range");
+        assert_eq!(mask >> self.n, 0, "mask has bits beyond order");
+        assert_eq!(mask >> i & 1, 0, "player cannot wish a self-link");
+        self.wish[i] = mask;
+    }
+
+    /// The graph realised under the game's link rule (Section 2): OR for
+    /// the unilateral game, AND for the bilateral game.
+    pub fn induced_graph(&self, kind: GameKind) -> Graph {
+        let mut g = Graph::empty(self.n);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let a = self.wish[i] >> j & 1 == 1;
+                let b = self.wish[j] >> i & 1 == 1;
+                let linked = match kind {
+                    GameKind::Unilateral => a || b,
+                    GameKind::Bilateral => a && b,
+                };
+                if linked {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// The canonical bilateral support of a graph: `s_ij = 1` iff `(i,j)`
+    /// is an edge. This is the minimal-cost profile realising `g` in the
+    /// BCG (no wasted wishes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.order() > 64`.
+    pub fn supporting_bilateral(g: &Graph) -> StrategyProfile {
+        let mut s = StrategyProfile::new(g.order());
+        for (u, v) in g.edges() {
+            s.set_wish(u, v, true);
+            s.set_wish(v, u, true);
+        }
+        s
+    }
+
+    /// A unilateral support of a graph under the given edge ownership:
+    /// each `(buyer, other)` pair asserts that `buyer` wishes the edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ownership list does not cover exactly the edge set of
+    /// `g`, or `g.order() > 64`.
+    pub fn supporting_unilateral(g: &Graph, owners: &[(usize, usize)]) -> StrategyProfile {
+        let mut s = StrategyProfile::new(g.order());
+        let mut covered = Graph::empty(g.order());
+        for &(buyer, other) in owners {
+            assert!(g.has_edge(buyer, other), "({buyer},{other}) is not an edge of g");
+            assert!(
+                covered.add_edge(buyer, other),
+                "edge ({buyer},{other}) owned twice"
+            );
+            s.set_wish(buyer, other, true);
+        }
+        assert_eq!(
+            covered.edge_count(),
+            g.edge_count(),
+            "ownership must cover every edge exactly once"
+        );
+        s
+    }
+
+    fn check_pair(&self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "player index out of range");
+        assert_ne!(i, j, "players do not link to themselves");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_rules_differ() {
+        let mut s = StrategyProfile::new(4);
+        s.set_wish(0, 1, true);
+        s.set_wish(1, 0, true);
+        s.set_wish(2, 3, true); // one-sided
+        let bcg = s.induced_graph(GameKind::Bilateral);
+        let ucg = s.induced_graph(GameKind::Unilateral);
+        assert!(bcg.has_edge(0, 1) && !bcg.has_edge(2, 3));
+        assert!(ucg.has_edge(0, 1) && ucg.has_edge(2, 3));
+    }
+
+    #[test]
+    fn wish_bookkeeping() {
+        let mut s = StrategyProfile::new(5);
+        s.set_wish_mask(2, 0b11001);
+        assert_eq!(s.wish_count(2), 3);
+        assert!(s.wishes(2, 0) && s.wishes(2, 3) && s.wishes(2, 4));
+        s.set_wish(2, 3, false);
+        assert_eq!(s.wish_count(2), 2);
+    }
+
+    #[test]
+    fn bilateral_support_round_trips() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let s = StrategyProfile::supporting_bilateral(&g);
+        assert_eq!(s.induced_graph(GameKind::Bilateral), g);
+        // Also realises the same graph in the UCG (mutual wishes).
+        assert_eq!(s.induced_graph(GameKind::Unilateral), g);
+    }
+
+    #[test]
+    fn unilateral_support_round_trips() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = StrategyProfile::supporting_unilateral(&g, &[(1, 0), (1, 2), (3, 2)]);
+        assert_eq!(s.induced_graph(GameKind::Unilateral), g);
+        assert_eq!(s.wish_count(1), 2);
+        assert_eq!(s.wish_count(0), 0);
+        // Under the bilateral rule the one-sided wishes create nothing.
+        assert_eq!(s.induced_graph(GameKind::Bilateral).edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "owned twice")]
+    fn double_ownership_rejected() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        StrategyProfile::supporting_unilateral(&g, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every edge")]
+    fn missing_ownership_rejected() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        StrategyProfile::supporting_unilateral(&g, &[(0, 1)]);
+    }
+
+    #[test]
+    fn social_multiplicity() {
+        assert_eq!(GameKind::Unilateral.social_link_multiplicity(), 1);
+        assert_eq!(GameKind::Bilateral.social_link_multiplicity(), 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! Breadth-first search distances, distance sums and all-pairs matrices.
+//!
+//! Equilibrium analysis evaluates the cost function
+//! `c_i = α|s_i| + Σ_j d(i,j)` under millions of single-edge mutations, so
+//! the BFS here is bitset-parallel (whole frontier expanded word-wise) and
+//! offers a reusable [`BfsScratch`] to keep hot loops allocation-free.
+
+use crate::bitset::ones;
+use crate::graph::Graph;
+
+/// Distance value used for unreachable vertices in [`Graph::bfs_distances`]
+/// and [`DistanceMatrix`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// The result of a single-source distance-sum computation.
+///
+/// `sum` is the sum of finite distances from the source; `reached` counts
+/// vertices at finite distance (including the source itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistanceSum {
+    /// Sum of hop distances to every reached vertex.
+    pub sum: u64,
+    /// Number of reached vertices, including the source.
+    pub reached: usize,
+}
+
+impl DistanceSum {
+    /// The total distance if every one of the `order` vertices was reached,
+    /// or `None` when the source's component does not span the graph
+    /// (infinite cost in the connection games).
+    pub fn finite_total(&self, order: usize) -> Option<u64> {
+        (self.reached == order).then_some(self.sum)
+    }
+}
+
+/// Reusable buffers for BFS traversals.
+///
+/// # Examples
+///
+/// ```
+/// use bnf_graph::{BfsScratch, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let mut scratch = BfsScratch::new();
+/// let s = g.distance_sum_with(0, &mut scratch);
+/// assert_eq!(s.finite_total(4), Some(1 + 2 + 3));
+/// # Ok::<(), bnf_graph::GraphError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BfsScratch {
+    seen: Vec<u64>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch buffer; it grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, words: usize) {
+        self.seen.clear();
+        self.seen.resize(words, 0);
+        self.frontier.clear();
+        self.frontier.resize(words, 0);
+        self.next.clear();
+        self.next.resize(words, 0);
+    }
+}
+
+/// A dense all-pairs distance matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// The distance between `u` and `v`, or `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&self, u: usize, v: usize) -> Option<u32> {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        let d = self.d[u * self.n + v];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Sum of all ordered-pair distances, or `None` if any pair is
+    /// unreachable.
+    pub fn total(&self) -> Option<u64> {
+        let mut sum = 0u64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let d = self.d[i * self.n + j];
+                if i != j && d == UNREACHABLE {
+                    return None;
+                }
+                sum += u64::from(if d == UNREACHABLE { 0 } else { d });
+            }
+        }
+        Some(sum)
+    }
+
+    /// Row of distances from `u` (entries are [`UNREACHABLE`] when
+    /// disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn row(&self, u: usize) -> &[u32] {
+        assert!(u < self.n, "vertex out of range");
+        &self.d[u * self.n..(u + 1) * self.n]
+    }
+}
+
+impl Graph {
+    /// Single-source BFS distances; unreachable vertices get
+    /// [`UNREACHABLE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_distances(&self, src: usize) -> Vec<u32> {
+        assert!(src < self.order(), "vertex {src} out of range");
+        let mut dist = vec![UNREACHABLE; self.order()];
+        let mut scratch = BfsScratch::new();
+        self.bfs_levels(src, &mut scratch, |v, d| dist[v] = d);
+        dist
+    }
+
+    /// Hop distance between `u` and `v`, or `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&self, u: usize, v: usize) -> Option<u32> {
+        assert!(v < self.order(), "vertex {v} out of range");
+        let mut found = None;
+        let mut scratch = BfsScratch::new();
+        self.bfs_levels(u, &mut scratch, |w, d| {
+            if w == v {
+                found = Some(d);
+            }
+        });
+        found
+    }
+
+    /// Distance sum from `src` (allocating convenience wrapper around
+    /// [`Graph::distance_sum_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn distance_sum(&self, src: usize) -> DistanceSum {
+        let mut scratch = BfsScratch::new();
+        self.distance_sum_with(src, &mut scratch)
+    }
+
+    /// Distance sum from `src` using caller-provided buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn distance_sum_with(&self, src: usize, scratch: &mut BfsScratch) -> DistanceSum {
+        let mut sum = 0u64;
+        let mut reached = 0usize;
+        self.bfs_levels(src, scratch, |_, d| {
+            sum += u64::from(d);
+            reached += 1;
+        });
+        DistanceSum { sum, reached }
+    }
+
+    /// Sum of distances over all ordered pairs, or `None` if the graph is
+    /// disconnected (any pair at infinite distance).
+    pub fn total_distance(&self) -> Option<u64> {
+        let mut scratch = BfsScratch::new();
+        let mut total = 0u64;
+        for v in 0..self.order() {
+            total += self.distance_sum_with(v, &mut scratch).finite_total(self.order())?;
+        }
+        Some(total)
+    }
+
+    /// Dense all-pairs shortest-path matrix (one BFS per vertex).
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        let n = self.order();
+        let mut d = vec![UNREACHABLE; n * n];
+        let mut scratch = BfsScratch::new();
+        for src in 0..n {
+            let row = &mut d[src * n..(src + 1) * n];
+            self.bfs_levels(src, &mut scratch, |v, dd| row[v] = dd);
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Core level-synchronous BFS. Invokes `visit(v, d)` exactly once per
+    /// reached vertex, in nondecreasing distance order (source at d = 0).
+    pub(crate) fn bfs_levels<F: FnMut(usize, u32)>(
+        &self,
+        src: usize,
+        scratch: &mut BfsScratch,
+        mut visit: F,
+    ) {
+        assert!(src < self.order(), "vertex {src} out of range");
+        let words = self.row_words();
+        scratch.reset(words);
+        scratch.seen[src / 64] |= 1 << (src % 64);
+        scratch.frontier[src / 64] |= 1 << (src % 64);
+        visit(src, 0);
+        let mut d = 0u32;
+        loop {
+            d += 1;
+            scratch.next.iter_mut().for_each(|w| *w = 0);
+            let mut any = false;
+            // Expand: union of neighbour rows of all frontier vertices.
+            {
+                let frontier = &scratch.frontier;
+                let next = &mut scratch.next;
+                for wi in 0..words {
+                    let mut w = frontier[wi];
+                    while w != 0 {
+                        let v = wi * 64 + w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        let row = self.row(v);
+                        for (nw, rw) in next.iter_mut().zip(row) {
+                            *nw |= rw;
+                        }
+                    }
+                }
+            }
+            for (nw, sw) in scratch.next.iter_mut().zip(&scratch.seen) {
+                *nw &= !sw;
+                any |= *nw != 0;
+            }
+            if !any {
+                break;
+            }
+            for v in ones(&scratch.next) {
+                visit(v, d);
+            }
+            for (sw, nw) in scratch.seen.iter_mut().zip(&scratch.next) {
+                *sw |= nw;
+            }
+            std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(5);
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.bfs_distances(2), vec![2, 1, 0, 1, 2]);
+        assert_eq!(g.distance(0, 4), Some(4));
+        assert_eq!(g.distance(4, 4), Some(0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(g.distance(0, 3), None);
+        assert_eq!(g.bfs_distances(0)[3], UNREACHABLE);
+        assert_eq!(g.distance_sum(0), DistanceSum { sum: 1, reached: 2 });
+        assert_eq!(g.distance_sum(0).finite_total(4), None);
+        assert_eq!(g.total_distance(), None);
+    }
+
+    #[test]
+    fn distance_sums_on_cycle() {
+        // C6: per-vertex distance sum is 1+1+2+2+3 = 9 = n^2/4.
+        let g = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap();
+        for v in 0..6 {
+            assert_eq!(g.distance_sum(v).finite_total(6), Some(9));
+        }
+        assert_eq!(g.total_distance(), Some(54));
+    }
+
+    #[test]
+    fn matrix_agrees_with_bfs() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]).unwrap();
+        let m = g.distance_matrix();
+        for u in 0..6 {
+            let row = g.bfs_distances(u);
+            for v in 0..6 {
+                assert_eq!(m.distance(u, v), (row[v] != UNREACHABLE).then_some(row[v]));
+            }
+        }
+        assert_eq!(m.total(), None);
+    }
+
+    #[test]
+    fn matrix_total_on_star() {
+        // Star on n=5: ordered total = 2(n-1)^2 = 32.
+        let g = Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap();
+        assert_eq!(g.distance_matrix().total(), Some(32));
+        assert_eq!(g.total_distance(), Some(32));
+    }
+
+    #[test]
+    fn scratch_reuse_across_graph_sizes() {
+        let mut scratch = BfsScratch::new();
+        let small = path(3);
+        let big = path(200);
+        assert_eq!(small.distance_sum_with(0, &mut scratch).sum, 3);
+        assert_eq!(
+            big.distance_sum_with(0, &mut scratch).sum,
+            (199 * 200 / 2) as u64
+        );
+        assert_eq!(small.distance_sum_with(2, &mut scratch).sum, 3);
+    }
+
+    #[test]
+    fn complete_graph_all_distance_one() {
+        let g = Graph::complete(7);
+        for v in 0..7 {
+            assert_eq!(g.distance_sum(v).finite_total(7), Some(6));
+        }
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::empty(1);
+        assert_eq!(g.distance_sum(0), DistanceSum { sum: 0, reached: 1 });
+        assert_eq!(g.total_distance(), Some(0));
+    }
+}

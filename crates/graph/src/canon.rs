@@ -1,0 +1,409 @@
+//! Canonical labelling, isomorphism testing and automorphism counting.
+//!
+//! The empirical study of the paper enumerates *non-isomorphic* connected
+//! topologies; this module provides the canonical form used to deduplicate
+//! them. The algorithm is the classic individualization–refinement scheme
+//! (a small nauty): equitable partition refinement, branching on a target
+//! cell, and pruning of branches equivalent under already-discovered
+//! automorphisms. The canonical form is the lexicographically greatest
+//! packed upper-triangle adjacency string over all explored leaves.
+
+use crate::bitset::words_for;
+use crate::graph::Graph;
+
+/// A hashable, comparable canonical key: the graph order plus the packed
+/// upper-triangle adjacency bits of the canonical form.
+///
+/// Two graphs are isomorphic iff their keys are equal.
+///
+/// # Examples
+///
+/// ```
+/// use bnf_graph::Graph;
+///
+/// let p3a = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let p3b = Graph::from_edges(3, [(0, 2), (2, 1)])?;
+/// assert_eq!(p3a.canonical_key(), p3b.canonical_key());
+/// # Ok::<(), bnf_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonKey {
+    n: usize,
+    bits: Box<[u64]>,
+}
+
+impl CanonKey {
+    /// The order of the graph this key was derived from.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+}
+
+/// Packs the upper triangle (row-major, `u < v`) of `g` relabelled by
+/// `perm` (vertex `v` gets label `perm[v]`).
+fn packed_key(g: &Graph, perm: &[usize]) -> Box<[u64]> {
+    let n = g.order();
+    let nbits = n * (n.saturating_sub(1)) / 2;
+    let mut bits = vec![0u64; words_for(nbits).max(1)];
+    let mut inv = vec![0usize; n];
+    for (v, &p) in perm.iter().enumerate() {
+        inv[p] = v;
+    }
+    let mut idx = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if g.has_edge(inv[i], inv[j]) {
+                bits[idx / 64] |= 1 << (63 - (idx % 64));
+            }
+            idx += 1;
+        }
+    }
+    bits.into_boxed_slice()
+}
+
+/// Ordered partition of the vertex set into cells.
+type Partition = Vec<Vec<usize>>;
+
+fn cell_mask(n: usize, cell: &[usize]) -> Vec<u64> {
+    let mut mask = vec![0u64; words_for(n).max(1)];
+    for &v in cell {
+        mask[v / 64] |= 1 << (v % 64);
+    }
+    mask
+}
+
+fn count_in(g: &Graph, v: usize, mask: &[u64]) -> usize {
+    g.row(v)
+        .iter()
+        .zip(mask)
+        .map(|(a, b)| (a & b).count_ones() as usize)
+        .sum()
+}
+
+/// Equitable refinement: splits cells by neighbour counts into other cells
+/// until stable. Deterministic: subcells are ordered by ascending count.
+fn refine(g: &Graph, cells: &mut Partition) {
+    let n = g.order();
+    loop {
+        let mut split_done = false;
+        'scan: for si in 0..cells.len() {
+            let mask = cell_mask(n, &cells[si]);
+            for ci in 0..cells.len() {
+                if cells[ci].len() <= 1 {
+                    continue;
+                }
+                let counts: Vec<usize> =
+                    cells[ci].iter().map(|&v| count_in(g, v, &mask)).collect();
+                let first = counts[0];
+                if counts.iter().all(|&c| c == first) {
+                    continue;
+                }
+                // Stable split by ascending count.
+                let mut pairs: Vec<(usize, usize)> =
+                    counts.into_iter().zip(cells[ci].iter().copied()).collect();
+                pairs.sort_by_key(|&(c, v)| (c, v));
+                let mut subcells: Partition = Vec::new();
+                let mut cur_count = usize::MAX;
+                for (c, v) in pairs {
+                    if c != cur_count {
+                        subcells.push(Vec::new());
+                        cur_count = c;
+                    }
+                    subcells.last_mut().expect("just pushed").push(v);
+                }
+                cells.splice(ci..=ci, subcells);
+                split_done = true;
+                break 'scan;
+            }
+        }
+        if !split_done {
+            return;
+        }
+    }
+}
+
+struct Search<'g> {
+    g: &'g Graph,
+    best_key: Option<Box<[u64]>>,
+    best_perm: Vec<usize>,
+    /// Discovered automorphisms (vertex -> vertex maps).
+    generators: Vec<Vec<usize>>,
+    /// Individualized vertices along the current path.
+    prefix: Vec<usize>,
+    /// When true, skip automorphism pruning and count canonical leaves.
+    count_mode: bool,
+    canonical_leaves: u64,
+}
+
+impl<'g> Search<'g> {
+    fn new(g: &'g Graph, count_mode: bool) -> Self {
+        Search {
+            g,
+            best_key: None,
+            best_perm: Vec::new(),
+            generators: Vec::new(),
+            prefix: Vec::new(),
+            count_mode,
+            canonical_leaves: 0,
+        }
+    }
+
+    fn leaf(&mut self, cells: &Partition) {
+        let n = self.g.order();
+        let mut perm = vec![0usize; n];
+        for (label, cell) in cells.iter().enumerate() {
+            perm[cell[0]] = label;
+        }
+        let key = packed_key(self.g, &perm);
+        match &self.best_key {
+            None => {
+                self.best_key = Some(key);
+                self.best_perm = perm;
+                self.canonical_leaves = 1;
+            }
+            Some(best) => {
+                if key > *best {
+                    self.best_key = Some(key);
+                    self.best_perm = perm;
+                    self.canonical_leaves = 1;
+                } else if key == *best {
+                    self.canonical_leaves += 1;
+                    // perm and best_perm map G to the same labelled graph:
+                    // phi = best_perm^{-1} . perm is an automorphism.
+                    let mut inv_best = vec![0usize; n];
+                    for (v, &p) in self.best_perm.iter().enumerate() {
+                        inv_best[p] = v;
+                    }
+                    let phi: Vec<usize> = (0..n).map(|v| inv_best[perm[v]]).collect();
+                    if phi.iter().enumerate().any(|(v, &p)| v != p) {
+                        self.generators.push(phi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Orbit representatives of `cell` under generators fixing the current
+    /// prefix pointwise. Sound pruning: branches within one orbit explore
+    /// identical leaf-key sets.
+    fn branch_candidates(&self, cell: &[usize]) -> Vec<usize> {
+        if self.count_mode || self.generators.is_empty() {
+            return cell.to_vec();
+        }
+        let fixing: Vec<&Vec<usize>> = self
+            .generators
+            .iter()
+            .filter(|gen| self.prefix.iter().all(|&p| gen[p] == p))
+            .collect();
+        if fixing.is_empty() {
+            return cell.to_vec();
+        }
+        let n = self.g.order();
+        let mut orbit_of = vec![usize::MAX; n];
+        let mut reps = Vec::new();
+        for &start in cell {
+            if orbit_of[start] != usize::MAX {
+                continue;
+            }
+            reps.push(start);
+            let mut stack = vec![start];
+            orbit_of[start] = start;
+            while let Some(v) = stack.pop() {
+                for gen in &fixing {
+                    let w = gen[v];
+                    if orbit_of[w] == usize::MAX {
+                        orbit_of[w] = start;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        reps
+    }
+
+    fn run(&mut self, mut cells: Partition) {
+        refine(self.g, &mut cells);
+        if cells.iter().all(|c| c.len() == 1) {
+            self.leaf(&cells);
+            return;
+        }
+        let ti = cells
+            .iter()
+            .position(|c| c.len() > 1)
+            .expect("non-discrete partition has a non-singleton cell");
+        let target = cells[ti].clone();
+        for v in self.branch_candidates(&target) {
+            let mut child = cells.clone();
+            let rest: Vec<usize> = target.iter().copied().filter(|&u| u != v).collect();
+            child.splice(ti..=ti, [vec![v], rest]);
+            self.prefix.push(v);
+            self.run(child);
+            self.prefix.pop();
+        }
+    }
+}
+
+impl Graph {
+    /// The canonical relabelling permutation: vertex `v` of `self` receives
+    /// label `canonical_permutation()[v]` in the canonical form.
+    pub fn canonical_permutation(&self) -> Vec<usize> {
+        let n = self.order();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut search = Search::new(self, false);
+        search.run(vec![(0..n).collect()]);
+        search.best_perm
+    }
+
+    /// The canonical form: a relabelled copy equal for all graphs in this
+    /// graph's isomorphism class.
+    pub fn canonical_form(&self) -> Graph {
+        self.relabel(&self.canonical_permutation())
+    }
+
+    /// The canonical key (order + packed canonical adjacency); equal iff
+    /// isomorphic. This is the hash key used by the enumeration crate.
+    pub fn canonical_key(&self) -> CanonKey {
+        let n = self.order();
+        if n == 0 {
+            return CanonKey { n: 0, bits: Box::new([]) };
+        }
+        let mut search = Search::new(self, false);
+        search.run(vec![(0..n).collect()]);
+        CanonKey {
+            n,
+            bits: search.best_key.expect("search of nonempty graph yields a leaf"),
+        }
+    }
+
+    /// Isomorphism test via canonical keys.
+    pub fn is_isomorphic(&self, other: &Graph) -> bool {
+        self.order() == other.order()
+            && self.edge_count() == other.edge_count()
+            && self.degree_sequence() == other.degree_sequence()
+            && self.canonical_key() == other.canonical_key()
+    }
+
+    /// Order of the automorphism group.
+    ///
+    /// Runs the individualization–refinement search without automorphism
+    /// pruning and counts leaves attaining the canonical key (these form a
+    /// coset of `Aut(G)`). Exponential for extremely symmetric graphs;
+    /// intended for graphs of order ≲ 10 or with small groups.
+    pub fn automorphism_count(&self) -> u64 {
+        let n = self.order();
+        if n == 0 {
+            return 1;
+        }
+        let mut search = Search::new(self, true);
+        search.run(vec![(0..n).collect()]);
+        search.canonical_leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    fn petersen() -> Graph {
+        // Outer C5 (0..5), inner pentagram (5..10), spokes.
+        let mut e = Vec::new();
+        for i in 0..5 {
+            e.push((i, (i + 1) % 5));
+            e.push((5 + i, 5 + (i + 2) % 5));
+            e.push((i, 5 + i));
+        }
+        Graph::from_edges(10, e).unwrap()
+    }
+
+    #[test]
+    fn canonical_form_is_permutation_invariant() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
+        let perms = [
+            vec![1, 2, 3, 4, 5, 0],
+            vec![5, 4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 5, 3],
+        ];
+        let base = g.canonical_form();
+        for p in &perms {
+            assert_eq!(g.relabel(p).canonical_form(), base);
+            assert_eq!(g.relabel(p).canonical_key(), g.canonical_key());
+        }
+    }
+
+    #[test]
+    fn isomorphism_distinguishes() {
+        // Two non-isomorphic trees on 4 vertices: path vs star.
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(!path.is_isomorphic(&star));
+        assert!(path.is_isomorphic(&path.relabel(&[3, 1, 0, 2])));
+    }
+
+    #[test]
+    fn c6_vs_two_triangles() {
+        // Same order, size and degree sequence; not isomorphic.
+        let two_triangles =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        assert!(!cycle(6).is_isomorphic(&two_triangles));
+    }
+
+    #[test]
+    fn automorphism_counts_known_groups() {
+        assert_eq!(cycle(5).automorphism_count(), 10); // dihedral D5
+        assert_eq!(cycle(6).automorphism_count(), 12); // D6
+        assert_eq!(Graph::complete(4).automorphism_count(), 24); // S4
+        assert_eq!(Graph::empty(4).automorphism_count(), 24);
+        let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(star.automorphism_count(), 6); // S3 on leaves
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(path.automorphism_count(), 2);
+    }
+
+    #[test]
+    fn petersen_automorphisms_and_self_iso() {
+        let p = petersen();
+        assert_eq!(p.automorphism_count(), 120);
+        // Petersen is vertex-transitive; relabelings are isomorphic.
+        assert!(p.is_isomorphic(&p.relabel(&[9, 8, 7, 6, 5, 4, 3, 2, 1, 0])));
+    }
+
+    #[test]
+    fn complete_graph_canonical_fast_path() {
+        // Automorphism pruning must keep K8 tractable.
+        let k8 = Graph::complete(8);
+        assert_eq!(k8.canonical_form(), k8);
+    }
+
+    #[test]
+    fn canonical_key_orders_and_hashes() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(cycle(5).canonical_key());
+        set.insert(cycle(5).relabel(&[4, 3, 2, 1, 0]).canonical_key());
+        set.insert(cycle(6).canonical_key());
+        assert_eq!(set.len(), 2);
+        assert_eq!(cycle(5).canonical_key().order(), 5);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        assert_eq!(Graph::empty(0).canonical_key().order(), 0);
+        assert_eq!(Graph::empty(1).automorphism_count(), 1);
+        assert_eq!(Graph::empty(2).automorphism_count(), 2);
+        assert!(Graph::empty(0).is_isomorphic(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn disconnected_graphs_canonicalize() {
+        let a = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let b = Graph::from_edges(5, [(3, 4), (1, 2)]).unwrap();
+        assert!(a.is_isomorphic(&b));
+    }
+}

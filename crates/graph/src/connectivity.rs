@@ -1,0 +1,217 @@
+//! Components, bridges and articulation points.
+//!
+//! Bridge detection matters for stability analysis: severing a bridge
+//! disconnects the graph, making the deviating player's cost infinite, so
+//! bridges impose no upper bound on the link cost α (this is why every
+//! pairwise-stable tree is stable for *all* sufficiently large α).
+
+use crate::bitset::VertexSet;
+use crate::graph::Graph;
+
+impl Graph {
+    /// The connected components, each as a [`VertexSet`], ordered by their
+    /// smallest member.
+    pub fn connected_components(&self) -> Vec<VertexSet> {
+        let n = self.order();
+        let mut comp = vec![usize::MAX; n];
+        let mut comps: Vec<VertexSet> = Vec::new();
+        for root in 0..n {
+            if comp[root] != usize::MAX {
+                continue;
+            }
+            let id = comps.len();
+            let mut set = VertexSet::new(n);
+            let mut stack = vec![root];
+            comp[root] = id;
+            set.insert(root);
+            while let Some(u) = stack.pop() {
+                for v in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = id;
+                        set.insert(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            comps.push(set);
+        }
+        comps
+    }
+
+    /// Number of connected components (0 for the null graph).
+    pub fn component_count(&self) -> usize {
+        self.connected_components().len()
+    }
+
+    /// All bridges (cut edges), as pairs `(u, v)` with `u < v`, via
+    /// Tarjan's low-link DFS.
+    pub fn bridges(&self) -> Vec<(usize, usize)> {
+        let n = self.order();
+        let mut disc = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut timer = 0usize;
+        let mut out = Vec::new();
+        // Iterative DFS: stack of (vertex, parent, neighbour cursor).
+        let mut stack: Vec<(usize, usize, Vec<usize>, usize)> = Vec::new();
+        for root in 0..n {
+            if disc[root] != usize::MAX {
+                continue;
+            }
+            disc[root] = timer;
+            low[root] = timer;
+            timer += 1;
+            stack.push((root, usize::MAX, self.neighbors(root).collect(), 0));
+            while let Some(top) = stack.last_mut() {
+                let (u, parent) = (top.0, top.1);
+                if top.3 < top.2.len() {
+                    let v = top.2[top.3];
+                    top.3 += 1;
+                    if disc[v] == usize::MAX {
+                        disc[v] = timer;
+                        low[v] = timer;
+                        timer += 1;
+                        stack.push((v, u, self.neighbors(v).collect(), 0));
+                    } else if v != parent {
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(below) = stack.last() {
+                        let p = below.0;
+                        low[p] = low[p].min(low[u]);
+                        if low[u] > disc[p] {
+                            out.push((p.min(u), p.max(u)));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the edge `(u, v)` is a bridge (its removal separates `u`
+    /// from `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is absent or the pair is invalid.
+    pub fn is_bridge(&self, u: usize, v: usize) -> bool {
+        assert!(self.has_edge(u, v), "({u},{v}) is not an edge");
+        let g = self.without_edge(u, v);
+        g.distance(u, v).is_none()
+    }
+
+    /// All articulation points (cut vertices).
+    pub fn articulation_points(&self) -> VertexSet {
+        let n = self.order();
+        let mut out = VertexSet::new(n);
+        if n == 0 {
+            return out;
+        }
+        // Small graphs dominate our workloads; the O(n (n + m)) direct
+        // definition (delete vertex, count components) is simple and robust.
+        for v in 0..n {
+            let before = self.component_count();
+            let g = self.without_vertex(v);
+            // Vertex deletion removes one vertex; if components grow, v cuts.
+            let after = g.component_count();
+            // Isolated vertex deletion reduces count by one, never an AP.
+            if self.degree(v) == 0 {
+                continue;
+            }
+            if after > before {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Vertices whose removal keeps the graph connected (assuming it is
+    /// connected). Every connected graph on `n >= 2` vertices has at least
+    /// two — the fact the enumeration crate's augmentation completeness
+    /// rests on.
+    pub fn non_cut_vertices(&self) -> VertexSet {
+        let n = self.order();
+        let aps = self.articulation_points();
+        let mut out = VertexSet::new(n);
+        for v in 0..n {
+            if !aps.contains(v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_disjoint_parts() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]).unwrap();
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(comps[1].iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(comps[2].iter().collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(g.component_count(), 3);
+    }
+
+    #[test]
+    fn bridges_on_barbell() {
+        // Two triangles joined by the bridge (2,3).
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        assert_eq!(g.bridges(), vec![(2, 3)]);
+        assert!(g.is_bridge(2, 3));
+        assert!(!g.is_bridge(0, 1));
+    }
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        let t = Graph::from_edges(6, [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)]).unwrap();
+        assert_eq!(t.bridges().len(), 5);
+        for (u, v) in t.edges() {
+            assert!(t.is_bridge(u, v));
+        }
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let c = Graph::from_edges(8, (0..8).map(|i| (i, (i + 1) % 8))).unwrap();
+        assert!(c.bridges().is_empty());
+    }
+
+    #[test]
+    fn articulation_points_on_path() {
+        let p = Graph::from_edges(5, (0..4).map(|i| (i, i + 1))).unwrap();
+        let aps = p.articulation_points();
+        assert_eq!(aps.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(p.non_cut_vertices().iter().collect::<Vec<_>>(), vec![0, 4]);
+    }
+
+    #[test]
+    fn connected_graph_has_two_non_cut_vertices() {
+        // Random-ish handmade connected graphs all expose >= 2 non-cut vertices.
+        let graphs = [
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
+            Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap(),
+            Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap(),
+        ];
+        for g in graphs {
+            assert!(g.non_cut_vertices().len() >= 2, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn bridges_with_multiple_components() {
+        let g = Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (4, 6)])
+            .unwrap();
+        assert_eq!(g.bridges(), vec![(0, 1)]);
+    }
+}

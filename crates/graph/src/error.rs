@@ -1,0 +1,78 @@
+//! Error type for graph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex index was at or beyond the graph order.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The graph order (valid indices are `0..order`).
+        order: usize,
+    },
+    /// An edge `(v, v)` was supplied; simple graphs have no self-loops.
+    SelfLoop {
+        /// The vertex in the rejected self-loop.
+        vertex: usize,
+    },
+    /// A graph6 string could not be parsed.
+    Graph6Parse {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested graph order exceeds what the operation supports.
+    OrderTooLarge {
+        /// The requested order.
+        order: usize,
+        /// The maximum supported order for this operation.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, order } => {
+                write!(f, "vertex {vertex} out of range for graph of order {order}")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed in a simple graph")
+            }
+            GraphError::Graph6Parse { reason } => {
+                write!(f, "invalid graph6 string: {reason}")
+            }
+            GraphError::OrderTooLarge { order, max } => {
+                write!(f, "graph order {order} exceeds supported maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, order: 4 };
+        assert_eq!(e.to_string(), "vertex 9 out of range for graph of order 4");
+        let e = GraphError::SelfLoop { vertex: 2 };
+        assert!(e.to_string().contains("self-loop at vertex 2"));
+        let e = GraphError::Graph6Parse { reason: "truncated".into() };
+        assert!(e.to_string().contains("truncated"));
+        let e = GraphError::OrderTooLarge { order: 100, max: 62 };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

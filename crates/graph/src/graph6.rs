@@ -1,0 +1,176 @@
+//! The graph6 ASCII interchange format (McKay's `nauty` convention).
+//!
+//! Supports orders up to 62 in the short form and up to 258 047 in the
+//! 4-byte extended form — enough for every graph in this workspace.
+//! graph6 is handy for cross-checking enumeration output against `geng`
+//! and for compact fixtures in tests.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+const MAX_LONG_ORDER: usize = 258_047;
+
+impl Graph {
+    /// Encodes this graph in graph6 format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order exceeds 258 047 (not reachable in this
+    /// workspace's workloads).
+    pub fn to_graph6(&self) -> String {
+        let n = self.order();
+        assert!(n <= MAX_LONG_ORDER, "graph6 supports order <= {MAX_LONG_ORDER}");
+        let mut out = String::new();
+        if n <= 62 {
+            out.push((63 + n as u8) as char);
+        } else {
+            out.push(126 as char);
+            out.push((63 + ((n >> 12) & 0x3f) as u8) as char);
+            out.push((63 + ((n >> 6) & 0x3f) as u8) as char);
+            out.push((63 + (n & 0x3f) as u8) as char);
+        }
+        // Upper triangle, column-major: bit for (i, j) with i < j, ordered
+        // by j then i.
+        let mut bit_buf = 0u8;
+        let mut nbits = 0u8;
+        for j in 1..n {
+            for i in 0..j {
+                bit_buf <<= 1;
+                if self.has_edge(i, j) {
+                    bit_buf |= 1;
+                }
+                nbits += 1;
+                if nbits == 6 {
+                    out.push((63 + bit_buf) as char);
+                    bit_buf = 0;
+                    nbits = 0;
+                }
+            }
+        }
+        if nbits > 0 {
+            bit_buf <<= 6 - nbits;
+            out.push((63 + bit_buf) as char);
+        }
+        out
+    }
+
+    /// Decodes a graph from graph6 format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Graph6Parse`] for empty input, characters
+    /// outside the printable graph6 range, or truncated bit payloads.
+    pub fn from_graph6(s: &str) -> Result<Graph, GraphError> {
+        let bytes = s.trim_end().as_bytes();
+        if bytes.is_empty() {
+            return Err(GraphError::Graph6Parse { reason: "empty string".into() });
+        }
+        let parse_byte = |b: u8| -> Result<usize, GraphError> {
+            if !(63..=126).contains(&b) {
+                return Err(GraphError::Graph6Parse {
+                    reason: format!("byte {b} outside graph6 range 63..=126"),
+                });
+            }
+            Ok((b - 63) as usize)
+        };
+        let (n, mut pos) = if bytes[0] == 126 {
+            if bytes.len() < 4 {
+                return Err(GraphError::Graph6Parse { reason: "truncated extended order".into() });
+            }
+            if bytes[1] == 126 {
+                return Err(GraphError::Graph6Parse {
+                    reason: "8-byte order form not supported".into(),
+                });
+            }
+            let n = (parse_byte(bytes[1])? << 12)
+                | (parse_byte(bytes[2])? << 6)
+                | parse_byte(bytes[3])?;
+            (n, 4)
+        } else {
+            (parse_byte(bytes[0])?, 1)
+        };
+        let mut g = Graph::empty(n);
+        let total_bits = n * n.saturating_sub(1) / 2;
+        let mut bit_idx = 0usize;
+        let mut pairs = Vec::with_capacity(total_bits);
+        for j in 1..n {
+            for i in 0..j {
+                pairs.push((i, j));
+            }
+        }
+        while bit_idx < total_bits {
+            if pos >= bytes.len() {
+                return Err(GraphError::Graph6Parse { reason: "truncated bit payload".into() });
+            }
+            let chunk = parse_byte(bytes[pos])?;
+            pos += 1;
+            for k in 0..6 {
+                if bit_idx >= total_bits {
+                    break;
+                }
+                if chunk >> (5 - k) & 1 == 1 {
+                    let (i, j) = pairs[bit_idx];
+                    g.add_edge(i, j);
+                }
+                bit_idx += 1;
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Standard examples from the nauty documentation.
+        assert_eq!(Graph::complete(3).to_graph6(), "Bw");
+        assert_eq!(Graph::complete(4).to_graph6(), "C~");
+        assert_eq!(Graph::empty(5).to_graph6(), "D??");
+        // P4 = 0-1-2-3: pairs (0,1)(0,2)(1,2)(0,3)(1,3)(2,3) -> 101001.
+        let p4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(p4.to_graph6(), "Ch");
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let graphs = [
+            Graph::empty(0),
+            Graph::empty(1),
+            Graph::complete(7),
+            Graph::from_edges(6, [(0, 3), (1, 4), (2, 5), (0, 5)]).unwrap(),
+            Graph::from_edges(9, (0..9).map(|i| (i, (i + 1) % 9))).unwrap(),
+        ];
+        for g in graphs {
+            let enc = g.to_graph6();
+            let dec = Graph::from_graph6(&enc).unwrap();
+            assert_eq!(dec, g, "round trip failed for {enc}");
+        }
+    }
+
+    #[test]
+    fn round_trip_extended_order() {
+        let mut g = Graph::empty(100);
+        g.add_edge(0, 99);
+        g.add_edge(50, 51);
+        let enc = g.to_graph6();
+        assert_eq!(enc.as_bytes()[0], 126);
+        let dec = Graph::from_graph6(&enc).unwrap();
+        assert_eq!(dec, g);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Graph::from_graph6("").is_err());
+        assert!(Graph::from_graph6("C").is_err()); // truncated payload for n=4
+        assert!(Graph::from_graph6("\x1f").is_err()); // out of range byte
+    }
+
+    #[test]
+    fn trailing_newline_tolerated() {
+        let g = Graph::from_graph6("Bw\n").unwrap();
+        assert_eq!(g, Graph::complete(3));
+    }
+}

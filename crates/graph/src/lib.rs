@@ -1,0 +1,47 @@
+//! Undirected-graph substrate for the bilateral network-formation
+//! reproduction (Corbo & Parkes, PODC 2005).
+//!
+//! This crate is deliberately self-contained (no external graph library):
+//! the equilibrium analysis in `bnf-core` needs to evaluate shortest-path
+//! sums under millions of single-edge mutations and to deduplicate
+//! exhaustively enumerated topologies up to isomorphism, so the
+//! representation (bitset adjacency rows) and the algorithms
+//! (word-parallel BFS, individualization–refinement canonical labelling)
+//! are tailored to those access patterns.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use bnf_graph::Graph;
+//!
+//! // Build the 4-cycle and inspect it.
+//! let c4 = Graph::from_edges(4, (0..4).map(|i| (i, (i + 1) % 4)))?;
+//! assert!(c4.is_connected());
+//! assert_eq!(c4.diameter(), Some(2));
+//! assert_eq!(c4.girth(), Some(4));
+//! assert_eq!(c4.total_distance(), Some(16));
+//!
+//! // Isomorphism-invariant canonical key.
+//! let relabelled = c4.relabel(&[2, 0, 3, 1]);
+//! assert_eq!(relabelled.canonical_key(), c4.canonical_key());
+//! # Ok::<(), bnf_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bfs;
+mod bitset;
+mod canon;
+mod connectivity;
+mod error;
+mod graph;
+mod graph6;
+mod props;
+
+pub use bfs::{BfsScratch, DistanceMatrix, DistanceSum, UNREACHABLE};
+pub use bitset::VertexSet;
+pub use canon::CanonKey;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use props::{cage_bound, moore_bound, SrgParams};

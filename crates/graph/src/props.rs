@@ -1,0 +1,352 @@
+//! Structural graph properties: connectivity, diameter, girth, regularity,
+//! strong regularity, bipartiteness, tree tests.
+//!
+//! These feed directly into the paper's characterizations: pairwise-stable
+//! graphs must be connected (Section 4), the Figure 1 gallery is certified
+//! by strong-regularity and cage parameters, and the Moore-bound argument
+//! of Proposition 3 is phrased in terms of degree, girth and diameter.
+
+use crate::bfs::{BfsScratch, UNREACHABLE};
+use crate::graph::Graph;
+
+/// Parameters `(n, k, λ, μ)` of a strongly regular graph: `k`-regular on
+/// `n` vertices, adjacent pairs share `λ` common neighbours, non-adjacent
+/// pairs share `μ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrgParams {
+    /// Number of vertices.
+    pub n: usize,
+    /// Common degree.
+    pub k: usize,
+    /// Common neighbours of adjacent pairs.
+    pub lambda: usize,
+    /// Common neighbours of non-adjacent pairs.
+    pub mu: usize,
+}
+
+impl Graph {
+    /// Whether every vertex can reach every other (vacuously true for
+    /// `order <= 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.order() <= 1 {
+            return true;
+        }
+        self.distance_sum(0).reached == self.order()
+    }
+
+    /// Eccentricity of `v`: greatest distance from `v`, or `None` if some
+    /// vertex is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn eccentricity(&self, v: usize) -> Option<u32> {
+        let mut scratch = BfsScratch::new();
+        let mut ecc = 0;
+        let mut reached = 0usize;
+        self.bfs_levels(v, &mut scratch, |_, d| {
+            ecc = ecc.max(d);
+            reached += 1;
+        });
+        (reached == self.order()).then_some(ecc)
+    }
+
+    /// Diameter (greatest pairwise distance), or `None` when disconnected.
+    /// The diameter of a single vertex is 0.
+    pub fn diameter(&self) -> Option<u32> {
+        (0..self.order().max(1))
+            .map(|v| if self.order() == 0 { Some(0) } else { self.eccentricity(v) })
+            .try_fold(0u32, |acc, e| e.map(|e| acc.max(e)))
+    }
+
+    /// Radius (least eccentricity), or `None` when disconnected.
+    pub fn radius(&self) -> Option<u32> {
+        if self.order() == 0 {
+            return Some(0);
+        }
+        (0..self.order())
+            .map(|v| self.eccentricity(v))
+            .try_fold(u32::MAX, |acc, e| e.map(|e| acc.min(e)))
+            .map(|r| if r == u32::MAX { 0 } else { r })
+    }
+
+    /// Girth (length of a shortest cycle), or `None` for a forest.
+    ///
+    /// Runs one BFS per vertex, detecting the shortest cycle through each
+    /// root via cross and level edges.
+    pub fn girth(&self) -> Option<u32> {
+        let n = self.order();
+        let mut best: Option<u32> = None;
+        let mut dist = vec![UNREACHABLE; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut queue = Vec::with_capacity(n);
+        for root in 0..n {
+            dist.iter_mut().for_each(|d| *d = UNREACHABLE);
+            queue.clear();
+            dist[root] = 0;
+            parent[root] = usize::MAX;
+            queue.push(root);
+            let mut qi = 0;
+            while qi < queue.len() {
+                let u = queue[qi];
+                qi += 1;
+                if let Some(b) = best {
+                    // No shorter cycle through `root` can be found once
+                    // 2*dist(u) + 1 >= best.
+                    if 2 * dist[u] + 1 >= b {
+                        break;
+                    }
+                }
+                for v in self.neighbors(u) {
+                    if dist[v] == UNREACHABLE {
+                        dist[v] = dist[u] + 1;
+                        parent[v] = u;
+                        queue.push(v);
+                    } else if parent[u] != v {
+                        // Cycle through root of length dist[u] + dist[v] + 1.
+                        let len = dist[u] + dist[v] + 1;
+                        if best.is_none_or(|b| len < b) {
+                            best = Some(len);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// If the graph is regular, its common degree.
+    pub fn regular_degree(&self) -> Option<usize> {
+        if self.order() == 0 {
+            return Some(0);
+        }
+        let k = self.degree(0);
+        (1..self.order()).all(|v| self.degree(v) == k).then_some(k)
+    }
+
+    /// Strong-regularity test. Returns the parameters when the graph is a
+    /// strongly regular graph; by convention the complete and empty graphs
+    /// (which satisfy the equations vacuously) return `None`.
+    pub fn srg_params(&self) -> Option<SrgParams> {
+        let n = self.order();
+        let k = self.regular_degree()?;
+        if n < 3 || k == 0 || k == n - 1 {
+            return None;
+        }
+        let mut lambda: Option<usize> = None;
+        let mut mu: Option<usize> = None;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let c = self.common_neighbors(u, v);
+                let slot = if self.has_edge(u, v) { &mut lambda } else { &mut mu };
+                match slot {
+                    None => *slot = Some(c),
+                    Some(x) if *x == c => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+        Some(SrgParams { n, k, lambda: lambda?, mu: mu? })
+    }
+
+    /// Whether the graph is a tree (connected, `m = n - 1`).
+    pub fn is_tree(&self) -> bool {
+        self.order() >= 1 && self.is_connected() && self.edge_count() == self.order() - 1
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_forest(&self) -> bool {
+        self.girth().is_none()
+    }
+
+    /// Whether the graph is bipartite (2-colourable).
+    pub fn is_bipartite(&self) -> bool {
+        let n = self.order();
+        let mut color = vec![2u8; n];
+        for root in 0..n {
+            if color[root] != 2 {
+                continue;
+            }
+            color[root] = 0;
+            let mut queue = vec![root];
+            let mut qi = 0;
+            while qi < queue.len() {
+                let u = queue[qi];
+                qi += 1;
+                for v in self.neighbors(u) {
+                    if color[v] == 2 {
+                        color[v] = 1 - color[u];
+                        queue.push(v);
+                    } else if color[v] == color[u] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of triangles in the graph.
+    pub fn triangle_count(&self) -> usize {
+        let mut t = 0usize;
+        for (u, v) in self.edges() {
+            // Count common neighbours above v to count each triangle once.
+            t += self
+                .neighbors(u)
+                .filter(|&w| w > v && self.has_edge(v, w))
+                .count();
+        }
+        t
+    }
+}
+
+/// The Moore bound: the maximum order of a `k`-regular graph with diameter
+/// `d` is `1 + k * ((k-1)^d - 1) / (k - 2)` for `k > 2` (and `2d + 1` for
+/// `k = 2`). Graphs meeting it are Moore graphs (Petersen,
+/// Hoffman–Singleton); Proposition 3 builds its lower bound from regular
+/// graphs within a constant factor of this bound.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn moore_bound(k: usize, d: u32) -> u64 {
+    assert!(k >= 2, "moore bound needs degree >= 2");
+    if k == 2 {
+        return 2 * u64::from(d) + 1;
+    }
+    let mut sum = 1u64;
+    let mut pow = 1u64;
+    for _ in 0..d {
+        sum += (k as u64) * pow;
+        pow *= (k - 1) as u64;
+    }
+    sum
+}
+
+/// The Moore (lower) bound on the order of a `k`-regular graph of girth
+/// `g` — the defining bound for `(k, g)`-cages.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `g < 3`.
+pub fn cage_bound(k: usize, g: u32) -> u64 {
+    assert!(k >= 2 && g >= 3, "cage bound needs degree >= 2 and girth >= 3");
+    let k = k as u64;
+    if g % 2 == 1 {
+        // 1 + k * sum_{i=0}^{(g-3)/2} (k-1)^i
+        let mut sum = 1u64;
+        let mut pow = 1u64;
+        for _ in 0..(g - 1) / 2 {
+            sum += k * pow;
+            pow *= k - 1;
+        }
+        sum
+    } else {
+        // 2 * sum_{i=0}^{g/2 - 1} (k-1)^i
+        let mut sum = 0u64;
+        let mut pow = 1u64;
+        for _ in 0..g / 2 {
+            sum += pow;
+            pow *= k - 1;
+        }
+        2 * sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn connectivity_basics() {
+        assert!(Graph::empty(1).is_connected());
+        assert!(Graph::empty(0).is_connected());
+        assert!(!Graph::empty(2).is_connected());
+        assert!(cycle(5).is_connected());
+    }
+
+    #[test]
+    fn diameter_radius() {
+        let p4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(p4.diameter(), Some(3));
+        assert_eq!(p4.radius(), Some(2));
+        assert_eq!(cycle(6).diameter(), Some(3));
+        assert_eq!(cycle(6).radius(), Some(3));
+        assert_eq!(Graph::empty(2).diameter(), None);
+        assert_eq!(Graph::empty(1).diameter(), Some(0));
+    }
+
+    #[test]
+    fn girth_detects_shortest_cycle() {
+        assert_eq!(cycle(5).girth(), Some(5));
+        assert_eq!(cycle(12).girth(), Some(12));
+        assert_eq!(Graph::complete(4).girth(), Some(3));
+        // A 4-cycle with a pendant path.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5)]).unwrap();
+        assert_eq!(g.girth(), Some(4));
+        // Trees and forests have no girth.
+        let t = Graph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(t.girth(), None);
+        assert!(t.is_forest());
+        assert!(!cycle(3).is_forest());
+    }
+
+    #[test]
+    fn regularity() {
+        assert_eq!(cycle(7).regular_degree(), Some(2));
+        assert_eq!(Graph::complete(5).regular_degree(), Some(4));
+        let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(star.regular_degree(), None);
+    }
+
+    #[test]
+    fn srg_cycle5_and_excluded_cases() {
+        // C5 is SRG(5, 2, 0, 1).
+        assert_eq!(
+            cycle(5).srg_params(),
+            Some(SrgParams { n: 5, k: 2, lambda: 0, mu: 1 })
+        );
+        // Complete and empty graphs are excluded by convention.
+        assert_eq!(Graph::complete(5).srg_params(), None);
+        assert_eq!(Graph::empty(5).srg_params(), None);
+        // C6 is regular but not strongly regular.
+        assert_eq!(cycle(6).srg_params(), None);
+    }
+
+    #[test]
+    fn tree_and_bipartite() {
+        let t = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]).unwrap();
+        assert!(t.is_tree());
+        assert!(t.is_bipartite());
+        assert!(!cycle(5).is_bipartite());
+        assert!(cycle(6).is_bipartite());
+        assert!(!cycle(4).is_tree());
+        assert!(!Graph::empty(3).is_tree());
+    }
+
+    #[test]
+    fn triangles() {
+        assert_eq!(Graph::complete(4).triangle_count(), 4);
+        assert_eq!(cycle(5).triangle_count(), 0);
+        assert_eq!(cycle(3).triangle_count(), 1);
+    }
+
+    #[test]
+    fn moore_and_cage_bounds() {
+        // Petersen: 3-regular, diameter 2 -> Moore bound 10 (attained).
+        assert_eq!(moore_bound(3, 2), 10);
+        // Hoffman–Singleton: 7-regular, diameter 2 -> 50 (attained).
+        assert_eq!(moore_bound(7, 2), 50);
+        // (3,5)-cage bound = 10 (Petersen), (3,6) = 14 (Heawood),
+        // (3,7) = 22 (McGee has 24 — not a Moore cage), (3,8) = 30.
+        assert_eq!(cage_bound(3, 5), 10);
+        assert_eq!(cage_bound(3, 6), 14);
+        assert_eq!(cage_bound(3, 7), 22);
+        assert_eq!(cage_bound(3, 8), 30);
+        assert_eq!(moore_bound(2, 3), 7); // C7
+    }
+}

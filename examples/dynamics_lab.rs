@@ -1,0 +1,67 @@
+//! Equilibrium selection via dynamics: which stable networks does myopic
+//! decentralized play actually reach? Runs pairwise dynamics (BCG) and
+//! exact best-response dynamics (UCG) from empty and random seeds.
+//!
+//! Run with: cargo run --release --example dynamics_lab
+
+use bilateral_formation::dynamics::{run_best_response_dynamics, run_pairwise_dynamics};
+use bilateral_formation::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn main() {
+    let n = 7;
+    let trials = 200;
+    for alpha in [Ratio::new(1, 2), Ratio::new(3, 2), Ratio::from(3), Ratio::from(8)] {
+        println!("== alpha = {alpha} ==");
+        // BCG pairwise dynamics from the empty network.
+        let mut outcomes: HashMap<String, usize> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(2005);
+        for _ in 0..trials {
+            let r = run_pairwise_dynamics(&Graph::empty(n), alpha, &mut rng, 100_000);
+            assert!(r.converged);
+            assert!(is_pairwise_stable(&r.graph, alpha));
+            let key = r.graph.canonical_form().to_graph6();
+            *outcomes.entry(key).or_default() += 1;
+        }
+        let mut sorted: Vec<_> = outcomes.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        println!("  BCG pairwise dynamics from empty ({trials} runs):");
+        for (g6, count) in sorted.iter().take(4) {
+            let g = Graph::from_graph6(g6).expect("round trip");
+            println!(
+                "    {:>4}x m={:<2} PoA={:.4} [{g6}]",
+                count,
+                g.edge_count(),
+                price_of_anarchy(&g, GameKind::Bilateral, alpha)
+            );
+        }
+        if sorted.len() > 4 {
+            println!("    ... and {} more distinct stable topologies", sorted.len() - 4);
+        }
+
+        // UCG best-response dynamics from the empty profile.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ucg_outcomes: HashMap<String, usize> = HashMap::new();
+        for _ in 0..trials {
+            let r = run_best_response_dynamics(&StrategyProfile::new(n), alpha, &mut rng, 500);
+            assert!(r.converged);
+            let key = r.graph.canonical_form().to_graph6();
+            *ucg_outcomes.entry(key).or_default() += 1;
+        }
+        let mut sorted: Vec<_> = ucg_outcomes.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        println!("  UCG best-response dynamics from empty ({trials} runs):");
+        for (g6, count) in sorted.iter().take(4) {
+            let g = Graph::from_graph6(g6).expect("round trip");
+            println!(
+                "    {:>4}x m={:<2} PoA={:.4} [{g6}]",
+                count,
+                g.edge_count(),
+                price_of_anarchy(&g, GameKind::Unilateral, alpha)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a network, ask the paper's questions about it.
+//!
+//! Run with: cargo run --release --example quickstart
+
+use bilateral_formation::prelude::*;
+
+fn main() {
+    // Six agents form a ring network.
+    let ring = bilateral_formation::atlas::cycle(6);
+    println!("network: {ring:?}");
+
+    // 1. When is the ring pairwise stable in the bilateral game?
+    let window = stability_window(&ring).expect("stable for some link cost");
+    println!("BCG pairwise-stability window: {window}");
+
+    // 2. How inefficient is it at a stable link cost?
+    let alpha = Ratio::from(4);
+    assert!(window.contains(alpha));
+    let rho = price_of_anarchy(&ring, GameKind::Bilateral, alpha);
+    println!("price of anarchy at alpha = {alpha}: {rho:.4}");
+
+    // 3. What does the efficient network look like there?
+    let optimal = efficient_graph(GameKind::Bilateral, 6, alpha);
+    println!(
+        "efficient graph at alpha = {alpha}: {optimal:?} (social cost {})",
+        optimal_social_cost(GameKind::Bilateral, 6, alpha)
+    );
+
+    // 4. Could selfish unilateral agents sustain the ring instead?
+    let ucg = UcgAnalyzer::new(&ring);
+    println!(
+        "UCG Nash-supportable anywhere? {} (footnote 5 of the paper: no, for n = 6)",
+        !ucg.support_intervals().is_empty()
+    );
+
+    // 5. Equilibrium concepts agree (Proposition 1).
+    assert_eq!(
+        is_pairwise_stable(&ring, alpha),
+        is_pairwise_nash(&ring, alpha)
+    );
+    println!("pairwise stable == pairwise Nash at alpha = {alpha} (Proposition 1)");
+}

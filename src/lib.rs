@@ -1,0 +1,47 @@
+//! Façade crate for the bilateral network-formation reproduction
+//! (Corbo & Parkes, PODC 2005).
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! depend on one name. See the individual crates for the substance:
+//!
+//! * [`graph`] — graph substrate (BFS, canonical labelling, properties)
+//! * [`atlas`] — named graphs and families (Figure 1 gallery, cages)
+//! * [`enumerate`] — exhaustive non-isomorphic enumeration
+//! * [`games`] — the UCG/BCG model: strategies, costs, efficiency, PoA
+//! * [`core`] — equilibrium analysis (stability windows, pairwise Nash,
+//!   link convexity, the UCG Nash solver)
+//! * [`dynamics`] — myopic pairwise and best-response dynamics
+//! * [`empirics`] — the figure-regenerating sweep harness
+//!
+//! # Examples
+//!
+//! ```
+//! use bilateral_formation::prelude::*;
+//!
+//! let c6 = bilateral_formation::atlas::cycle(6);
+//! let window = stability_window(&c6).expect("C6 is stable somewhere");
+//! assert!(window.contains(Ratio::from(4)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bnf_atlas as atlas;
+pub use bnf_core as core;
+pub use bnf_dynamics as dynamics;
+pub use bnf_empirics as empirics;
+pub use bnf_enumerate as enumerate;
+pub use bnf_games as games;
+pub use bnf_graph as graph;
+
+/// The most commonly used items, for glob import in examples.
+pub mod prelude {
+    pub use bnf_core::{
+        is_link_convex, is_pairwise_nash, is_pairwise_stable, stability_window, DeltaCalc,
+        DistanceDelta, StabilityWindow, Threshold, UcgAnalyzer,
+    };
+    pub use bnf_games::{
+        efficient_graph, optimal_social_cost, price_of_anarchy, social_cost, GameKind, Ratio,
+        StrategyProfile,
+    };
+    pub use bnf_graph::Graph;
+}

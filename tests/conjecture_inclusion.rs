@@ -1,0 +1,85 @@
+//! The Section 4.3 conjecture — "all Nash graphs of the UCG are pairwise
+//! stable in the BCG for the same link cost" — tested exhaustively. The
+//! reproduction's finding: it holds for every topology on n ≤ 5 at
+//! generic (non-threshold) link costs, but the theta graph refutes it on
+//! a whole interval from n = 6 (the revised paper restates Prop 5 for
+//! trees precisely because non-owners cannot veto in the UCG).
+
+use bilateral_formation::core::{
+    conjecture_counterexample, is_pairwise_stable, stability_window, ucg_necessary_window,
+    UcgAnalyzer,
+};
+use bilateral_formation::enumerate::connected_graphs;
+use bilateral_formation::prelude::Ratio;
+
+/// Link costs that avoid every integer/half-integer threshold a graph on
+/// ≤ 8 vertices can produce from single-link moves.
+fn generic_alphas() -> Vec<Ratio> {
+    (1..30).map(|k| Ratio::new(2 * k + 1, 7)).collect()
+}
+
+#[test]
+fn conjecture_holds_generically_up_to_n5() {
+    for n in 2..=5 {
+        for g in connected_graphs(n) {
+            if ucg_necessary_window(&g).is_none() {
+                continue;
+            }
+            let ucg = UcgAnalyzer::new(&g);
+            for &alpha in &generic_alphas() {
+                if ucg.is_nash_supportable(alpha) {
+                    assert!(
+                        is_pairwise_stable(&g, alpha),
+                        "conjecture violated at n={n}, alpha={alpha}: {g:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conjecture_fails_from_n6() {
+    let (theta, alpha) = conjecture_counterexample();
+    let ucg = UcgAnalyzer::new(&theta);
+    assert!(ucg.is_nash_supportable(alpha));
+    assert!(!is_pairwise_stable(&theta, alpha));
+    // And the violation is an interval, not a knife edge: any α in
+    // (2, 3] works.
+    for &(p, q) in &[(21i64, 10i64), (12, 5), (13, 5), (29, 10), (3, 1)] {
+        let a = Ratio::new(p, q);
+        assert!(ucg.is_nash_supportable(a), "alpha={a}");
+        assert!(!is_pairwise_stable(&theta, a), "alpha={a}");
+    }
+}
+
+#[test]
+fn violations_at_n6_all_share_the_nonowner_mechanism() {
+    // Every generic-α violation at n = 6 must come from the deletion
+    // side: the BCG blocks on a non-edge only if the UCG would too
+    // (max ≥ min of the endpoint benefits), so a UCG-Nash graph can only
+    // fail BCG stability because some endpoint wants to *sever*.
+    for g in connected_graphs(6) {
+        if ucg_necessary_window(&g).is_none() {
+            continue;
+        }
+        let ucg = UcgAnalyzer::new(&g);
+        for &alpha in &generic_alphas() {
+            if !ucg.is_nash_supportable(alpha) || is_pairwise_stable(&g, alpha) {
+                continue;
+            }
+            // The addition side must be clean: α above the BCG lower
+            // bound...
+            let w = stability_window(&g).expect("connected");
+            assert!(
+                w.lower.admits(alpha),
+                "violation must not come from additions: {g:?} at {alpha}"
+            );
+            // ...so the failure is the deletion side (α above α_max).
+            assert!(
+                !w.upper.admits(alpha),
+                "violation must come from severance: {g:?} at {alpha}"
+            );
+        }
+    }
+}

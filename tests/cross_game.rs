@@ -1,0 +1,60 @@
+//! The structural UCG-vs-BCG contrast the paper's Section 4.4 discussion
+//! rests on, made exact: per missing link the UCG requires
+//! `α ≥ max(Δ_u, Δ_v)` (each endpoint acts alone) while the BCG blocks
+//! only up to `min(Δ_u, Δ_v)` (consent) — so the UCG necessary lower
+//! bound always dominates the BCG window's lower end, and the UCG's
+//! necessary upper bound dominates the BCG's (only the owner can sever).
+
+use bilateral_formation::core::{
+    stability_window, ucg_necessary_window, Threshold, UcgAnalyzer,
+};
+use bilateral_formation::enumerate::connected_graphs;
+
+#[test]
+fn ucg_lower_dominates_bcg_lower_exhaustive() {
+    for n in 3..=7 {
+        for g in connected_graphs(n) {
+            let Some(nec) = ucg_necessary_window(&g) else { continue };
+            let Some(w) = stability_window(&g) else { continue };
+            assert!(
+                nec.lo >= w.lower.value,
+                "UCG lower must dominate BCG lower on {g:?}: {} vs {}",
+                nec.lo,
+                w.lower.value
+            );
+            // Deletion side: the UCG cap is min over edges of the MAX
+            // endpoint delta; the BCG cap is min over edges of the MIN —
+            // so UCG's cap is at least BCG's.
+            match (nec.hi, w.upper) {
+                (Threshold::Finite(u), Threshold::Finite(b)) => {
+                    assert!(u >= b, "{g:?}: ucg cap {u} < bcg cap {b}")
+                }
+                (Threshold::Infinite, _) => {}
+                (Threshold::Finite(_), Threshold::Infinite) => {
+                    panic!("a bridge blocks BCG severance but not UCG? {g:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_ucg_support_within_necessary_window() {
+    for n in 3..=6 {
+        for g in connected_graphs(n) {
+            let Some(nec) = ucg_necessary_window(&g) else {
+                // No necessary window: the exact solver must agree.
+                continue;
+            };
+            let solver = UcgAnalyzer::new(&g);
+            for iv in solver.support_intervals() {
+                if iv.lo > bilateral_formation::prelude::Ratio::ZERO {
+                    assert!(nec.contains(iv.lo), "{g:?}");
+                }
+                if let Threshold::Finite(h) = iv.hi {
+                    assert!(nec.contains(h), "{g:?}");
+                }
+            }
+        }
+    }
+}

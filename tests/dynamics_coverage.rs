@@ -1,0 +1,66 @@
+//! Cross-validation of the dynamic and static views: every fixed point
+//! of myopic pairwise dynamics must appear in the exhaustively
+//! enumerated stable catalogue (up to isomorphism), and for a link cost
+//! with a unique stable graph the dynamics must find exactly it.
+
+use bilateral_formation::dynamics::{run_best_response_dynamics, run_pairwise_dynamics};
+use bilateral_formation::empirics::stable_catalog;
+use bilateral_formation::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+#[test]
+fn pairwise_dynamics_fixed_points_are_in_the_catalog() {
+    let n = 6;
+    for &(p, q) in &[(3i64, 2i64), (3, 1), (8, 1)] {
+        let alpha = Ratio::new(p, q);
+        let catalog: HashSet<_> = stable_catalog(n, alpha)
+            .iter()
+            .map(|g| g.canonical_key())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut reached = HashSet::new();
+        for _ in 0..120 {
+            let r = run_pairwise_dynamics(&Graph::empty(n), alpha, &mut rng, 100_000);
+            assert!(r.converged);
+            let key = r.graph.canonical_key();
+            assert!(
+                catalog.contains(&key),
+                "dynamics reached a graph outside the stable catalogue at alpha={alpha}: {:?}",
+                r.graph
+            );
+            reached.insert(key);
+        }
+        assert!(!reached.is_empty());
+    }
+}
+
+#[test]
+fn unique_catalog_entry_below_one_is_always_found() {
+    let alpha = Ratio::new(1, 2);
+    let catalog = stable_catalog(5, alpha);
+    assert_eq!(catalog.len(), 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let r = run_pairwise_dynamics(&Graph::empty(5), alpha, &mut rng, 100_000);
+    assert!(r.graph.is_isomorphic(&catalog[0]));
+}
+
+#[test]
+fn best_response_fixed_points_are_ucg_nash_graphs() {
+    // UCG dynamics land on Nash profiles; the realised graph must be
+    // Nash-supportable (witnessed by the profile itself).
+    let n = 6;
+    let mut rng = StdRng::seed_from_u64(23);
+    for &a in &[2i64, 5] {
+        let alpha = Ratio::from(a);
+        let r = run_best_response_dynamics(&StrategyProfile::new(n), alpha, &mut rng, 400);
+        assert!(r.converged);
+        let solver = UcgAnalyzer::new(&r.graph);
+        assert!(
+            solver.is_nash_supportable(alpha),
+            "BR dynamics fixed point not Nash-supportable at alpha={alpha}: {:?}",
+            r.graph
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Lemmas 4 and 5, exhaustively: the efficient graph is the complete
+//! graph for α < 1 and the star for α > 1 (both games, with the UCG
+//! crossover at α = 2), uniqueness of the minimizer, and the stable-set
+//! side of both lemmas (K_n uniquely stable below 1; the star stable but
+//! not unique above 1).
+
+use bilateral_formation::enumerate::connected_graphs;
+use bilateral_formation::games::{
+    optimal_social_cost, CostSummary, GameKind, Ratio,
+};
+use bilateral_formation::core::stability_window;
+use bilateral_formation::graph::Graph;
+
+fn is_star(g: &Graph) -> bool {
+    let n = g.order();
+    g.is_tree() && (0..n).any(|v| g.degree(v) == n - 1)
+}
+
+fn is_complete(g: &Graph) -> bool {
+    g.edge_count() == g.order() * (g.order() - 1) / 2
+}
+
+#[test]
+fn efficient_graph_brute_force_both_games() {
+    for n in 4..=6 {
+        let graphs = connected_graphs(n);
+        for kind in [GameKind::Bilateral, GameKind::Unilateral] {
+            for &(p, q) in
+                &[(1i64, 4i64), (1, 2), (3, 4), (1, 1), (3, 2), (2, 1), (3, 1), (5, 1), (9, 1)]
+            {
+                let alpha = Ratio::new(p, q);
+                let costs: Vec<Ratio> = graphs
+                    .iter()
+                    .map(|g| {
+                        CostSummary::of(g, kind).social_cost_exact(alpha).expect("connected")
+                    })
+                    .collect();
+                let min = costs.iter().copied().min().expect("nonempty");
+                assert_eq!(
+                    min,
+                    optimal_social_cost(kind, n, alpha),
+                    "optimum formula wrong at n={n} kind={kind:?} alpha={alpha}"
+                );
+                let minimizers: Vec<&Graph> = graphs
+                    .iter()
+                    .zip(&costs)
+                    .filter(|&(_, c)| *c == min)
+                    .map(|(g, _)| g)
+                    .collect();
+                let crossover = bilateral_formation::games::efficiency_crossover(kind);
+                if alpha < crossover {
+                    assert_eq!(minimizers.len(), 1, "unique below crossover");
+                    assert!(is_complete(minimizers[0]));
+                } else if alpha > crossover {
+                    assert_eq!(minimizers.len(), 1, "unique above crossover");
+                    assert!(is_star(minimizers[0]));
+                } else {
+                    // At the crossover the bound (5) is met by EVERY
+                    // graph of diameter ≤ 2: the minimizer set is exactly
+                    // those (star and complete among them).
+                    let diam2: usize = graphs
+                        .iter()
+                        .filter(|g| g.diameter().is_some_and(|d| d <= 2))
+                        .count();
+                    assert_eq!(minimizers.len(), diam2);
+                    assert!(minimizers.iter().all(|g| g.diameter().is_some_and(|d| d <= 2)));
+                    assert!(minimizers.iter().any(|g| is_star(g)));
+                    assert!(minimizers.iter().any(|g| is_complete(g)));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma4_unique_stable_graph_below_one() {
+    for n in 3..=7 {
+        for &(p, q) in &[(1i64, 4i64), (1, 2), (3, 4), (9, 10)] {
+            let alpha = Ratio::new(p, q);
+            let stable: Vec<Graph> = connected_graphs(n)
+                .into_iter()
+                .filter(|g| stability_window(g).is_some_and(|w| w.contains(alpha)))
+                .collect();
+            assert_eq!(stable.len(), 1, "n={n} alpha={alpha}");
+            assert!(is_complete(&stable[0]));
+        }
+    }
+}
+
+#[test]
+fn lemma5_star_stable_but_not_unique_above_one() {
+    for n in 5..=7 {
+        for &a in &[2i64, 3, 5] {
+            let alpha = Ratio::from(a);
+            let stable: Vec<Graph> = connected_graphs(n)
+                .into_iter()
+                .filter(|g| stability_window(g).is_some_and(|w| w.contains(alpha)))
+                .collect();
+            assert!(
+                stable.iter().any(is_star),
+                "the efficient star must be stable at n={n} alpha={alpha}"
+            );
+            assert!(
+                stable.len() > 1,
+                "stability is not unique above alpha=1 at n={n} alpha={alpha}"
+            );
+        }
+    }
+}

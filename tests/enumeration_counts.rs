@@ -1,0 +1,44 @@
+//! Enumeration cross-checks against OEIS: A000088 (graphs), A001349
+//! (connected graphs), A000055 (free trees) — a stringent end-to-end test
+//! of canonical labelling.
+
+use bilateral_formation::enumerate::{
+    all_graphs, connected_graphs, free_trees, CONNECTED_GRAPH_COUNTS, FREE_TREE_COUNTS,
+    GRAPH_COUNTS,
+};
+
+#[test]
+fn graph_counts_to_n8() {
+    for n in 0..=8 {
+        assert_eq!(all_graphs(n).len() as u64, GRAPH_COUNTS[n], "n={n}");
+    }
+}
+
+#[test]
+fn connected_counts_to_n8() {
+    for n in 0..=8 {
+        assert_eq!(
+            connected_graphs(n).len() as u64,
+            CONNECTED_GRAPH_COUNTS[n],
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn tree_counts_to_n10() {
+    for n in 0..=10 {
+        assert_eq!(free_trees(n).len() as u64, FREE_TREE_COUNTS[n], "n={n}");
+    }
+}
+
+#[test]
+fn connected_plus_rest_is_consistent() {
+    // Every connected graph appears among all graphs with the same
+    // canonical key.
+    use std::collections::HashSet;
+    let all: HashSet<_> = all_graphs(6).iter().map(|g| g.canonical_key()).collect();
+    for g in connected_graphs(6) {
+        assert!(all.contains(&g.canonical_key()));
+    }
+}

@@ -1,0 +1,64 @@
+//! Proposition 1, exhaustively: a graph is pairwise stable in the BCG iff
+//! it is a pairwise Nash network — verified over every connected topology
+//! on up to 6 vertices with two *independent* implementations (the
+//! window-based test and the definition-based strategy test), across a
+//! grid of integer, half-integer and third-integer link costs.
+
+use bilateral_formation::core::{is_pairwise_nash, is_pairwise_stable, stability_window};
+use bilateral_formation::enumerate::connected_graphs;
+use bilateral_formation::prelude::Ratio;
+
+fn alpha_grid() -> Vec<Ratio> {
+    let mut grid = Vec::new();
+    for num in 1..=20i64 {
+        grid.push(Ratio::new(num, 2));
+    }
+    for num in [1i64, 2, 4, 5, 7, 8, 10, 11, 13, 16, 20, 25] {
+        grid.push(Ratio::new(num, 3));
+    }
+    grid
+}
+
+#[test]
+fn pairwise_stable_iff_pairwise_nash_exhaustive() {
+    for n in 2..=6 {
+        for g in connected_graphs(n) {
+            for &alpha in &alpha_grid() {
+                assert_eq!(
+                    is_pairwise_stable(&g, alpha),
+                    is_pairwise_nash(&g, alpha),
+                    "Proposition 1 violated on {g:?} at alpha={alpha}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn window_agrees_with_direct_definition_exhaustive() {
+    // The Lemma 2 interval computation and the literal Definition 3 check
+    // are independent code paths; they must agree everywhere, including
+    // at exact threshold values.
+    for n in 2..=6 {
+        for g in connected_graphs(n) {
+            let window = stability_window(&g);
+            for &alpha in &alpha_grid() {
+                let direct = is_pairwise_stable(&g, alpha);
+                let via_window = window.is_some_and(|w| w.contains(alpha));
+                assert_eq!(direct, via_window, "{g:?} at alpha={alpha}");
+            }
+        }
+    }
+}
+
+#[test]
+fn disconnected_graphs_never_stable() {
+    use bilateral_formation::enumerate::all_graphs;
+    for g in all_graphs(5) {
+        if g.is_connected() {
+            continue;
+        }
+        assert_eq!(stability_window(&g), None, "{g:?}");
+        assert!(!is_pairwise_stable(&g, Ratio::from(2)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Proposition 5 (restated for trees in the revised paper): every tree
+//! that is Nash-supportable in the UCG at link cost α is pairwise stable
+//! in the BCG at the same α — verified over all free trees on up to 9
+//! vertices, across their entire exact UCG support sets.
+
+use bilateral_formation::core::{prop5_holds_for_tree, stability_window, Threshold, UcgAnalyzer};
+use bilateral_formation::enumerate::free_trees;
+use bilateral_formation::prelude::Ratio;
+
+#[test]
+fn prop5_all_trees_up_to_9() {
+    for n in 2..=9 {
+        for t in free_trees(n) {
+            assert!(prop5_holds_for_tree(&t), "Proposition 5 violated on {t:?}");
+        }
+    }
+}
+
+#[test]
+fn trees_have_unbounded_windows() {
+    // Severing any tree edge disconnects, so the BCG window never closes
+    // above, and the UCG support (when nonempty) extends to infinity.
+    for t in free_trees(8) {
+        let w = stability_window(&t).expect("trees are connected");
+        assert_eq!(w.upper, Threshold::Infinite, "{t:?}");
+        let ucg = UcgAnalyzer::new(&t);
+        if let Some(last) = ucg.support_intervals().last() {
+            assert_eq!(last.hi, Threshold::Infinite, "{t:?}");
+        }
+    }
+}
+
+#[test]
+fn star_windows_match_in_both_games() {
+    // The star: BCG stable for α ≥ 1 and UCG Nash for α ≥ 1 — the
+    // boundary case of Prop 5 where the windows coincide.
+    let star = bilateral_formation::atlas::star(7);
+    let bcg = stability_window(&star).unwrap();
+    assert!(bcg.contains(Ratio::ONE));
+    assert!(!bcg.contains(Ratio::new(99, 100)));
+    let ucg = UcgAnalyzer::new(&star);
+    let support = ucg.support_intervals();
+    assert_eq!(support.len(), 1);
+    assert_eq!(support[0].lo, Ratio::ONE);
+}

@@ -1,0 +1,61 @@
+//! Exact boundary semantics of the stability window — the places where
+//! the errata'd paper glosses `<` vs `≤` and this reproduction pins them
+//! down (DESIGN.md §6 ablation).
+
+use bilateral_formation::atlas::{cycle, star};
+use bilateral_formation::core::{is_pairwise_stable, stability_window, LowerBound, Threshold};
+use bilateral_formation::graph::Graph;
+use bilateral_formation::prelude::Ratio;
+
+#[test]
+fn alpha_one_is_stable_for_both_extremes() {
+    // At exactly α = 1 both the complete graph (upper boundary,
+    // inclusive) and the star (lower boundary with equal endpoint
+    // benefits, inclusive) are stable.
+    assert!(is_pairwise_stable(&Graph::complete(6), Ratio::ONE));
+    assert!(is_pairwise_stable(&star(6), Ratio::ONE));
+}
+
+#[test]
+fn equal_benefits_make_the_lower_end_inclusive() {
+    // C6's binding missing links are the three antipodal chords with
+    // benefits (2, 2): at α = 2 neither endpoint *strictly* gains, so the
+    // pair is not blocking and C6 is stable at its own α_min.
+    let w = stability_window(&cycle(6)).unwrap();
+    assert_eq!(w.lower, LowerBound { value: Ratio::from(2), inclusive: true });
+    assert!(is_pairwise_stable(&cycle(6), Ratio::from(2)));
+}
+
+#[test]
+fn unequal_benefits_make_the_lower_end_exclusive() {
+    // Spider: star with one subdivided leg. The missing link (0,4) has
+    // benefits (1, 3); at α = 1 player 4 strictly gains (3 > 1) and
+    // player 0 is indifferent (1 ≥ 1) — a blocking pair, so α = 1 is
+    // UNstable even though min(Δ) = 1.
+    let t = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+    assert!(!is_pairwise_stable(&t, Ratio::ONE));
+    let w = stability_window(&t).unwrap();
+    assert!(!w.contains(Ratio::ONE));
+}
+
+#[test]
+fn octahedron_point_window() {
+    // SRG with λ > 0, μ > 1: stable at exactly one link cost.
+    let oct = bilateral_formation::atlas::named::octahedron();
+    let w = stability_window(&oct).unwrap();
+    assert_eq!(w.lower, LowerBound { value: Ratio::ONE, inclusive: true });
+    assert_eq!(w.upper, Threshold::Finite(Ratio::ONE));
+    assert!(!w.is_empty());
+    assert!(is_pairwise_stable(&oct, Ratio::ONE));
+    assert!(!is_pairwise_stable(&oct, Ratio::new(101, 100)));
+    assert!(!is_pairwise_stable(&oct, Ratio::new(99, 100)));
+}
+
+#[test]
+fn upper_end_is_inclusive() {
+    // C6's window tops out at exactly n(n-2)/4 = 6: severing at α = 6 is
+    // cost-neutral (weakly unprofitable), so stability holds there and
+    // fails just above.
+    assert!(is_pairwise_stable(&cycle(6), Ratio::from(6)));
+    assert!(!is_pairwise_stable(&cycle(6), Ratio::new(121, 20)));
+}

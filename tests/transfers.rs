@@ -1,0 +1,73 @@
+//! The transfers extension, exhaustively: window/direct agreement, the
+//! relationship to the no-transfer window, and the measured do-little
+//! effect on the stable set at small n.
+
+use bilateral_formation::core::{
+    is_pairwise_stable, is_transfer_stable, stability_window, transfer_stability_window,
+    Threshold,
+};
+use bilateral_formation::enumerate::connected_graphs;
+use bilateral_formation::prelude::Ratio;
+
+fn alpha_grid() -> Vec<Ratio> {
+    (1..40).map(|k| Ratio::new(k, 3)).collect()
+}
+
+#[test]
+fn window_matches_direct_exhaustive() {
+    for n in 2..=6 {
+        for g in connected_graphs(n) {
+            let w = transfer_stability_window(&g);
+            for &alpha in &alpha_grid() {
+                assert_eq!(
+                    is_transfer_stable(&g, alpha),
+                    w.is_some_and(|w| w.contains(alpha)),
+                    "{g:?} at {alpha}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transfer_window_ends_dominate_plain_ends() {
+    // Per missing link (Δu + Δv)/2 ≥ min(Δu, Δv) and per edge likewise,
+    // so both ends of the transfer window sit at or above the plain
+    // window's ends.
+    for n in 3..=7 {
+        for g in connected_graphs(n) {
+            let Some(plain) = stability_window(&g) else { continue };
+            let Some(with) = transfer_stability_window(&g) else { continue };
+            assert!(with.lo >= plain.lower.value, "{g:?}");
+            match (with.hi, plain.upper) {
+                (Threshold::Finite(t), Threshold::Finite(p)) => {
+                    assert!(t >= p, "{g:?}: transfer cap {t} < plain cap {p}")
+                }
+                (Threshold::Infinite, _) => {}
+                (Threshold::Finite(_), Threshold::Infinite) => {
+                    panic!("transfers cannot make a bridge severable: {g:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetric_worst_cases_unchanged() {
+    // On every connected topology where all endpoint deltas are
+    // symmetric the two notions coincide; in particular the star and
+    // complete extremes (which pin the efficient frontier) are stable
+    // with transfers exactly where they were without.
+    let star = bilateral_formation::atlas::star(7);
+    let complete = bilateral_formation::graph::Graph::complete(7);
+    for &alpha in &alpha_grid() {
+        assert_eq!(
+            is_transfer_stable(&star, alpha),
+            is_pairwise_stable(&star, alpha)
+        );
+        assert_eq!(
+            is_transfer_stable(&complete, alpha),
+            is_pairwise_stable(&complete, alpha)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Footnote 5 of the paper: the cycle C_n for n > 5 is pairwise stable in
+//! the BCG for a quadratic window of link costs yet is *never*
+//! Nash-supportable in the UCG (a node prefers re-wiring its clockwise
+//! edge into a chord).
+
+use bilateral_formation::atlas::cycle;
+use bilateral_formation::core::{cycle_stability_window, UcgAnalyzer};
+
+#[test]
+fn long_cycles_never_ucg_nash() {
+    for n in 6..=9 {
+        let ucg = UcgAnalyzer::new(&cycle(n));
+        assert!(
+            ucg.support_intervals().is_empty(),
+            "C{n} should not be Nash-supportable in the UCG"
+        );
+    }
+}
+
+#[test]
+fn short_cycles_are_ucg_nash_somewhere() {
+    for n in 3..=5 {
+        let ucg = UcgAnalyzer::new(&cycle(n));
+        assert!(
+            !ucg.support_intervals().is_empty(),
+            "C{n} should be Nash-supportable for some alpha"
+        );
+    }
+}
+
+#[test]
+fn cycles_stable_in_bcg_nonempty_quadratic_windows() {
+    // Lemma 6 shape: windows grow quadratically with n.
+    let mut prev_top = bilateral_formation::prelude::Ratio::ZERO;
+    for n in 5..=12 {
+        let w = cycle_stability_window(n);
+        assert!(!w.is_empty(), "C{n}");
+        let top = match w.upper {
+            bilateral_formation::core::Threshold::Finite(t) => t,
+            bilateral_formation::core::Threshold::Infinite => unreachable!(),
+        };
+        assert!(top > prev_top, "windows grow with n");
+        prev_top = top;
+    }
+}
