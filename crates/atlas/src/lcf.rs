@@ -57,7 +57,9 @@ pub fn lcf(pattern: &[i64], repeats: usize) -> Graph {
 pub fn try_lcf(pattern: &[i64], repeats: usize) -> Result<Graph, GraphError> {
     let n = pattern.len() * repeats;
     if pattern.is_empty() || n < 3 {
-        return Err(GraphError::Graph6Parse { reason: "LCF pattern too small".into() });
+        return Err(GraphError::Graph6Parse {
+            reason: "LCF pattern too small".into(),
+        });
     }
     let ni = n as i64;
     for &c in pattern {

@@ -154,7 +154,12 @@ mod tests {
         assert_eq!(p.order() as u64, cage_bound(3, 5));
         assert_eq!(
             p.srg_params(),
-            Some(SrgParams { n: 10, k: 3, lambda: 0, mu: 1 })
+            Some(SrgParams {
+                n: 10,
+                k: 3,
+                lambda: 0,
+                mu: 1
+            })
         );
     }
 
@@ -170,7 +175,12 @@ mod tests {
     fn octahedron_srg() {
         assert_eq!(
             octahedron().srg_params(),
-            Some(SrgParams { n: 6, k: 4, lambda: 2, mu: 4 })
+            Some(SrgParams {
+                n: 6,
+                k: 4,
+                lambda: 2,
+                mu: 4
+            })
         );
     }
 
@@ -179,7 +189,12 @@ mod tests {
         let c = clebsch();
         assert_eq!(
             c.srg_params(),
-            Some(SrgParams { n: 16, k: 5, lambda: 0, mu: 2 })
+            Some(SrgParams {
+                n: 16,
+                k: 5,
+                lambda: 0,
+                mu: 2
+            })
         );
         assert_eq!(c.diameter(), Some(2));
         assert_eq!(c.girth(), Some(4));
@@ -196,7 +211,12 @@ mod tests {
         assert_eq!(hs.order() as u64, moore_bound(7, 2));
         assert_eq!(
             hs.srg_params(),
-            Some(SrgParams { n: 50, k: 7, lambda: 0, mu: 1 })
+            Some(SrgParams {
+                n: 50,
+                k: 7,
+                lambda: 0,
+                mu: 1
+            })
         );
     }
 
@@ -246,10 +266,16 @@ mod tests {
     #[test]
     fn mobius_kantor_and_nauru() {
         let mk = mobius_kantor();
-        assert_eq!((mk.order(), mk.girth(), mk.regular_degree()), (16, Some(6), Some(3)));
+        assert_eq!(
+            (mk.order(), mk.girth(), mk.regular_degree()),
+            (16, Some(6), Some(3))
+        );
         assert!(mk.is_bipartite());
         let na = nauru();
-        assert_eq!((na.order(), na.girth(), na.regular_degree()), (24, Some(6), Some(3)));
+        assert_eq!(
+            (na.order(), na.girth(), na.regular_degree()),
+            (24, Some(6), Some(3))
+        );
         assert!(!na.is_isomorphic(&mcgee()), "same order, different girth");
     }
 

@@ -69,7 +69,10 @@ pub fn prufer_to_tree(n: usize, seq: &[usize]) -> Graph {
     }
     let mut last: Vec<usize> = (0..n).filter(|&u| !used[u] && degree[u] == 1).collect();
     assert_eq!(last.len(), 2, "exactly two vertices remain");
-    g.add_edge(last.pop().expect("two remain"), last.pop().expect("one remains"));
+    g.add_edge(
+        last.pop().expect("two remain"),
+        last.pop().expect("one remains"),
+    );
     g
 }
 
@@ -101,7 +104,10 @@ pub fn random_connected<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph
 ///
 /// Panics if `n * k` is odd or `k >= n`.
 pub fn random_regular<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Graph {
-    assert!((n * k).is_multiple_of(2), "n*k must be even for a k-regular graph");
+    assert!(
+        (n * k).is_multiple_of(2),
+        "n*k must be even for a k-regular graph"
+    );
     assert!(k < n, "degree must be below order");
     if k == 0 {
         return Graph::empty(n);

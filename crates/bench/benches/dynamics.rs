@@ -18,8 +18,7 @@ fn bench_dynamics(c: &mut Criterion) {
         b.iter(|| {
             for seed in BENCH_SEEDS {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let r =
-                    run_pairwise_dynamics(&Graph::empty(8), Ratio::from(2), &mut rng, 100_000);
+                let r = run_pairwise_dynamics(&Graph::empty(8), Ratio::from(2), &mut rng, 100_000);
                 assert!(r.converged);
                 black_box(r);
             }

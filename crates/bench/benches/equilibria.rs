@@ -12,13 +12,29 @@ use bnf_graph::Graph;
 
 fn theta7() -> Graph {
     // A 7-vertex workhorse: two hubs joined by three paths.
-    Graph::from_edges(7, [(0, 5), (0, 6), (1, 5), (1, 6), (2, 3), (2, 6), (3, 4), (4, 5)])
-        .unwrap()
+    Graph::from_edges(
+        7,
+        [
+            (0, 5),
+            (0, 6),
+            (1, 5),
+            (1, 6),
+            (2, 3),
+            (2, 6),
+            (3, 4),
+            (4, 5),
+        ],
+    )
+    .unwrap()
 }
 
 fn bench_equilibria(c: &mut Criterion) {
     let mut group = c.benchmark_group("equilibria");
-    for (name, g) in [("petersen", petersen()), ("mcgee", mcgee()), ("clebsch", clebsch())] {
+    for (name, g) in [
+        ("petersen", petersen()),
+        ("mcgee", mcgee()),
+        ("clebsch", clebsch()),
+    ] {
         group.bench_function(format!("stability_window_{name}"), |b| {
             b.iter(|| black_box(stability_window(&g)))
         });
@@ -28,9 +44,9 @@ fn bench_equilibria(c: &mut Criterion) {
         b.iter(|| black_box(is_pairwise_nash(&t, Ratio::from(2))))
     });
     group.bench_function("ucg_analyzer_build_theta7", |b| {
-        b.iter(|| black_box(UcgAnalyzer::new(&t)))
+        b.iter(|| black_box(UcgAnalyzer::new(&t).unwrap()))
     });
-    let solver = UcgAnalyzer::new(&t);
+    let solver = UcgAnalyzer::new(&t).unwrap();
     group.bench_function("ucg_supportable_theta7", |b| {
         b.iter(|| black_box(solver.is_nash_supportable(Ratio::new(5, 2))))
     });

@@ -8,8 +8,12 @@ use bnf_empirics::lemma6_rows;
 
 fn bench_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("lemma6");
-    group.bench_function("rows_4_to_16", |b| b.iter(|| black_box(lemma6_rows(4..=16))));
-    group.bench_function("window_c24", |b| b.iter(|| black_box(cycle_stability_window(24))));
+    group.bench_function("rows_4_to_16", |b| {
+        b.iter(|| black_box(lemma6_rows(4..=16)))
+    });
+    group.bench_function("window_c24", |b| {
+        b.iter(|| black_box(cycle_stability_window(24)))
+    });
     group.finish();
 }
 

@@ -11,7 +11,9 @@ fn bench_bounds(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("prop3_series", |b| b.iter(|| black_box(prop3_series())));
     let sweep = SweepResult::run(&SweepConfig::standard(6));
-    group.bench_function("prop4_rows_n6", |b| b.iter(|| black_box(prop4_rows(&sweep))));
+    group.bench_function("prop4_rows_n6", |b| {
+        b.iter(|| black_box(prop4_rows(&sweep)))
+    });
     group.finish();
 }
 

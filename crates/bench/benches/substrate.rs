@@ -22,7 +22,22 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("canonical_key_petersen", |b| {
         b.iter(|| black_box(p.canonical_key()))
     });
-    let asym = Graph::from_edges(9, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (0, 4), (2, 7)]).unwrap();
+    let asym = Graph::from_edges(
+        9,
+        [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (0, 4),
+            (2, 7),
+        ],
+    )
+    .unwrap();
     group.bench_function("canonical_key_asymmetric9", |b| {
         b.iter(|| black_box(asym.canonical_key()))
     });

@@ -146,7 +146,10 @@ pub fn lemma2_window(g: &Graph) -> Option<StabilityWindow> {
         return None;
     }
     let w = stability_window(g).expect("link-convex graphs are connected");
-    debug_assert!(!w.is_empty(), "Lemma 2: link convexity implies a nonempty window");
+    debug_assert!(
+        !w.is_empty(),
+        "Lemma 2: link convexity implies a nonempty window"
+    );
     Some(w)
 }
 
@@ -165,8 +168,7 @@ mod tests {
             cycle(7),
             Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap(),
             Graph::from_edges(7, [(0, 1), (0, 2), (0, 3), (3, 4), (3, 5), (5, 6)]).unwrap(),
-            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
-                .unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap(),
         ];
         for g in &graphs {
             assert!(cost_convex(g), "Lemma 1 violated on {g:?}");

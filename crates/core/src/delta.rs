@@ -62,12 +62,28 @@ pub struct DeltaCalc<'g> {
 impl<'g> DeltaCalc<'g> {
     /// Prepares a calculator for `g` (computes all base distance sums).
     pub fn new(g: &'g Graph) -> Self {
-        let mut scratch = BfsScratch::new();
+        Self::with_scratch(g, BfsScratch::new())
+    }
+
+    /// Prepares a calculator reusing an existing BFS scratch — the
+    /// allocation-free form for workers that classify many graphs (take
+    /// the scratch back with [`DeltaCalc::into_scratch`]).
+    pub fn with_scratch(g: &'g Graph, mut scratch: BfsScratch) -> Self {
         let n = g.order();
         let base = (0..n)
             .map(|v| g.distance_sum_with(v, &mut scratch).finite_total(n))
             .collect();
-        DeltaCalc { g, scratch, work: g.clone(), base }
+        DeltaCalc {
+            g,
+            scratch,
+            work: g.clone(),
+            base,
+        }
+    }
+
+    /// Recovers the scratch buffers for reuse on the next graph.
+    pub fn into_scratch(self) -> BfsScratch {
+        self.scratch
     }
 
     /// The base distance sum of `i` (`None` when `g` is disconnected).
@@ -87,7 +103,10 @@ impl<'g> DeltaCalc<'g> {
     ///
     /// Panics if `(i, j)` is not an edge of the graph.
     pub fn drop_delta(&mut self, i: usize, j: usize) -> DistanceDelta {
-        assert!(self.g.has_edge(i, j), "drop_delta requires an existing edge ({i},{j})");
+        assert!(
+            self.g.has_edge(i, j),
+            "drop_delta requires an existing edge ({i},{j})"
+        );
         let n = self.g.order();
         self.work.remove_edge(i, j);
         let after = self.work.distance_sum_with(i, &mut self.scratch);
@@ -112,7 +131,10 @@ impl<'g> DeltaCalc<'g> {
     ///
     /// Panics if `(i, j)` is an edge of the graph or `i == j`.
     pub fn add_delta(&mut self, i: usize, j: usize) -> DistanceDelta {
-        assert!(!self.g.has_edge(i, j), "add_delta requires a missing edge ({i},{j})");
+        assert!(
+            !self.g.has_edge(i, j),
+            "add_delta requires a missing edge ({i},{j})"
+        );
         let n = self.g.order();
         self.work.add_edge(i, j);
         let after = self.work.distance_sum_with(i, &mut self.scratch);
@@ -156,7 +178,11 @@ mod tests {
             let g = cycle(n);
             let mut calc = DeltaCalc::new(&g);
             let path_sum = (n * (n - 1) / 2) as u64;
-            let cyc_sum = if n % 2 == 0 { (n * n / 4) as u64 } else { ((n * n - 1) / 4) as u64 };
+            let cyc_sum = if n % 2 == 0 {
+                (n * n / 4) as u64
+            } else {
+                ((n * n - 1) / 4) as u64
+            };
             assert_eq!(
                 calc.drop_delta(0, 1),
                 DistanceDelta::Finite(path_sum - cyc_sum),

@@ -70,7 +70,10 @@ pub struct LowerBound {
 
 impl LowerBound {
     /// The trivial bound `α > 0` (link costs are positive).
-    pub const POSITIVE: LowerBound = LowerBound { value: Ratio::ZERO, inclusive: false };
+    pub const POSITIVE: LowerBound = LowerBound {
+        value: Ratio::ZERO,
+        inclusive: false,
+    };
 
     /// Whether `alpha` satisfies the bound.
     pub fn admits(&self, alpha: Ratio) -> bool {
@@ -96,7 +99,12 @@ impl LowerBound {
 
 impl fmt::Display for LowerBound {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", if self.inclusive { "[" } else { "(" }, self.value)
+        write!(
+            f,
+            "{}{}",
+            if self.inclusive { "[" } else { "(" },
+            self.value
+        )
     }
 }
 
@@ -177,7 +185,10 @@ pub struct ClosedInterval {
 
 impl ClosedInterval {
     /// The full positive line `[0, ∞)` (callers intersect with α > 0).
-    pub const ALL: ClosedInterval = ClosedInterval { lo: Ratio::ZERO, hi: Threshold::Infinite };
+    pub const ALL: ClosedInterval = ClosedInterval {
+        lo: Ratio::ZERO,
+        hi: Threshold::Infinite,
+    };
 
     /// Whether `alpha` lies in the interval.
     pub fn contains(&self, alpha: Ratio) -> bool {
@@ -222,14 +233,27 @@ mod tests {
 
     #[test]
     fn lower_bound_strictness() {
-        let strict = LowerBound { value: r(2, 1), inclusive: false };
-        let weak = LowerBound { value: r(2, 1), inclusive: true };
+        let strict = LowerBound {
+            value: r(2, 1),
+            inclusive: false,
+        };
+        let weak = LowerBound {
+            value: r(2, 1),
+            inclusive: true,
+        };
         assert!(!strict.admits(r(2, 1)));
         assert!(weak.admits(r(2, 1)));
         // Ties: exclusivity (the stricter constraint) wins.
         assert_eq!(LowerBound::max(strict, weak), strict);
         assert_eq!(
-            LowerBound::max(strict, LowerBound { value: r(3, 1), inclusive: true }).value,
+            LowerBound::max(
+                strict,
+                LowerBound {
+                    value: r(3, 1),
+                    inclusive: true
+                }
+            )
+            .value,
             r(3, 1)
         );
     }
@@ -237,7 +261,10 @@ mod tests {
     #[test]
     fn window_membership_and_emptiness() {
         let w = StabilityWindow {
-            lower: LowerBound { value: r(2, 1), inclusive: false },
+            lower: LowerBound {
+                value: r(2, 1),
+                inclusive: false,
+            },
             upper: Threshold::Finite(r(6, 1)),
         };
         assert!(!w.contains(r(2, 1)));
@@ -246,13 +273,19 @@ mod tests {
         assert!(!w.contains(r(7, 1)));
         assert!(!w.is_empty());
         let empty = StabilityWindow {
-            lower: LowerBound { value: r(6, 1), inclusive: false },
+            lower: LowerBound {
+                value: r(6, 1),
+                inclusive: false,
+            },
             upper: Threshold::Finite(r(6, 1)),
         };
         assert!(empty.is_empty());
         assert_eq!(empty.sample(), None);
         let point = StabilityWindow {
-            lower: LowerBound { value: r(6, 1), inclusive: true },
+            lower: LowerBound {
+                value: r(6, 1),
+                inclusive: true,
+            },
             upper: Threshold::Finite(r(6, 1)),
         };
         assert!(!point.is_empty());
@@ -263,7 +296,10 @@ mod tests {
     #[test]
     fn window_unbounded_above() {
         let w = StabilityWindow {
-            lower: LowerBound { value: r(1, 1), inclusive: false },
+            lower: LowerBound {
+                value: r(1, 1),
+                inclusive: false,
+            },
             upper: Threshold::Infinite,
         };
         assert!(!w.is_empty());
@@ -274,7 +310,10 @@ mod tests {
 
     #[test]
     fn window_requires_positive_alpha() {
-        let w = StabilityWindow { lower: LowerBound::POSITIVE, upper: Threshold::Infinite };
+        let w = StabilityWindow {
+            lower: LowerBound::POSITIVE,
+            upper: Threshold::Infinite,
+        };
         assert!(!w.contains(Ratio::ZERO));
         assert!(!w.contains(r(-1, 1)));
         assert!(w.contains(r(1, 100)));
@@ -282,16 +321,28 @@ mod tests {
 
     #[test]
     fn closed_interval_intersection() {
-        let a = ClosedInterval { lo: r(1, 1), hi: Threshold::Finite(r(3, 1)) };
-        let b = ClosedInterval { lo: r(2, 1), hi: Threshold::Infinite };
+        let a = ClosedInterval {
+            lo: r(1, 1),
+            hi: Threshold::Finite(r(3, 1)),
+        };
+        let b = ClosedInterval {
+            lo: r(2, 1),
+            hi: Threshold::Infinite,
+        };
         let i = ClosedInterval::intersect(a, b).unwrap();
         assert_eq!(i.lo, r(2, 1));
         assert_eq!(i.hi, Threshold::Finite(r(3, 1)));
         assert!(i.contains(r(2, 1)) && i.contains(r(3, 1)));
-        let c = ClosedInterval { lo: r(4, 1), hi: Threshold::Infinite };
+        let c = ClosedInterval {
+            lo: r(4, 1),
+            hi: Threshold::Infinite,
+        };
         assert_eq!(ClosedInterval::intersect(a, c), None);
         // Degenerate single-point intersections survive.
-        let d = ClosedInterval { lo: r(3, 1), hi: Threshold::Infinite };
+        let d = ClosedInterval {
+            lo: r(3, 1),
+            hi: Threshold::Infinite,
+        };
         let p = ClosedInterval::intersect(a, d).unwrap();
         assert!(p.contains(r(3, 1)) && !p.contains(r(5, 2)));
     }
@@ -299,11 +350,17 @@ mod tests {
     #[test]
     fn display_forms() {
         let w = StabilityWindow {
-            lower: LowerBound { value: r(2, 1), inclusive: false },
+            lower: LowerBound {
+                value: r(2, 1),
+                inclusive: false,
+            },
             upper: Threshold::Infinite,
         };
         assert_eq!(w.to_string(), "(2, inf]");
-        let i = ClosedInterval { lo: r(1, 2), hi: Threshold::Finite(r(5, 2)) };
+        let i = ClosedInterval {
+            lo: r(1, 2),
+            hi: Threshold::Finite(r(5, 2)),
+        };
         assert_eq!(i.to_string(), "[1/2, 5/2]");
     }
 }

@@ -31,7 +31,7 @@
 //! let c6 = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)))?;
 //! let window = stability_window(&c6).expect("stable somewhere");
 //! assert!(window.contains(Ratio::from(4)));
-//! assert!(UcgAnalyzer::new(&c6).support_intervals().is_empty());
+//! assert!(UcgAnalyzer::new(&c6).expect("in domain").support_intervals().is_empty());
 //! # Ok::<(), bnf_graph::GraphError>(())
 //! ```
 
@@ -47,14 +47,23 @@ mod theorems;
 mod transfers;
 mod ucg;
 
-pub use convexity::{cost_convex, cost_convex_for, is_link_convex, lemma2_window, link_convexity_margin};
+pub use convexity::{
+    cost_convex, cost_convex_for, is_link_convex, lemma2_window, link_convexity_margin,
+};
 pub use delta::{DeltaCalc, DistanceDelta};
 pub use interval::{ClosedInterval, LowerBound, StabilityWindow, Threshold};
 pub use pairwise_nash::{is_nash_bcg, is_pairwise_nash, MAX_EXHAUSTIVE_DEGREE};
-pub use stability::{addition_thresholds, deletion_thresholds, is_pairwise_stable, stability_window};
+pub use stability::{
+    addition_thresholds, deletion_thresholds, is_pairwise_stable, stability_window,
+    stability_window_with,
+};
 pub use theorems::{
     conjecture_counterexample, conjecture_ucg_subset_bcg, cycle_stability_window,
     lemma6_paper_window, prop4_envelope, prop5_holds_for_tree,
 };
-pub use transfers::{is_transfer_stable, transfer_stability_window};
-pub use ucg::{ucg_necessary_window, UcgAnalyzer, MAX_UCG_ORDER};
+pub use transfers::{
+    is_transfer_stable, transfer_stability_window, transfer_stability_window_with,
+};
+pub use ucg::{
+    ucg_necessary_window, ucg_necessary_window_with, UcgAnalyzer, UcgError, MAX_UCG_ORDER,
+};

@@ -156,7 +156,16 @@ mod tests {
         // distinctive pairwise-Nash requirement — exercise both.
         let wheel = Graph::from_edges(
             5,
-            [(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (4, 1), (4, 2), (4, 3)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 0),
+                (4, 1),
+                (4, 2),
+                (4, 3),
+            ],
         )
         .unwrap();
         assert!(!is_nash_bcg(&wheel, r(10)));
@@ -182,8 +191,7 @@ mod tests {
             Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap(),
             Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap(),
             Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
-            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
-                .unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap(),
         ];
         for g in &graphs {
             for num in [1i64, 2, 3, 4, 6, 9, 12, 20] {

@@ -14,7 +14,7 @@
 //! reach, so disconnected graphs are never pairwise stable.
 
 use bnf_games::Ratio;
-use bnf_graph::Graph;
+use bnf_graph::{BfsScratch, Graph};
 
 use crate::delta::{DeltaCalc, DistanceDelta};
 use crate::interval::{LowerBound, StabilityWindow, Threshold};
@@ -76,7 +76,20 @@ pub fn is_pairwise_stable(g: &Graph, alpha: Ratio) -> bool {
 /// blocking at all α). A returned window may still be empty
 /// ([`StabilityWindow::is_empty`]) when `α_min ≥ α_max`.
 pub fn stability_window(g: &Graph) -> Option<StabilityWindow> {
-    let mut calc = DeltaCalc::new(g);
+    let mut scratch = BfsScratch::new();
+    stability_window_with(g, &mut scratch)
+}
+
+/// [`stability_window`] with caller-provided BFS buffers — the
+/// allocation-free form used by analysis-engine workers.
+pub fn stability_window_with(g: &Graph, scratch: &mut BfsScratch) -> Option<StabilityWindow> {
+    let mut calc = DeltaCalc::with_scratch(g, std::mem::take(scratch));
+    let out = stability_window_inner(&mut calc, g);
+    *scratch = calc.into_scratch();
+    out
+}
+
+fn stability_window_inner(calc: &mut DeltaCalc<'_>, g: &Graph) -> Option<StabilityWindow> {
     let mut upper = Threshold::Infinite;
     for (u, v) in g.edges() {
         for (a, b) in [(u, v), (v, u)] {
@@ -166,7 +179,13 @@ mod tests {
         for n in 3..9 {
             let w = stability_window(&star(n)).unwrap();
             assert_eq!(w.upper, Threshold::Infinite);
-            assert_eq!(w.lower, LowerBound { value: r(1), inclusive: true });
+            assert_eq!(
+                w.lower,
+                LowerBound {
+                    value: r(1),
+                    inclusive: true
+                }
+            );
             assert!(is_pairwise_stable(&star(n), r(1)));
             assert!(is_pairwise_stable(&star(n), r(1000)));
             assert!(!is_pairwise_stable(&star(n), Ratio::new(1, 2)));
@@ -178,7 +197,13 @@ mod tests {
         // C6: α_min = 2 (antipodal chord, both endpoints gain 2 — equal,
         // so α = 2 is stable), α_max = n(n-2)/4 = 6.
         let w6 = stability_window(&cycle(6)).unwrap();
-        assert_eq!(w6.lower, LowerBound { value: r(2), inclusive: true });
+        assert_eq!(
+            w6.lower,
+            LowerBound {
+                value: r(2),
+                inclusive: true
+            }
+        );
         assert_eq!(w6.upper, Threshold::Finite(r(6)));
         // C5: adjacent-to-chord Δ = 1 each; α_max = (n-1)^2/4 = 4.
         let w5 = stability_window(&cycle(5)).unwrap();
@@ -228,7 +253,13 @@ mod tests {
         // Binding lower bound: the (0,4) pair needs α > 1 (strict: the
         // benefits differ), and (1,4)/(2,4) pairs need α ≥ 2... their
         // min is 2 with equality -> inclusive 2 dominates.
-        assert_eq!(w.lower, LowerBound { value: r(2), inclusive: true });
+        assert_eq!(
+            w.lower,
+            LowerBound {
+                value: r(2),
+                inclusive: true
+            }
+        );
         assert!(!is_pairwise_stable(&t, Ratio::new(3, 2)));
         assert!(is_pairwise_stable(&t, r(2)));
     }

@@ -32,9 +32,15 @@ pub fn lemma6_paper_window(n: usize) -> (Ratio, Ratio) {
             Ratio::new((ni + 1) * (ni - 1), 4),
         )
     } else if n % 4 == 2 {
-        (Ratio::new(ni * ni - 4 * ni + 4, 8), Ratio::new(ni * (ni - 2), 4))
+        (
+            Ratio::new(ni * ni - 4 * ni + 4, 8),
+            Ratio::new(ni * (ni - 2), 4),
+        )
     } else {
-        (Ratio::new(ni * ni - 4 * ni + 8, 8), Ratio::new(ni * (ni - 2), 4))
+        (
+            Ratio::new(ni * ni - 4 * ni + 8, 8),
+            Ratio::new(ni * (ni - 2), 4),
+        )
     }
 }
 
@@ -70,7 +76,7 @@ pub fn prop4_envelope(n: usize, alpha: Ratio) -> f64 {
 pub fn prop5_holds_for_tree(g: &Graph) -> bool {
     assert!(g.is_tree(), "Proposition 5 is stated for trees");
     let bcg = stability_window(g).expect("trees are connected");
-    let ucg = UcgAnalyzer::new(g);
+    let ucg = UcgAnalyzer::new(g).expect("trees are small and connected");
     for iv in ucg.support_intervals() {
         let mut samples = vec![];
         if iv.lo > Ratio::ZERO {
@@ -105,8 +111,21 @@ pub fn prop5_holds_for_tree(g: &Graph) -> bool {
 /// [`conjecture_counterexample`] — though it holds for trees
 /// (Proposition 5) and held on every n ≤ 5 topology at generic α in our
 /// exhaustive scans.
+///
+/// # Panics
+///
+/// Panics if `g` exceeds [`crate::MAX_UCG_ORDER`] — "too big to check"
+/// must not be reported as "holds".
 pub fn conjecture_ucg_subset_bcg(g: &Graph, alpha: Ratio) -> bool {
-    let ucg = UcgAnalyzer::new(g);
+    let ucg = match UcgAnalyzer::new(g) {
+        Ok(ucg) => ucg,
+        // No profile has finite cost on a disconnected graph, so it is
+        // Nash-supportable at no α: genuinely vacuous.
+        Err(crate::UcgError::Disconnected) => return true,
+        Err(e @ crate::UcgError::OrderTooLarge { .. }) => {
+            panic!("conjecture check needs the exact UCG solver: {e}")
+        }
+    };
     if !ucg.is_nash_supportable(alpha) {
         return true; // vacuous
     }
@@ -202,7 +221,7 @@ mod tests {
         let (g, alpha) = conjecture_counterexample();
         assert!(!conjecture_ucg_subset_bcg(&g, alpha));
         // Exact windows: UCG support [1, 3], BCG stability [1, 2].
-        let ucg = UcgAnalyzer::new(&g);
+        let ucg = UcgAnalyzer::new(&g).unwrap();
         let support = ucg.support_intervals();
         assert_eq!(support.len(), 1);
         assert_eq!(support[0].lo, Ratio::ONE);

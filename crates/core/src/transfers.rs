@@ -17,7 +17,7 @@
 //! benefits are equal.
 
 use bnf_games::Ratio;
-use bnf_graph::Graph;
+use bnf_graph::{BfsScratch, Graph};
 
 use crate::delta::{DeltaCalc, DistanceDelta};
 use crate::interval::{ClosedInterval, Threshold};
@@ -68,7 +68,23 @@ pub fn is_transfer_stable(g: &Graph, alpha: Ratio) -> bool {
 /// stable with transfers, or `None` when no positive α qualifies
 /// (always the case for disconnected graphs).
 pub fn transfer_stability_window(g: &Graph) -> Option<ClosedInterval> {
-    let mut calc = DeltaCalc::new(g);
+    let mut scratch = BfsScratch::new();
+    transfer_stability_window_with(g, &mut scratch)
+}
+
+/// [`transfer_stability_window`] with caller-provided BFS buffers — the
+/// allocation-free form used by analysis-engine workers.
+pub fn transfer_stability_window_with(
+    g: &Graph,
+    scratch: &mut BfsScratch,
+) -> Option<ClosedInterval> {
+    let mut calc = DeltaCalc::with_scratch(g, std::mem::take(scratch));
+    let out = transfer_window_inner(&mut calc, g);
+    *scratch = calc.into_scratch();
+    out
+}
+
+fn transfer_window_inner(calc: &mut DeltaCalc<'_>, g: &Graph) -> Option<ClosedInterval> {
     let mut lo = Ratio::ZERO;
     for (u, v) in g.non_edges().collect::<Vec<_>>() {
         match joint(calc.add_delta(u, v), calc.add_delta(v, u)) {
@@ -164,8 +180,7 @@ mod tests {
             cycle(6),
             star(6),
             Graph::complete(5),
-            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-                .unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap(),
             Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap(),
         ];
         for g in &graphs {

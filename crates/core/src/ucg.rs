@@ -23,9 +23,10 @@
 //!    backtracking with per-vertex forward pruning.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use bnf_games::Ratio;
-use bnf_graph::Graph;
+use bnf_graph::{BfsScratch, Graph};
 
 use crate::delta::{DeltaCalc, DistanceDelta};
 use crate::interval::{ClosedInterval, Threshold};
@@ -33,6 +34,36 @@ use crate::interval::{ClosedInterval, Threshold};
 /// Maximum order accepted by the exact solver (`2^(n-1)` wish sets per
 /// player are enumerated).
 pub const MAX_UCG_ORDER: usize = 16;
+
+/// Why a graph is outside the exact UCG solver's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UcgError {
+    /// The order exceeds [`MAX_UCG_ORDER`] (the solver enumerates
+    /// `2^(n-1)` wish sets per player).
+    OrderTooLarge {
+        /// The rejected graph's order.
+        order: usize,
+    },
+    /// The graph is disconnected — every profile has infinite cost, so
+    /// Nash-supportability is undefined in the model.
+    Disconnected,
+}
+
+impl fmt::Display for UcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UcgError::OrderTooLarge { order } => write!(
+                f,
+                "UCG solver supports order <= {MAX_UCG_ORDER}, got {order}"
+            ),
+            UcgError::Disconnected => {
+                write!(f, "UCG Nash analysis requires a connected graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UcgError {}
 
 /// Precomputed exact Nash data for one graph in the UCG.
 ///
@@ -44,12 +75,12 @@ pub const MAX_UCG_ORDER: usize = 16;
 /// use bnf_graph::Graph;
 ///
 /// // The star is Nash-supportable in the UCG exactly for α ≥ 1.
-/// let star = Graph::from_edges(5, (1..5).map(|i| (0, i)))?;
-/// let ucg = UcgAnalyzer::new(&star);
+/// let star = Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap();
+/// let ucg = UcgAnalyzer::new(&star)?;
 /// assert!(!ucg.is_nash_supportable(Ratio::new(1, 2)));
 /// assert!(ucg.is_nash_supportable(Ratio::ONE));
 /// assert!(ucg.is_nash_supportable(Ratio::from(50)));
-/// # Ok::<(), bnf_graph::GraphError>(())
+/// # Ok::<(), bnf_core::UcgError>(())
 /// ```
 #[derive(Debug)]
 pub struct UcgAnalyzer {
@@ -108,14 +139,19 @@ fn compress_mask(m: u64, i: usize) -> u64 {
 impl UcgAnalyzer {
     /// Builds the exact per-(vertex, owned set) best-response tables.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `g` is disconnected or its order exceeds
-    /// [`MAX_UCG_ORDER`].
-    pub fn new(g: &Graph) -> UcgAnalyzer {
+    /// Returns [`UcgError::OrderTooLarge`] when the order exceeds
+    /// [`MAX_UCG_ORDER`] and [`UcgError::Disconnected`] for disconnected
+    /// graphs.
+    pub fn new(g: &Graph) -> Result<UcgAnalyzer, UcgError> {
         let n = g.order();
-        assert!(n <= MAX_UCG_ORDER, "UCG solver supports order <= {MAX_UCG_ORDER}");
-        assert!(g.is_connected(), "UCG Nash analysis requires a connected graph");
+        if n > MAX_UCG_ORDER {
+            return Err(UcgError::OrderTooLarge { order: n });
+        }
+        if !g.is_connected() {
+            return Err(UcgError::Disconnected);
+        }
         let rows: Vec<u64> = (0..n).map(|v| g.neighbor_bits(v)).collect();
         let edges: Vec<(usize, usize)> = g.edges().collect();
         let half = if n == 0 { 0 } else { 1u64 << (n - 1) };
@@ -142,7 +178,12 @@ impl UcgAnalyzer {
             }
             tables.push(table);
         }
-        UcgAnalyzer { n, edges, rows, tables }
+        Ok(UcgAnalyzer {
+            n,
+            edges,
+            rows,
+            tables,
+        })
     }
 
     /// The exact α interval for which owning exactly the edges to
@@ -156,7 +197,11 @@ impl UcgAnalyzer {
     /// `i`'s neighbourhood.
     pub fn best_response_window(&self, i: usize, owned_mask: u64) -> Option<ClosedInterval> {
         assert!(i < self.n, "vertex {i} out of range");
-        assert_eq!(owned_mask & !self.rows[i], 0, "owned mask must be a neighbour subset");
+        assert_eq!(
+            owned_mask & !self.rows[i],
+            0,
+            "owned mask must be a neighbour subset"
+        );
         self.tables[i].get(&owned_mask).copied()
     }
 
@@ -199,7 +244,14 @@ impl UcgAnalyzer {
         let mut owned = vec![0u64; self.n];
         let mut decided = vec![0u64; self.n];
         let mut owners = Vec::with_capacity(self.edges.len());
-        if self.assign(0, &allowed, &mut remaining, &mut owned, &mut decided, &mut owners) {
+        if self.assign(
+            0,
+            &allowed,
+            &mut remaining,
+            &mut owned,
+            &mut decided,
+            &mut owners,
+        ) {
             Some(owners)
         } else {
             None
@@ -288,7 +340,10 @@ impl UcgAnalyzer {
         }
         probes.push(*endpoints.last().expect("nonempty") + Ratio::ONE);
         probes.retain(|&p| p > Ratio::ZERO);
-        let status: Vec<bool> = probes.iter().map(|&p| self.is_nash_supportable(p)).collect();
+        let status: Vec<bool> = probes
+            .iter()
+            .map(|&p| self.is_nash_supportable(p))
+            .collect();
         let mut out: Vec<ClosedInterval> = Vec::new();
         let mut run_start: Option<usize> = None;
         for k in 0..probes.len() {
@@ -298,7 +353,10 @@ impl UcgAnalyzer {
                     // A run starting at the eps probe extends down to 0
                     // (exclusive — α must be positive); report lo = 0.
                     let lo = if s == 0 { Ratio::ZERO } else { probes[s] };
-                    out.push(ClosedInterval { lo, hi: Threshold::Finite(probes[k - 1]) });
+                    out.push(ClosedInterval {
+                        lo,
+                        hi: Threshold::Finite(probes[k - 1]),
+                    });
                     run_start = None;
                 }
                 _ => {}
@@ -306,7 +364,10 @@ impl UcgAnalyzer {
         }
         if let Some(s) = run_start {
             let lo = if s == 0 { Ratio::ZERO } else { probes[s] };
-            out.push(ClosedInterval { lo, hi: Threshold::Infinite });
+            out.push(ClosedInterval {
+                lo,
+                hi: Threshold::Infinite,
+            });
         }
         out
     }
@@ -367,10 +428,23 @@ fn best_response_interval(
 /// not Nash-supportable at any α. A returned interval is necessary, not
 /// sufficient.
 pub fn ucg_necessary_window(g: &Graph) -> Option<ClosedInterval> {
+    let mut scratch = BfsScratch::new();
+    ucg_necessary_window_with(g, &mut scratch)
+}
+
+/// [`ucg_necessary_window`] with caller-provided BFS buffers — the
+/// allocation-free form used by analysis-engine workers.
+pub fn ucg_necessary_window_with(g: &Graph, scratch: &mut BfsScratch) -> Option<ClosedInterval> {
     if !g.is_connected() {
         return None;
     }
-    let mut calc = DeltaCalc::new(g);
+    let mut calc = DeltaCalc::with_scratch(g, std::mem::take(scratch));
+    let out = necessary_window_inner(&mut calc, g);
+    *scratch = calc.into_scratch();
+    out
+}
+
+fn necessary_window_inner(calc: &mut DeltaCalc<'_>, g: &Graph) -> Option<ClosedInterval> {
     let mut lo = Ratio::ZERO;
     for (u, v) in g.non_edges().collect::<Vec<_>>() {
         for (a, b) in [(u, v), (v, u)] {
@@ -427,7 +501,7 @@ mod tests {
 
     #[test]
     fn star_supportable_from_one() {
-        let ucg = UcgAnalyzer::new(&star(6));
+        let ucg = UcgAnalyzer::new(&star(6)).unwrap();
         assert!(!ucg.is_nash_supportable(Ratio::new(9, 10)));
         assert!(ucg.is_nash_supportable(r(1)));
         assert!(ucg.is_nash_supportable(r(7)));
@@ -443,7 +517,7 @@ mod tests {
         // hop) and for α ≤ 2 via ... no: adding is never profitable in
         // K_n; the binding move is dropping. At α slightly above 1 a
         // buyer drops its edge.
-        let ucg = UcgAnalyzer::new(&Graph::complete(5));
+        let ucg = UcgAnalyzer::new(&Graph::complete(5)).unwrap();
         assert!(ucg.is_nash_supportable(Ratio::new(1, 2)));
         assert!(ucg.is_nash_supportable(r(1)));
         assert!(!ucg.is_nash_supportable(Ratio::new(3, 2)));
@@ -454,10 +528,13 @@ mod tests {
         // Footnote 5 of the paper: C_n for n > 5 is not Nash-supportable
         // in the UCG (node 0 re-links to node 2 instead), yet it is
         // pairwise stable in the BCG.
-        let ucg = UcgAnalyzer::new(&cycle(6));
+        let ucg = UcgAnalyzer::new(&cycle(6)).unwrap();
         assert!(ucg.support_intervals().is_empty());
         for num in 1..30 {
-            assert!(!ucg.is_nash_supportable(Ratio::new(num, 2)), "alpha={num}/2");
+            assert!(
+                !ucg.is_nash_supportable(Ratio::new(num, 2)),
+                "alpha={num}/2"
+            );
         }
     }
 
@@ -465,7 +542,7 @@ mod tests {
     fn cycle5_supportable_somewhere() {
         // C5 *is* Nash-supportable for a window of α (each player buys
         // its clockwise edge).
-        let ucg = UcgAnalyzer::new(&cycle(5));
+        let ucg = UcgAnalyzer::new(&cycle(5)).unwrap();
         let ivs = ucg.support_intervals();
         assert!(!ivs.is_empty(), "C5 should be Nash for some alpha");
         let any = ivs[0].lo;
@@ -475,7 +552,7 @@ mod tests {
     #[test]
     fn path_supportable_for_large_alpha() {
         let p4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
-        let ucg = UcgAnalyzer::new(&p4);
+        let ucg = UcgAnalyzer::new(&p4).unwrap();
         // At α ≥ 2 no one wants extra links; severing disconnects.
         assert!(ucg.is_nash_supportable(r(2)));
         assert!(ucg.is_nash_supportable(r(400)));
@@ -486,7 +563,7 @@ mod tests {
     #[test]
     fn orientation_witness_is_valid() {
         let g = star(5);
-        let ucg = UcgAnalyzer::new(&g);
+        let ucg = UcgAnalyzer::new(&g).unwrap();
         let owners = ucg.find_orientation(r(2)).expect("star is Nash at 2");
         assert_eq!(owners.len(), g.edge_count());
         // The witness must cover the edge set exactly once — the
@@ -515,7 +592,7 @@ mod tests {
     fn necessary_window_contains_exact_support() {
         for g in [star(5), cycle(5), Graph::complete(5), cycle(4)] {
             let necessary = ucg_necessary_window(&g);
-            let ucg = UcgAnalyzer::new(&g);
+            let ucg = UcgAnalyzer::new(&g).unwrap();
             for iv in ucg.support_intervals() {
                 let nec = necessary.expect("supportable graph passes necessary check");
                 assert!(nec.contains(iv.lo), "{g:?}: lo {} outside {nec}", iv.lo);
@@ -529,15 +606,26 @@ mod tests {
     #[test]
     fn two_vertices() {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
-        let ucg = UcgAnalyzer::new(&g);
+        let ucg = UcgAnalyzer::new(&g).unwrap();
         // One player buys the edge; severing disconnects: Nash for all α.
         assert!(ucg.is_nash_supportable(r(1)));
         assert!(ucg.is_nash_supportable(r(1000)));
     }
 
     #[test]
-    #[should_panic(expected = "connected")]
-    fn disconnected_rejected() {
-        UcgAnalyzer::new(&Graph::empty(3));
+    fn out_of_domain_graphs_get_typed_errors() {
+        assert_eq!(
+            UcgAnalyzer::new(&Graph::empty(3)).unwrap_err(),
+            UcgError::Disconnected
+        );
+        let big = star(MAX_UCG_ORDER + 1);
+        assert_eq!(
+            UcgAnalyzer::new(&big).unwrap_err(),
+            UcgError::OrderTooLarge {
+                order: MAX_UCG_ORDER + 1
+            }
+        );
+        let msg = UcgError::OrderTooLarge { order: 17 }.to_string();
+        assert!(msg.contains("17") && msg.contains("16"), "{msg}");
     }
 }

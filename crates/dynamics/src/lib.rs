@@ -74,25 +74,31 @@ pub fn run_pairwise_dynamics<R: Rng + ?Sized>(
     let n = initial.order();
     let mut g = initial.clone();
     let mut moves = 0usize;
-    let mut pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
     loop {
         pairs.shuffle(rng);
         let mut changed = false;
         for &(u, v) in &pairs {
             if moves >= max_moves {
-                return PairwiseReport { graph: g, moves, converged: false };
+                return PairwiseReport {
+                    graph: g,
+                    moves,
+                    converged: false,
+                };
             }
             let mut calc = DeltaCalc::new(&g);
             if g.has_edge(u, v) {
                 // Unilateral severance: either endpoint strictly gains
                 // when α exceeds its drop delta.
-                let sever = [(u, v), (v, u)].into_iter().any(|(a, b)| {
-                    match calc.drop_delta(a, b) {
-                        DistanceDelta::Infinite => false,
-                        DistanceDelta::Finite(t) => alpha > Ratio::from(t as i64),
-                    }
-                });
+                let sever =
+                    [(u, v), (v, u)]
+                        .into_iter()
+                        .any(|(a, b)| match calc.drop_delta(a, b) {
+                            DistanceDelta::Infinite => false,
+                            DistanceDelta::Finite(t) => alpha > Ratio::from(t as i64),
+                        });
                 if sever {
                     g.remove_edge(u, v);
                     moves += 1;
@@ -113,7 +119,11 @@ pub fn run_pairwise_dynamics<R: Rng + ?Sized>(
             }
         }
         if !changed {
-            return PairwiseReport { graph: g, moves, converged: true };
+            return PairwiseReport {
+                graph: g,
+                moves,
+                converged: true,
+            };
         }
     }
 }
@@ -244,11 +254,21 @@ pub fn run_best_response_dynamics<R: Rng + ?Sized>(
         }
         if !changed {
             let graph = profile.induced_graph(GameKind::Unilateral);
-            return BestResponseReport { profile, graph, turns, converged: true };
+            return BestResponseReport {
+                profile,
+                graph,
+                turns,
+                converged: true,
+            };
         }
     }
     let graph = profile.induced_graph(GameKind::Unilateral);
-    BestResponseReport { profile, graph, turns, converged: false }
+    BestResponseReport {
+        profile,
+        graph,
+        turns,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -279,8 +299,7 @@ mod tests {
     fn pairwise_dynamics_small_alpha_completes() {
         // α < 1: the unique stable graph is complete (Lemma 4).
         let mut rng = StdRng::seed_from_u64(3);
-        let report =
-            run_pairwise_dynamics(&Graph::empty(5), Ratio::new(1, 2), &mut rng, 10_000);
+        let report = run_pairwise_dynamics(&Graph::empty(5), Ratio::new(1, 2), &mut rng, 10_000);
         assert!(report.converged);
         assert_eq!(report.graph, Graph::complete(5));
     }
@@ -311,7 +330,10 @@ mod tests {
             let initial = StrategyProfile::new(6);
             let report = run_best_response_dynamics(&initial, alpha, &mut rng, 200);
             assert!(report.converged, "alpha={alpha}");
-            assert!(report.graph.is_connected(), "BR dynamics builds a connected graph");
+            assert!(
+                report.graph.is_connected(),
+                "BR dynamics builds a connected graph"
+            );
             for i in 0..6 {
                 assert_eq!(
                     best_response_ucg(&report.profile, i, alpha),
@@ -326,12 +348,8 @@ mod tests {
     fn best_response_dynamics_small_alpha_yields_complete() {
         // For α < 1 any missing link is worth buying unilaterally.
         let mut rng = StdRng::seed_from_u64(23);
-        let report = run_best_response_dynamics(
-            &StrategyProfile::new(5),
-            Ratio::new(1, 2),
-            &mut rng,
-            100,
-        );
+        let report =
+            run_best_response_dynamics(&StrategyProfile::new(5), Ratio::new(1, 2), &mut rng, 100);
         assert!(report.converged);
         assert_eq!(report.graph, Graph::complete(5));
     }

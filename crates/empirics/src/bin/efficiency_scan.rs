@@ -1,63 +1,64 @@
 //! Verifies Lemmas 4 and 5 exhaustively: at each link cost the efficient
 //! graph over ALL connected topologies is the complete graph (alpha < 1),
 //! the star (alpha > 1), and exactly those two tie at alpha = 1; reports
-//! uniqueness of the minimizer.
+//! uniqueness of the minimizer. Thin wrapper over
+//! `bnf_empirics::efficiency` (the engine job does the work).
 //!
-//! Usage: efficiency_scan [--n 7]
+//! Usage: efficiency_scan [--n 7] [--threads T]
 
-use bnf_empirics::{arg_value, render_table};
-use bnf_enumerate::connected_graphs;
-use bnf_games::{optimal_social_cost, CostSummary, GameKind, Ratio};
+use bnf_empirics::{arg_value, default_threads, efficiency_rows, render_table};
+use bnf_games::Ratio;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = arg_value(&args, "--n").map_or(7, |v| v.parse().expect("--n wants a number"));
-    let graphs = connected_graphs(n);
-    let summaries: Vec<CostSummary> = graphs
-        .iter()
-        .map(|g| CostSummary::of(g, GameKind::Bilateral))
-        .collect();
+    let threads: usize = arg_value(&args, "--threads").map_or_else(default_threads, |v| {
+        v.parse().expect("--threads wants a number")
+    });
     let alphas = [
-        Ratio::new(1, 4), Ratio::new(1, 2), Ratio::new(3, 4), Ratio::ONE,
-        Ratio::new(3, 2), Ratio::from(2), Ratio::from(4), Ratio::from(8),
+        Ratio::new(1, 4),
+        Ratio::new(1, 2),
+        Ratio::new(3, 4),
+        Ratio::ONE,
+        Ratio::new(3, 2),
+        Ratio::from(2),
+        Ratio::from(4),
+        Ratio::from(8),
     ];
-    let mut rows = Vec::new();
-    for alpha in alphas {
-        let costs: Vec<Ratio> = summaries
-            .iter()
-            .map(|s| s.social_cost_exact(alpha).expect("connected"))
-            .collect();
-        let min = costs.iter().copied().min().expect("nonempty enumeration");
-        let argmins: Vec<usize> =
-            (0..costs.len()).filter(|&i| costs[i] == min).collect();
-        let formula = optimal_social_cost(GameKind::Bilateral, n, alpha);
-        let shapes: Vec<String> = argmins
-            .iter()
-            .map(|&i| {
-                let g = &graphs[i];
-                if g.edge_count() == n * (n - 1) / 2 {
-                    "complete".into()
-                } else if g.is_tree() && (0..n).any(|v| g.degree(v) == n - 1) {
-                    "star".into()
-                } else {
-                    format!("other(m={})", g.edge_count())
-                }
-            })
-            .collect();
-        rows.push(vec![
-            alpha.to_string(),
-            min.to_string(),
-            formula.to_string(),
-            (min == formula).to_string(),
-            argmins.len().to_string(),
-            shapes.join("+"),
-        ]);
-    }
-    println!("Lemmas 4/5 — exhaustive efficiency check over all {} connected topologies, n={n}\n", graphs.len());
+    let scan = efficiency_rows(n, &alphas, threads);
+    let rows: Vec<Vec<String>> = scan
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.alpha.to_string(),
+                r.min_cost.to_string(),
+                r.formula.to_string(),
+                r.matches.to_string(),
+                r.minimizers.len().to_string(),
+                r.minimizers
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            ]
+        })
+        .collect();
+    println!(
+        "Lemmas 4/5 — exhaustive efficiency check over all {} connected topologies, n={n}\n",
+        scan.topologies
+    );
     println!(
         "{}",
         render_table(
-            &["alpha", "min C(G)", "formula", "match", "#minimizers", "minimizer(s)"],
+            &[
+                "alpha",
+                "min C(G)",
+                "formula",
+                "match",
+                "#minimizers",
+                "minimizer(s)"
+            ],
             &rows
         )
     );

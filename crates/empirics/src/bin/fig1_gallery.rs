@@ -28,8 +28,17 @@ fn rows(entries: &[GalleryEntry]) -> Vec<Vec<String>> {
 
 fn main() {
     let headers = [
-        "graph", "n", "m", "deg", "girth", "diam", "srg", "linkconvex", "stable window",
-        "alpha*", "PoA(alpha*)",
+        "graph",
+        "n",
+        "m",
+        "deg",
+        "girth",
+        "diam",
+        "srg",
+        "linkconvex",
+        "stable window",
+        "alpha*",
+        "PoA(alpha*)",
     ];
     println!("Figure 1 — pairwise stable graphs of the BCG (exact windows)\n");
     println!("{}", render_table(&headers, &rows(&figure1_gallery())));

@@ -5,7 +5,9 @@
 //! Usage: fig2_avg_poa [--n 7] [--threads T] [--csv]
 //! (The paper used n = 10; see DESIGN.md §4 for the n-substitution.)
 
-use bnf_empirics::{arg_flag, arg_value, fmt_stat, render_csv, render_table, SweepConfig, SweepResult};
+use bnf_empirics::{
+    arg_flag, arg_value, fmt_stat, render_csv, render_table, SweepConfig, SweepResult,
+};
 use bnf_games::GameKind;
 
 fn main() {
@@ -21,7 +23,13 @@ fn main() {
     let bcg = sweep.stats(GameKind::Bilateral);
     let ucg = sweep.stats(GameKind::Unilateral);
     let headers = [
-        "alpha", "log2(a)", "log2(2a)", "BCG#", "BCG avgPoA", "UCG#", "UCG avgPoA",
+        "alpha",
+        "log2(a)",
+        "log2(2a)",
+        "BCG#",
+        "BCG avgPoA",
+        "UCG#",
+        "UCG avgPoA",
     ];
     let rows: Vec<Vec<String>> = bcg
         .iter()
@@ -58,14 +66,22 @@ fn main() {
                     fmt_stat(b.mean_poa),
                     u.alpha.to_string(),
                     fmt_stat(u.mean_poa),
-                    if b.mean_poa < u.mean_poa { "BCG" } else { "UCG" }.to_string(),
+                    if b.mean_poa < u.mean_poa {
+                        "BCG"
+                    } else {
+                        "UCG"
+                    }
+                    .to_string(),
                 ])
             })
             .collect();
         println!("\nPaper-aligned overlay (same x = log(2a_BCG) = log(a_UCG)):\n");
         println!(
             "{}",
-            render_table(&["x", "a_BCG", "BCG avgPoA", "a_UCG", "UCG avgPoA", "better"], &aligned)
+            render_table(
+                &["x", "a_BCG", "BCG avgPoA", "a_UCG", "UCG avgPoA", "better"],
+                &aligned
+            )
         );
         let violations: usize = sweep.conjecture_violations().iter().map(|&(_, c)| c).sum();
         println!("Section 4.3 conjecture (UCG-Nash ⊆ BCG-stable): {violations} violations across the grid");

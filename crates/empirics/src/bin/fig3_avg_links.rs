@@ -3,7 +3,9 @@
 //!
 //! Usage: fig3_avg_links [--n 7] [--threads T] [--csv]
 
-use bnf_empirics::{arg_flag, arg_value, fmt_stat, render_csv, render_table, SweepConfig, SweepResult};
+use bnf_empirics::{
+    arg_flag, arg_value, fmt_stat, render_csv, render_table, SweepConfig, SweepResult,
+};
 use bnf_games::GameKind;
 
 fn main() {
@@ -17,7 +19,14 @@ fn main() {
     let sweep = SweepResult::run(&config);
     let bcg = sweep.stats(GameKind::Bilateral);
     let ucg = sweep.stats(GameKind::Unilateral);
-    let headers = ["alpha", "log2(a)", "BCG#", "BCG avg links", "UCG#", "UCG avg links"];
+    let headers = [
+        "alpha",
+        "log2(a)",
+        "BCG#",
+        "BCG avg links",
+        "UCG#",
+        "UCG avg links",
+    ];
     let rows: Vec<Vec<String>> = bcg
         .iter()
         .zip(&ucg)
@@ -54,7 +63,10 @@ fn main() {
         println!("\nPaper-aligned overlay (same x = log(2a_BCG) = log(a_UCG)):\n");
         println!(
             "{}",
-            render_table(&["x", "a_BCG", "BCG avg links", "a_UCG", "UCG avg links"], &aligned)
+            render_table(
+                &["x", "a_BCG", "BCG avg links", "a_UCG", "UCG avg links"],
+                &aligned
+            )
         );
     }
 }

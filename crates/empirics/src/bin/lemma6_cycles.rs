@@ -8,7 +8,8 @@ use bnf_empirics::{arg_value, lemma6_rows, render_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let max: usize = arg_value(&args, "--max").map_or(20, |v| v.parse().expect("--max wants a number"));
+    let max: usize =
+        arg_value(&args, "--max").map_or(20, |v| v.parse().expect("--max wants a number"));
     let rows: Vec<Vec<String>> = lemma6_rows(4..=max)
         .into_iter()
         .map(|r| {
@@ -26,7 +27,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["cycle", "exact a_min", "exact a_max", "paper a_min", "paper a_max", "max match"],
+            &[
+                "cycle",
+                "exact a_min",
+                "exact a_max",
+                "paper a_min",
+                "paper a_max",
+                "max match"
+            ],
             &rows
         )
     );

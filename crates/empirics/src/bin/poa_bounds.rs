@@ -5,7 +5,9 @@
 //!
 //! Usage: poa_bounds [--n 7] [--threads T]
 
-use bnf_empirics::{arg_value, fmt_stat, prop3_series, prop4_rows, render_table, SweepConfig, SweepResult};
+use bnf_empirics::{
+    arg_value, fmt_stat, prop3_series, prop4_rows, render_table, SweepConfig, SweepResult,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +30,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["graph", "n", "k", "girth", "diam", "alpha_max", "log2(alpha)", "PoA(alpha_max)"],
+            &[
+                "graph",
+                "n",
+                "k",
+                "girth",
+                "diam",
+                "alpha_max",
+                "log2(alpha)",
+                "PoA(alpha_max)"
+            ],
             &rows
         )
     );

@@ -4,6 +4,7 @@
 //! reported so EXPERIMENTS.md can record paper-vs-measured).
 
 use bnf_core::{cycle_stability_window, lemma6_paper_window, Threshold};
+use bnf_engine::AnalysisEngine;
 use bnf_games::Ratio;
 
 /// One row of the Lemma 6 comparison table.
@@ -29,25 +30,27 @@ pub struct CycleRow {
 ///
 /// Panics if the range contains `n < 4`.
 pub fn lemma6_rows(range: impl IntoIterator<Item = usize>) -> Vec<CycleRow> {
-    range
-        .into_iter()
-        .map(|n| {
-            let exact = cycle_stability_window(n);
-            let (paper_min, paper_max) = lemma6_paper_window(n);
-            let exact_max = match exact.upper {
-                Threshold::Finite(t) => t,
-                Threshold::Infinite => unreachable!("cycles have finite drop deltas"),
-            };
-            CycleRow {
-                n,
-                exact_min: (exact.lower.value, exact.lower.inclusive),
-                exact_max,
-                paper_min,
-                paper_max,
-                max_matches: paper_max == exact_max,
-            }
-        })
-        .collect()
+    let lengths: Vec<usize> = range.into_iter().collect();
+    // Window cost grows ~quadratically in the cycle length, so the
+    // engine pays off as soon as callers pass large --max ranges; at the
+    // default range the scope overhead is a few spawns.
+    let engine = AnalysisEngine::with_default_threads();
+    engine.map(&lengths, |&n, _scratch| {
+        let exact = cycle_stability_window(n);
+        let (paper_min, paper_max) = lemma6_paper_window(n);
+        let exact_max = match exact.upper {
+            Threshold::Finite(t) => t,
+            Threshold::Infinite => unreachable!("cycles have finite drop deltas"),
+        };
+        CycleRow {
+            n,
+            exact_min: (exact.lower.value, exact.lower.inclusive),
+            exact_max,
+            paper_min,
+            paper_max,
+            max_matches: paper_max == exact_max,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -57,14 +60,22 @@ mod tests {
     #[test]
     fn even_cycles_match_paper_alpha_max() {
         for row in lemma6_rows([6, 8, 10, 12]) {
-            assert!(row.max_matches, "C{}: paper={} exact={}", row.n, row.paper_max, row.exact_max);
+            assert!(
+                row.max_matches,
+                "C{}: paper={} exact={}",
+                row.n, row.paper_max, row.exact_max
+            );
         }
     }
 
     #[test]
     fn odd_cycles_document_discrepancy() {
         for row in lemma6_rows([5, 7, 9, 11]) {
-            assert!(!row.max_matches, "C{}: the printed odd formula differs", row.n);
+            assert!(
+                !row.max_matches,
+                "C{}: the printed odd formula differs",
+                row.n
+            );
             let ni = row.n as i64;
             assert_eq!(row.exact_max, Ratio::new((ni - 1) * (ni - 1), 4));
         }

@@ -1,0 +1,194 @@
+//! Lemmas 4 and 5, verified exhaustively as an engine job: at each link
+//! cost the efficient graph over ALL connected topologies is the
+//! complete graph (α < 1), the star (α > 1), and exactly those two tie
+//! at α = 1.
+//!
+//! The per-topology work (cost summary + shape certificate) runs on the
+//! [`AnalysisEngine`]; the per-α minimization folds the records.
+
+use bnf_engine::{Analysis, AnalysisEngine, WorkerScratch};
+use bnf_games::{optimal_social_cost, CostSummary, GameKind, Ratio};
+use bnf_graph::Graph;
+
+/// Per-topology data for the efficiency scan: the exact cost summary
+/// plus the shape certificate used to label minimizers.
+#[derive(Debug, Clone)]
+pub struct EfficiencyRecord {
+    /// The exact social-cost summary (order, edges, total distance).
+    pub summary: CostSummary,
+    /// Whether the topology is the complete graph.
+    pub complete: bool,
+    /// Whether the topology is a star (a tree with a universal vertex).
+    pub star: bool,
+}
+
+/// How an efficiency minimizer is labelled in the Lemma 4/5 tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinimizerShape {
+    /// The complete graph `K_n`.
+    Complete,
+    /// The star `K_{1,n-1}`.
+    Star,
+    /// Anything else (possible only if a lemma were violated), tagged
+    /// with its edge count.
+    Other(u64),
+}
+
+impl std::fmt::Display for MinimizerShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinimizerShape::Complete => write!(f, "complete"),
+            MinimizerShape::Star => write!(f, "star"),
+            MinimizerShape::Other(m) => write!(f, "other(m={m})"),
+        }
+    }
+}
+
+/// The engine job computing one [`EfficiencyRecord`] per topology.
+#[derive(Debug, Clone, Copy)]
+pub struct EfficiencyJob;
+
+impl Analysis for EfficiencyJob {
+    type Output = EfficiencyRecord;
+
+    fn classify(&self, g: &Graph, scratch: &mut WorkerScratch) -> EfficiencyRecord {
+        let n = g.order();
+        let summary = CostSummary {
+            order: n,
+            edges: g.edge_count() as u64,
+            total_distance: g.total_distance_with(&mut scratch.bfs),
+            kind: GameKind::Bilateral,
+        };
+        EfficiencyRecord {
+            complete: g.edge_count() == n * (n - 1) / 2,
+            star: g.is_tree() && (0..n).any(|v| g.degree(v) == n - 1),
+            summary,
+        }
+    }
+}
+
+/// One row of the exhaustive Lemma 4/5 verification table.
+#[derive(Debug, Clone)]
+pub struct EfficiencyRow {
+    /// The link cost.
+    pub alpha: Ratio,
+    /// The exhaustive minimum social cost over all connected topologies.
+    pub min_cost: Ratio,
+    /// The closed-form optimum of Lemmas 4/5.
+    pub formula: Ratio,
+    /// Whether the exhaustive minimum matches the closed form.
+    pub matches: bool,
+    /// The shape of every minimizer at this α.
+    pub minimizers: Vec<MinimizerShape>,
+}
+
+/// The complete Lemma 4/5 verification: the per-α table plus how many
+/// topologies were scanned.
+#[derive(Debug, Clone)]
+pub struct EfficiencyScan {
+    /// Number of players.
+    pub n: usize,
+    /// Number of connected topologies classified (the exhaustive base).
+    pub topologies: usize,
+    /// One verification row per α.
+    pub rows: Vec<EfficiencyRow>,
+}
+
+/// Classifies every connected topology on `n` vertices and folds the
+/// per-α efficiency table.
+///
+/// # Panics
+///
+/// Panics if `n > 10` (enumeration bound) or the α grid is empty.
+pub fn efficiency_rows(n: usize, alphas: &[Ratio], threads: usize) -> EfficiencyScan {
+    assert!(!alphas.is_empty(), "the α grid must be nonempty");
+    let engine = AnalysisEngine::new(threads);
+    let records = engine.run_connected(n, &EfficiencyJob);
+    let rows = alphas
+        .iter()
+        .map(|&alpha| {
+            let costs: Vec<Ratio> = records
+                .iter()
+                .map(|r| r.summary.social_cost_exact(alpha).expect("connected"))
+                .collect();
+            let min_cost = costs.iter().copied().min().expect("nonempty enumeration");
+            let minimizers: Vec<MinimizerShape> = records
+                .iter()
+                .zip(&costs)
+                .filter(|&(_, &c)| c == min_cost)
+                .map(|(r, _)| {
+                    if r.complete {
+                        MinimizerShape::Complete
+                    } else if r.star {
+                        MinimizerShape::Star
+                    } else {
+                        MinimizerShape::Other(r.summary.edges)
+                    }
+                })
+                .collect();
+            let formula = optimal_social_cost(GameKind::Bilateral, n, alpha);
+            EfficiencyRow {
+                alpha,
+                min_cost,
+                formula,
+                matches: min_cost == formula,
+                minimizers,
+            }
+        })
+        .collect();
+    EfficiencyScan {
+        n,
+        topologies: records.len(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemmas_4_and_5_hold_exhaustively_at_n5() {
+        let alphas = [Ratio::new(1, 2), Ratio::ONE, Ratio::from(2), Ratio::from(8)];
+        let scan = efficiency_rows(5, &alphas, 2);
+        assert_eq!(scan.n, 5);
+        assert_eq!(scan.topologies, 21); // A001349(5)
+        let rows = scan.rows;
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(
+                row.matches,
+                "alpha={}: {} != {}",
+                row.alpha, row.min_cost, row.formula
+            );
+        }
+        // α < 1: unique minimizer, the complete graph.
+        assert_eq!(rows[0].minimizers, vec![MinimizerShape::Complete]);
+        // α = 1 is the crossover: EVERY diameter-≤2 graph meets the
+        // bound (see tests/efficiency_lemmas.rs), the complete graph and
+        // the star among them.
+        assert!(rows[1].minimizers.len() > 2);
+        assert!(rows[1].minimizers.contains(&MinimizerShape::Complete));
+        assert!(rows[1].minimizers.contains(&MinimizerShape::Star));
+        assert!(rows[1]
+            .minimizers
+            .iter()
+            .any(|s| matches!(s, MinimizerShape::Other(_))));
+        // α > 1: unique minimizer, the star.
+        for row in &rows[2..] {
+            assert_eq!(
+                row.minimizers,
+                vec![MinimizerShape::Star],
+                "alpha={}",
+                row.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn shape_labels_render() {
+        assert_eq!(MinimizerShape::Complete.to_string(), "complete");
+        assert_eq!(MinimizerShape::Star.to_string(), "star");
+        assert_eq!(MinimizerShape::Other(9).to_string(), "other(m=9)");
+    }
+}

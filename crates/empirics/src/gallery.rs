@@ -4,7 +4,8 @@
 //! exact stability window.
 
 use bnf_atlas::named;
-use bnf_core::{is_link_convex, stability_window, StabilityWindow};
+use bnf_core::{is_link_convex, stability_window_with, StabilityWindow};
+use bnf_engine::{AnalysisEngine, WorkerScratch};
 use bnf_games::{price_of_anarchy, GameKind, Ratio};
 use bnf_graph::Graph;
 
@@ -33,51 +34,60 @@ pub struct GalleryEntry {
     pub poa_at_sample: Option<f64>,
 }
 
-fn entry(name: &'static str, graph: Graph) -> GalleryEntry {
-    let window = stability_window(&graph);
+fn certify(name: &'static str, graph: &Graph, scratch: &mut WorkerScratch) -> GalleryEntry {
+    let window = stability_window_with(graph, &mut scratch.bfs);
     let sample_alpha = window.and_then(|w| w.sample());
-    let poa_at_sample =
-        sample_alpha.map(|a| price_of_anarchy(&graph, GameKind::Bilateral, a));
+    let poa_at_sample = sample_alpha.map(|a| price_of_anarchy(graph, GameKind::Bilateral, a));
     GalleryEntry {
         degree: graph.regular_degree(),
         girth: graph.girth(),
         diameter: graph.diameter(),
         srg: graph.srg_params().map(|p| (p.n, p.k, p.lambda, p.mu)),
-        link_convex: is_link_convex(&graph),
+        link_convex: is_link_convex(graph),
         window,
         sample_alpha,
         poa_at_sample,
         name,
-        graph,
+        graph: graph.clone(),
     }
+}
+
+/// Certifies a named exhibit list on the analysis engine (one worker per
+/// graph: the Hoffman–Singleton window scan dominates, so the gallery
+/// parallelizes well).
+fn certify_all(exhibits: Vec<(&'static str, Graph)>) -> Vec<GalleryEntry> {
+    let engine = AnalysisEngine::with_default_threads();
+    engine.map(&exhibits, |(name, graph), scratch| {
+        certify(name, graph, scratch)
+    })
 }
 
 /// The six graphs of Figure 1, in the paper's order.
 pub fn figure1_gallery() -> Vec<GalleryEntry> {
-    vec![
-        entry("Petersen", named::petersen()),
-        entry("McGee", named::mcgee()),
-        entry("Octahedron", named::octahedron()),
-        entry("Clebsch", named::clebsch()),
-        entry("Hoffman-Singleton", named::hoffman_singleton()),
-        entry("Star K(1,7)", named::star8()),
-    ]
+    certify_all(vec![
+        ("Petersen", named::petersen()),
+        ("McGee", named::mcgee()),
+        ("Octahedron", named::octahedron()),
+        ("Clebsch", named::clebsch()),
+        ("Hoffman-Singleton", named::hoffman_singleton()),
+        ("Star K(1,7)", named::star8()),
+    ])
 }
 
 /// Supplementary stable/unstable exhibits discussed in Section 4.1: the
 /// link-convexity pair (Desargues vs dodecahedron), extra cages for the
 /// Proposition 3 series, and hypercubes.
 pub fn extended_gallery() -> Vec<GalleryEntry> {
-    vec![
-        entry("Heawood", named::heawood()),
-        entry("Pappus", named::pappus()),
-        entry("Tutte-Coxeter", named::tutte_coxeter()),
-        entry("Desargues", named::desargues()),
-        entry("Dodecahedron", named::dodecahedron()),
-        entry("Hypercube Q3", bnf_atlas::hypercube(3)),
-        entry("Hypercube Q4", bnf_atlas::hypercube(4)),
-        entry("Cycle C12", bnf_atlas::cycle(12)),
-    ]
+    certify_all(vec![
+        ("Heawood", named::heawood()),
+        ("Pappus", named::pappus()),
+        ("Tutte-Coxeter", named::tutte_coxeter()),
+        ("Desargues", named::desargues()),
+        ("Dodecahedron", named::dodecahedron()),
+        ("Hypercube Q3", bnf_atlas::hypercube(3)),
+        ("Hypercube Q4", bnf_atlas::hypercube(4)),
+        ("Cycle C12", bnf_atlas::cycle(12)),
+    ])
 }
 
 #[cfg(test)]
@@ -87,8 +97,14 @@ mod tests {
     #[test]
     fn figure1_graphs_are_all_stable_somewhere() {
         for e in figure1_gallery() {
-            let w = e.window.unwrap_or_else(|| panic!("{} has no window", e.name));
-            assert!(!w.is_empty(), "{} should be pairwise stable for some α", e.name);
+            let w = e
+                .window
+                .unwrap_or_else(|| panic!("{} has no window", e.name));
+            assert!(
+                !w.is_empty(),
+                "{} should be pairwise stable for some α",
+                e.name
+            );
             let alpha = e.sample_alpha.expect("sample exists");
             assert!(
                 bnf_core::is_pairwise_stable(&e.graph, alpha),
@@ -121,12 +137,18 @@ mod tests {
         let ext = extended_gallery();
         let desargues = ext.iter().find(|e| e.name == "Desargues").unwrap();
         let dodeca = ext.iter().find(|e| e.name == "Dodecahedron").unwrap();
-        assert!(!desargues.link_convex, "exact margins: max_add 10 vs min_drop 8");
+        assert!(
+            !desargues.link_convex,
+            "exact margins: max_add 10 vs min_drop 8"
+        );
         assert!(
             desargues.window.is_none_or(|w| w.is_empty()),
             "Desargues is pairwise stable for no α"
         );
-        assert!(!dodeca.link_convex, "dodecahedron is not link convex (matches paper)");
+        assert!(
+            !dodeca.link_convex,
+            "dodecahedron is not link convex (matches paper)"
+        );
         let (amax, dmin) = bnf_core::link_convexity_margin(&desargues.graph).unwrap();
         assert_eq!(amax, 10);
         assert_eq!(dmin, bnf_core::Threshold::Finite(bnf_games::Ratio::from(8)));
@@ -140,13 +162,19 @@ mod tests {
         // convex; SRGs with λ > 0, μ > 1 (octahedron) have the point
         // window [1, 1]: pairwise stable exactly at α = 1.
         for e in figure1_gallery() {
-            let Some((_, _, lambda, mu)) = e.srg else { continue };
+            let Some((_, _, lambda, mu)) = e.srg else {
+                continue;
+            };
             if lambda == 0 {
                 assert!(e.link_convex, "{} (λ=0) should be link convex", e.name);
             } else {
                 assert!(mu > 1, "{}", e.name);
                 let w = e.window.expect("stable somewhere");
-                assert!(w.contains(bnf_games::Ratio::ONE), "{} stable at α=1", e.name);
+                assert!(
+                    w.contains(bnf_games::Ratio::ONE),
+                    "{} stable at α=1",
+                    e.name
+                );
                 assert_eq!(e.sample_alpha, Some(bnf_games::Ratio::ONE), "{}", e.name);
             }
         }

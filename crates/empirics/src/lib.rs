@@ -10,25 +10,37 @@
 //! | Figure 3 (average #links vs link cost) | [`sweep`] | `fig3_avg_links` |
 //! | Propositions 3–4 (PoA bounds) | [`bounds`] | `poa_bounds` |
 //! | Lemma 6 (cycle windows) | [`cycles`] | `lemma6_cycles` |
-//! | Lemmas 4–5 (efficiency) | binary only | `efficiency_scan` |
+//! | Lemmas 4–5 (efficiency) | [`efficiency`] | `efficiency_scan` |
 //!
 //! Run any of them with `cargo run --release -p bnf-empirics --bin <name>`.
+//!
+//! Every module is a thin job definition over `bnf-engine`'s
+//! [`AnalysisEngine`](bnf_engine::AnalysisEngine): the engine owns
+//! enumeration, work-stealing execution and per-worker scratch reuse;
+//! the modules own only what to compute per item and how to aggregate.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bounds;
 pub mod cycles;
+pub mod efficiency;
 pub mod gallery;
-pub mod parallel;
 pub mod sweep;
 pub mod tables;
 
 pub use bounds::{prop3_series, prop4_rows, window_top_poa, LowerBoundRow, UpperBoundRow};
+// Re-exported so the executor keeps its pre-engine `empirics` path; the
+// implementation lives in `bnf-engine` now.
+pub use bnf_engine::{default_threads, parallel_map};
 pub use cycles::{lemma6_rows, CycleRow};
+pub use efficiency::{
+    efficiency_rows, EfficiencyJob, EfficiencyRecord, EfficiencyRow, EfficiencyScan, MinimizerShape,
+};
 pub use gallery::{extended_gallery, figure1_gallery, GalleryEntry};
-pub use parallel::{default_threads, parallel_map};
-pub use sweep::{stable_catalog, EquilibriumStats, GraphRecord, SweepConfig, SweepResult};
+pub use sweep::{
+    stable_catalog, EquilibriumStats, GraphRecord, SweepConfig, SweepJob, SweepResult,
+};
 pub use tables::{fmt_stat, render_csv, render_table};
 
 /// Parses `--name value` from a raw argument list (first occurrence).
@@ -50,8 +62,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--n", "7", "--csv"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--n", "7", "--csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--n"), Some("7".into()));
         assert_eq!(arg_value(&args, "--threads"), None);
         assert!(arg_flag(&args, "--csv"));

@@ -9,12 +9,13 @@
 //! identical: exhaustive non-isomorphic enumeration, exact equilibrium
 //! tests, per-α aggregation.
 
-use bnf_core::{stability_window, transfer_stability_window, ucg_necessary_window, UcgAnalyzer};
+use bnf_core::{
+    stability_window_with, transfer_stability_window_with, ucg_necessary_window_with, UcgAnalyzer,
+};
+use bnf_engine::{default_threads, Analysis, AnalysisEngine, WorkerScratch};
 use bnf_enumerate::connected_graphs;
 use bnf_games::{poa_of_summary, CostSummary, GameKind, Ratio};
 use bnf_graph::Graph;
-
-use crate::parallel::{default_threads, parallel_map};
 
 /// Configuration of an empirical sweep.
 #[derive(Debug, Clone)]
@@ -52,7 +53,11 @@ impl SweepConfig {
         .into_iter()
         .map(|(p, q)| Ratio::new(p, q))
         .collect();
-        SweepConfig { n, alphas, threads: default_threads() }
+        SweepConfig {
+            n,
+            alphas,
+            threads: default_threads(),
+        }
     }
 }
 
@@ -99,44 +104,68 @@ pub struct EquilibriumStats {
     pub mean_links: f64,
 }
 
-fn classify(g: &Graph, alphas: &[Ratio]) -> GraphRecord {
-    let edges = g.edge_count() as u64;
-    let total_distance = g
-        .total_distance()
-        .expect("enumeration yields connected graphs");
-    let window = stability_window(g);
-    let bcg_stable = alphas
-        .iter()
-        .map(|&a| window.is_some_and(|w| w.contains(a)))
-        .collect();
-    let twindow = transfer_stability_window(g);
-    let transfer_stable = alphas
-        .iter()
-        .map(|&a| twindow.is_some_and(|w| w.contains(a)))
-        .collect();
-    // Fast necessary check first (the paper's Section 5 footnote), full
-    // orientation solve only where it passes.
-    let necessary = ucg_necessary_window(g);
-    let ucg_nash = match necessary {
-        None => vec![false; alphas.len()],
-        Some(nec) => {
-            if alphas.iter().any(|&a| nec.contains(a)) {
-                let solver = UcgAnalyzer::new(g);
-                alphas
-                    .iter()
-                    .map(|&a| nec.contains(a) && solver.is_nash_supportable(a))
-                    .collect()
-            } else {
-                vec![false; alphas.len()]
+/// The Figure 2/3 classification job: equilibrium membership of one
+/// topology across an α grid, in every game variant the harness tracks.
+///
+/// This is the workhorse [`Analysis`] of the workspace; the figure
+/// binaries, the Proposition 4 scan and the conjecture checks all read
+/// its records.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The link-cost grid each topology is classified against.
+    pub alphas: Vec<Ratio>,
+}
+
+impl Analysis for SweepJob {
+    type Output = GraphRecord;
+
+    fn classify(&self, g: &Graph, scratch: &mut WorkerScratch) -> GraphRecord {
+        let alphas = &self.alphas;
+        let edges = g.edge_count() as u64;
+        let total_distance = g
+            .total_distance_with(&mut scratch.bfs)
+            .expect("enumeration yields connected graphs");
+        let window = stability_window_with(g, &mut scratch.bfs);
+        let bcg_stable = alphas
+            .iter()
+            .map(|&a| window.is_some_and(|w| w.contains(a)))
+            .collect();
+        let twindow = transfer_stability_window_with(g, &mut scratch.bfs);
+        let transfer_stable = alphas
+            .iter()
+            .map(|&a| twindow.is_some_and(|w| w.contains(a)))
+            .collect();
+        // Fast necessary check first (the paper's Section 5 footnote), full
+        // orientation solve only where it passes.
+        let necessary = ucg_necessary_window_with(g, &mut scratch.bfs);
+        let ucg_nash = match necessary {
+            None => vec![false; alphas.len()],
+            Some(nec) => {
+                if alphas.iter().any(|&a| nec.contains(a)) {
+                    let solver = UcgAnalyzer::new(g)
+                        .expect("enumerated sweep graphs are connected and small");
+                    alphas
+                        .iter()
+                        .map(|&a| nec.contains(a) && solver.is_nash_supportable(a))
+                        .collect()
+                } else {
+                    vec![false; alphas.len()]
+                }
             }
+        };
+        GraphRecord {
+            edges,
+            total_distance,
+            bcg_stable,
+            ucg_nash,
+            transfer_stable,
         }
-    };
-    GraphRecord { edges, total_distance, bcg_stable, ucg_nash, transfer_stable }
+    }
 }
 
 impl SweepResult {
     /// Enumerates all connected topologies on `config.n` vertices and
-    /// classifies each across the α grid, in parallel.
+    /// classifies each across the α grid on the analysis engine.
     ///
     /// # Panics
     ///
@@ -145,9 +174,16 @@ impl SweepResult {
     /// if you have the hours).
     pub fn run(config: &SweepConfig) -> SweepResult {
         assert!(config.n <= 8, "sweeps beyond n=8 need a deliberate opt-in");
-        let graphs = connected_graphs(config.n);
-        let records = parallel_map(&graphs, config.threads, |g| classify(g, &config.alphas));
-        SweepResult { n: config.n, alphas: config.alphas.clone(), records }
+        let engine = AnalysisEngine::new(config.threads);
+        let job = SweepJob {
+            alphas: config.alphas.clone(),
+        };
+        let records = engine.run_connected(config.n, &job);
+        SweepResult {
+            n: config.n,
+            alphas: config.alphas.clone(),
+            records,
+        }
     }
 
     fn equilibrium_flags<'a>(&'a self, kind: GameKind) -> impl Fn(&'a GraphRecord, usize) -> bool {
@@ -187,9 +223,17 @@ impl SweepResult {
                 EquilibriumStats {
                     alpha,
                     count,
-                    mean_poa: if count == 0 { f64::NAN } else { poa_sum / count as f64 },
+                    mean_poa: if count == 0 {
+                        f64::NAN
+                    } else {
+                        poa_sum / count as f64
+                    },
                     max_poa: poa_max,
-                    mean_links: if count == 0 { f64::NAN } else { links as f64 / count as f64 },
+                    mean_links: if count == 0 {
+                        f64::NAN
+                    } else {
+                        links as f64 / count as f64
+                    },
                 }
             })
             .collect()
@@ -244,9 +288,17 @@ impl SweepResult {
                 EquilibriumStats {
                     alpha,
                     count,
-                    mean_poa: if count == 0 { f64::NAN } else { poa_sum / count as f64 },
+                    mean_poa: if count == 0 {
+                        f64::NAN
+                    } else {
+                        poa_sum / count as f64
+                    },
                     max_poa: poa_max,
-                    mean_links: if count == 0 { f64::NAN } else { links as f64 / count as f64 },
+                    mean_links: if count == 0 {
+                        f64::NAN
+                    } else {
+                        links as f64 / count as f64
+                    },
                 }
             })
             .collect()
@@ -278,9 +330,15 @@ impl SweepResult {
 pub fn stable_catalog(n: usize, alpha: Ratio) -> Vec<Graph> {
     assert!(n <= 8, "catalogues beyond n=8 need a deliberate opt-in");
     assert!(alpha > Ratio::ZERO, "link cost must be positive");
-    connected_graphs(n)
+    let graphs = connected_graphs(n);
+    let engine = AnalysisEngine::with_default_threads();
+    let stable = engine.map(&graphs, |g, s| {
+        stability_window_with(g, &mut s.bfs).is_some_and(|w| w.contains(alpha))
+    });
+    graphs
         .into_iter()
-        .filter(|g| stability_window(g).is_some_and(|w| w.contains(alpha)))
+        .zip(stable)
+        .filter_map(|(g, keep)| keep.then_some(g))
         .collect()
 }
 
@@ -309,8 +367,7 @@ mod tests {
         // stable topology (and the only UCG Nash graph is complete too).
         let sweep = tiny_sweep(5);
         let k = 0; // α = 1/2
-        let stable: Vec<&GraphRecord> =
-            sweep.records.iter().filter(|r| r.bcg_stable[k]).collect();
+        let stable: Vec<&GraphRecord> = sweep.records.iter().filter(|r| r.bcg_stable[k]).collect();
         assert_eq!(stable.len(), 1);
         assert_eq!(stable[0].edges, 10); // K5
         let nash: Vec<&GraphRecord> = sweep.records.iter().filter(|r| r.ucg_nash[k]).collect();

@@ -1,0 +1,57 @@
+//! The shared classify-every-graph analysis pipeline.
+//!
+//! Every empirical product of the paper — the Figure 2/3 sweeps, the
+//! Proposition 4 bound scan, the Lemma 6 cycle table, the Figure 1
+//! gallery — is an instance of the same loop: *enumerate a family of
+//! inputs, classify each one independently with exact equilibrium
+//! machinery, aggregate*. Before this crate each `bnf-empirics` module
+//! re-implemented that loop with its own threading and allocation
+//! pattern; now they are thin [`Analysis`] job definitions executed by
+//! one [`AnalysisEngine`].
+//!
+//! The engine fuses three concerns the jobs would otherwise duplicate:
+//!
+//! * **Enumeration** — [`AnalysisEngine::run_connected`] drives the
+//!   canonical-form-deduplicated connected-topology stream from
+//!   `bnf-enumerate` straight into classification.
+//! * **Work-stealing execution** — a chunked atomic-counter scheduler
+//!   over [`std::thread::scope`] workers (no external thread-pool
+//!   dependency), promoted out of the old `empirics::parallel`.
+//! * **Per-worker scratch reuse** — each worker owns one
+//!   [`WorkerScratch`] for its whole lifetime, so the BFS/distance hot
+//!   path runs allocation-free instead of re-allocating frontier
+//!   buffers per graph (see `bnf_graph::BfsScratch`).
+//!
+//! # Examples
+//!
+//! ```
+//! use bnf_engine::{Analysis, AnalysisEngine, WorkerScratch};
+//! use bnf_graph::Graph;
+//!
+//! /// Classify each connected topology by (edges, total distance).
+//! struct Census;
+//! impl Analysis for Census {
+//!     type Output = (usize, u64);
+//!     fn classify(&self, g: &Graph, scratch: &mut WorkerScratch) -> Self::Output {
+//!         let d = g
+//!             .total_distance_with(&mut scratch.bfs)
+//!             .expect("connected enumeration");
+//!         (g.edge_count(), d)
+//!     }
+//! }
+//!
+//! let engine = AnalysisEngine::new(2);
+//! let records = engine.run_connected(5, &Census);
+//! assert_eq!(records.len(), 21); // connected graphs on 5 vertices
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod executor;
+mod pipeline;
+mod scratch;
+
+pub use executor::{default_threads, parallel_map, parallel_map_with};
+pub use pipeline::{Analysis, AnalysisEngine};
+pub use scratch::WorkerScratch;

@@ -1,0 +1,149 @@
+//! The [`Analysis`] job trait and the [`AnalysisEngine`] runner.
+
+use bnf_enumerate::connected_graphs;
+use bnf_graph::Graph;
+
+use crate::executor::{default_threads, parallel_map_with};
+use crate::scratch::WorkerScratch;
+
+/// One independent per-graph classification — the unit of work every
+/// empirical module defines.
+///
+/// Implementations must be pure per item (no cross-item state): the
+/// engine classifies items in an unspecified interleaving across
+/// workers, only the *output* order is guaranteed to match the input.
+pub trait Analysis: Sync {
+    /// The per-graph classification record.
+    type Output: Send;
+
+    /// Classifies one graph, using `scratch` for all reusable buffers.
+    fn classify(&self, graph: &Graph, scratch: &mut WorkerScratch) -> Self::Output;
+}
+
+/// Executes [`Analysis`] jobs over graph families with work-stealing
+/// workers and per-worker scratch.
+///
+/// This is the architecture seam for scaling work: sharding an
+/// enumeration across processes, batching α grids, or caching canonical
+/// classifications all belong here, behind the same job interface.
+#[derive(Debug, Clone)]
+pub struct AnalysisEngine {
+    threads: usize,
+}
+
+impl Default for AnalysisEngine {
+    fn default() -> Self {
+        Self::with_default_threads()
+    }
+}
+
+impl AnalysisEngine {
+    /// An engine with an explicit worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        AnalysisEngine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An engine sized to this machine's available parallelism.
+    pub fn with_default_threads() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The worker count this engine schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enumerates all connected non-isomorphic topologies on `n`
+    /// vertices (canonical forms, deduplicated, deterministic order) and
+    /// classifies each one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (enumeration bound) and propagates panics from
+    /// the job.
+    pub fn run_connected<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
+        self.run_on(&connected_graphs(n), job)
+    }
+
+    /// Classifies an explicit graph list (gallery exhibits, counter-
+    /// example families, …), preserving its order.
+    pub fn run_on<A: Analysis>(&self, graphs: &[Graph], job: &A) -> Vec<A::Output> {
+        parallel_map_with(graphs, self.threads, WorkerScratch::new, |g, s| {
+            job.classify(g, s)
+        })
+    }
+
+    /// Runs an arbitrary per-item function with per-worker scratch —
+    /// for jobs whose items are not graphs (cycle lengths, α grids).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, &mut WorkerScratch) -> R + Sync,
+    {
+        parallel_map_with(items, self.threads, WorkerScratch::new, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EdgeCount;
+    impl Analysis for EdgeCount {
+        type Output = usize;
+        fn classify(&self, g: &Graph, _scratch: &mut WorkerScratch) -> usize {
+            g.edge_count()
+        }
+    }
+
+    #[test]
+    fn run_connected_matches_enumeration() {
+        let engine = AnalysisEngine::new(4);
+        let counts = engine.run_connected(6, &EdgeCount);
+        assert_eq!(counts.len(), 112); // A001349(6)
+                                       // Deterministic enumeration order: sorted by edge count first.
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.first().unwrap(), 5); // a tree
+        assert_eq!(*counts.last().unwrap(), 15); // K6
+    }
+
+    #[test]
+    fn run_on_preserves_order_and_uses_scratch() {
+        struct TotalDistance;
+        impl Analysis for TotalDistance {
+            type Output = Option<u64>;
+            fn classify(&self, g: &Graph, scratch: &mut WorkerScratch) -> Option<u64> {
+                g.total_distance_with(&mut scratch.bfs)
+            }
+        }
+        let graphs = vec![
+            Graph::complete(4),
+            Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap(),
+            Graph::empty(3),
+        ];
+        let engine = AnalysisEngine::new(2);
+        let totals = engine.run_on(&graphs, &TotalDistance);
+        assert_eq!(totals, vec![Some(12), Some(20), None]);
+    }
+
+    #[test]
+    fn map_over_non_graph_items() {
+        let engine = AnalysisEngine::new(3);
+        let items: Vec<usize> = (3..10).collect();
+        let orders = engine.map(&items, |&n, s| {
+            let g = Graph::complete(n);
+            g.total_distance_with(&mut s.bfs).unwrap()
+        });
+        let expected: Vec<u64> = (3..10).map(|n| (n * (n - 1)) as u64).collect();
+        assert_eq!(orders, expected);
+    }
+
+    #[test]
+    fn engine_thread_floor() {
+        assert_eq!(AnalysisEngine::new(0).threads(), 1);
+        assert!(AnalysisEngine::with_default_threads().threads() >= 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Per-worker scratch state threaded through every [`crate::Analysis`]
+//! job.
+
+use bnf_graph::BfsScratch;
+
+/// Reusable buffers owned by one worker thread for its whole lifetime.
+///
+/// The classification hot path is dominated by BFS distance sums under
+/// single-edge mutations; allocating fresh frontier buffers per graph
+/// (as the pre-engine sweep did via `BfsScratch::new()` inside every
+/// helper) costs three `Vec` allocations per BFS call site. A worker
+/// instead reuses this scratch across all the graphs it classifies.
+///
+/// The struct is deliberately open (public fields) so jobs can thread
+/// the pieces they need into `bnf-core`'s `*_with` entry points; new
+/// buffers for future job kinds (distance matrices, orientation tables)
+/// should be added here rather than allocated per item.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// BFS frontier/seen/next bitset rows, grown on first use.
+    pub bfs: BfsScratch,
+}
+
+impl WorkerScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

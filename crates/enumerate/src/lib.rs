@@ -90,7 +90,10 @@ fn sort_deterministically(graphs: &mut [Graph]) {
 ///
 /// Panics if `n > 10` (the dedup set would not fit in memory).
 pub fn all_graphs(n: usize) -> Vec<Graph> {
-    assert!(n <= 10, "exhaustive enumeration beyond n=10 is not supported");
+    assert!(
+        n <= 10,
+        "exhaustive enumeration beyond n=10 is not supported"
+    );
     if n == 0 {
         return vec![Graph::empty(0)];
     }
@@ -108,7 +111,10 @@ pub fn all_graphs(n: usize) -> Vec<Graph> {
 ///
 /// Panics if `n > 10`.
 pub fn connected_graphs(n: usize) -> Vec<Graph> {
-    assert!(n <= 10, "exhaustive enumeration beyond n=10 is not supported");
+    assert!(
+        n <= 10,
+        "exhaustive enumeration beyond n=10 is not supported"
+    );
     if n == 0 {
         return vec![Graph::empty(0)];
     }
@@ -176,10 +182,10 @@ mod tests {
 
     #[test]
     fn graph_counts_match_oeis_small() {
-        for n in 0..=7 {
+        for (n, &want) in GRAPH_COUNTS.iter().enumerate().take(8) {
             assert_eq!(
                 all_graphs(n).len() as u64,
-                GRAPH_COUNTS[n],
+                want,
                 "graph count mismatch at n={n}"
             );
         }
@@ -187,10 +193,10 @@ mod tests {
 
     #[test]
     fn connected_counts_match_oeis_small() {
-        for n in 0..=7 {
+        for (n, &want) in CONNECTED_GRAPH_COUNTS.iter().enumerate().take(8) {
             assert_eq!(
                 connected_graphs(n).len() as u64,
-                CONNECTED_GRAPH_COUNTS[n],
+                want,
                 "connected count mismatch at n={n}"
             );
         }
@@ -198,10 +204,10 @@ mod tests {
 
     #[test]
     fn tree_counts_match_oeis() {
-        for n in 0..=10 {
+        for (n, &want) in FREE_TREE_COUNTS.iter().enumerate() {
             assert_eq!(
                 free_trees(n).len() as u64,
-                FREE_TREE_COUNTS[n],
+                want,
                 "tree count mismatch at n={n}"
             );
         }
@@ -228,8 +234,12 @@ mod tests {
         let ts = free_trees(7);
         assert!(ts.iter().all(Graph::is_tree));
         // The path and the star are among them.
-        assert!(ts.iter().any(|t| t.degree_sequence() == vec![6, 1, 1, 1, 1, 1, 1]));
-        assert!(ts.iter().any(|t| t.degree_sequence() == vec![2, 2, 2, 2, 2, 1, 1]));
+        assert!(ts
+            .iter()
+            .any(|t| t.degree_sequence() == vec![6, 1, 1, 1, 1, 1, 1]));
+        assert!(ts
+            .iter()
+            .any(|t| t.degree_sequence() == vec![2, 2, 2, 2, 2, 1, 1]));
     }
 
     #[test]

@@ -92,10 +92,7 @@ impl CostSummary {
     /// The social cost as an exact rational, or `None` when disconnected.
     pub fn social_cost_exact(&self, alpha: Ratio) -> Option<Ratio> {
         let d = self.total_distance?;
-        Some(
-            alpha * Ratio::from(self.link_units() as i64)
-                + Ratio::from(d as i64),
-        )
+        Some(alpha * Ratio::from(self.link_units() as i64) + Ratio::from(d as i64))
     }
 }
 
@@ -117,8 +114,20 @@ mod tests {
         let s = StrategyProfile::supporting_bilateral(&star5());
         let centre = player_cost(&s, GameKind::Bilateral, 0);
         let leaf = player_cost(&s, GameKind::Bilateral, 1);
-        assert_eq!(centre, PlayerCost { wishes: 4, distance: Some(4) });
-        assert_eq!(leaf, PlayerCost { wishes: 1, distance: Some(1 + 2 * 3) });
+        assert_eq!(
+            centre,
+            PlayerCost {
+                wishes: 4,
+                distance: Some(4)
+            }
+        );
+        assert_eq!(
+            leaf,
+            PlayerCost {
+                wishes: 1,
+                distance: Some(1 + 2 * 3)
+            }
+        );
         let alpha = Ratio::new(3, 2);
         assert_eq!(centre.value(alpha), 4.0 * 1.5 + 4.0);
         assert_eq!(leaf.value(alpha), 1.5 + 7.0);
@@ -145,10 +154,7 @@ mod tests {
         let ucg = CostSummary::of(&g, GameKind::Unilateral);
         assert_eq!(bcg.social_cost(alpha), 2.0 * 3.0 * 4.0 + 32.0);
         assert_eq!(ucg.social_cost(alpha), 3.0 * 4.0 + 32.0);
-        assert_eq!(
-            bcg.social_cost_exact(alpha),
-            Some(Ratio::from(24 + 32))
-        );
+        assert_eq!(bcg.social_cost_exact(alpha), Some(Ratio::from(24 + 32)));
     }
 
     #[test]
@@ -169,7 +175,10 @@ mod tests {
     #[test]
     fn disconnected_social_cost_is_infinite() {
         let g = Graph::from_edges(4, [(0, 1)]).unwrap();
-        assert_eq!(social_cost(&g, GameKind::Bilateral, Ratio::ONE), f64::INFINITY);
+        assert_eq!(
+            social_cost(&g, GameKind::Bilateral, Ratio::ONE),
+            f64::INFINITY
+        );
         assert_eq!(
             CostSummary::of(&g, GameKind::Bilateral).social_cost_exact(Ratio::ONE),
             None

@@ -19,8 +19,7 @@ pub fn star_social_cost(kind: GameKind, n: usize, alpha: Ratio) -> Ratio {
         return Ratio::ZERO;
     }
     let n1 = (n - 1) as i64;
-    alpha * Ratio::from(kind.social_link_multiplicity() as i64 * n1)
-        + Ratio::from(2 * n1 * n1)
+    alpha * Ratio::from(kind.social_link_multiplicity() as i64 * n1) + Ratio::from(2 * n1 * n1)
 }
 
 /// Exact social cost of the complete graph `K_n` in game `kind`:
@@ -30,8 +29,7 @@ pub fn complete_social_cost(kind: GameKind, n: usize, alpha: Ratio) -> Ratio {
         return Ratio::ZERO;
     }
     let pairs = (n * (n - 1) / 2) as i64;
-    alpha * Ratio::from(kind.social_link_multiplicity() as i64 * pairs)
-        + Ratio::from(2 * pairs)
+    alpha * Ratio::from(kind.social_link_multiplicity() as i64 * pairs) + Ratio::from(2 * pairs)
 }
 
 /// The link cost at which the efficient graph switches from complete to
@@ -194,8 +192,17 @@ mod tests {
 
     #[test]
     fn degenerate_orders() {
-        assert_eq!(optimal_social_cost(GameKind::Bilateral, 0, Ratio::ONE), Ratio::ZERO);
-        assert_eq!(optimal_social_cost(GameKind::Bilateral, 1, Ratio::ONE), Ratio::ZERO);
-        assert_eq!(price_of_anarchy(&Graph::empty(1), GameKind::Bilateral, Ratio::ONE), 1.0);
+        assert_eq!(
+            optimal_social_cost(GameKind::Bilateral, 0, Ratio::ONE),
+            Ratio::ZERO
+        );
+        assert_eq!(
+            optimal_social_cost(GameKind::Bilateral, 1, Ratio::ONE),
+            Ratio::ZERO
+        );
+        assert_eq!(
+            price_of_anarchy(&Graph::empty(1), GameKind::Bilateral, Ratio::ONE),
+            1.0
+        );
     }
 }

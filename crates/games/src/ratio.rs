@@ -53,7 +53,11 @@ impl Ratio {
     /// Panics if `den == 0`.
     pub fn new(num: i64, den: i64) -> Ratio {
         assert_ne!(den, 0, "rational with zero denominator");
-        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
         let (n, d) = (num.unsigned_abs(), den.unsigned_abs());
         let g = gcd(n, d).max(1);
         Ratio {
@@ -116,13 +120,19 @@ impl From<i64> for Ratio {
 
 impl From<u32> for Ratio {
     fn from(v: u32) -> Self {
-        Ratio { num: i64::from(v), den: 1 }
+        Ratio {
+            num: i64::from(v),
+            den: 1,
+        }
     }
 }
 
 impl From<i32> for Ratio {
     fn from(v: i32) -> Self {
-        Ratio { num: i64::from(v), den: 1 }
+        Ratio {
+            num: i64::from(v),
+            den: 1,
+        }
     }
 }
 
@@ -143,8 +153,8 @@ impl Ord for Ratio {
 impl Add for Ratio {
     type Output = Ratio;
     fn add(self, rhs: Ratio) -> Ratio {
-        let num = i128::from(self.num) * i128::from(rhs.den)
-            + i128::from(rhs.num) * i128::from(self.den);
+        let num =
+            i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den);
         let den = i128::from(self.den) * i128::from(rhs.den);
         ratio_from_i128(num, den)
     }
@@ -160,7 +170,10 @@ impl Sub for Ratio {
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num, den: self.den }
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -190,7 +203,11 @@ impl Div for Ratio {
 
 fn ratio_from_i128(num: i128, den: i128) -> Ratio {
     debug_assert_ne!(den, 0);
-    let sign: i128 = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+    let sign: i128 = if (num < 0) != (den < 0) && num != 0 {
+        -1
+    } else {
+        1
+    };
     let (mut n, mut d) = (num.unsigned_abs(), den.unsigned_abs());
     let g = gcd128(n, d).max(1);
     n /= g;
@@ -259,9 +276,18 @@ mod tests {
 
     #[test]
     fn midpoint_and_extrema() {
-        assert_eq!(Ratio::midpoint(Ratio::from(1), Ratio::from(2)), Ratio::new(3, 2));
-        assert_eq!(Ratio::min(Ratio::new(1, 3), Ratio::new(1, 4)), Ratio::new(1, 4));
-        assert_eq!(Ratio::max(Ratio::new(1, 3), Ratio::new(1, 4)), Ratio::new(1, 3));
+        assert_eq!(
+            Ratio::midpoint(Ratio::from(1), Ratio::from(2)),
+            Ratio::new(3, 2)
+        );
+        assert_eq!(
+            Ratio::min(Ratio::new(1, 3), Ratio::new(1, 4)),
+            Ratio::new(1, 4)
+        );
+        assert_eq!(
+            Ratio::max(Ratio::new(1, 3), Ratio::new(1, 4)),
+            Ratio::new(1, 3)
+        );
     }
 
     #[test]

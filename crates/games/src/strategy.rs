@@ -66,8 +66,14 @@ impl StrategyProfile {
     ///
     /// Panics if `n > 64`.
     pub fn new(n: usize) -> Self {
-        assert!(n <= MAX_STRATEGY_ORDER, "strategy profiles support order <= 64");
-        StrategyProfile { n, wish: vec![0; n] }
+        assert!(
+            n <= MAX_STRATEGY_ORDER,
+            "strategy profiles support order <= 64"
+        );
+        StrategyProfile {
+            n,
+            wish: vec![0; n],
+        }
     }
 
     /// Number of players.
@@ -180,7 +186,10 @@ impl StrategyProfile {
         let mut s = StrategyProfile::new(g.order());
         let mut covered = Graph::empty(g.order());
         for &(buyer, other) in owners {
-            assert!(g.has_edge(buyer, other), "({buyer},{other}) is not an edge of g");
+            assert!(
+                g.has_edge(buyer, other),
+                "({buyer},{other}) is not an edge of g"
+            );
             assert!(
                 covered.add_edge(buyer, other),
                 "edge ({buyer},{other}) owned twice"

@@ -178,9 +178,17 @@ impl Graph {
     /// disconnected (any pair at infinite distance).
     pub fn total_distance(&self) -> Option<u64> {
         let mut scratch = BfsScratch::new();
+        self.total_distance_with(&mut scratch)
+    }
+
+    /// [`Graph::total_distance`] with caller-provided buffers — the
+    /// allocation-free form used by the analysis-engine hot path.
+    pub fn total_distance_with(&self, scratch: &mut BfsScratch) -> Option<u64> {
         let mut total = 0u64;
         for v in 0..self.order() {
-            total += self.distance_sum_with(v, &mut scratch).finite_total(self.order())?;
+            total += self
+                .distance_sum_with(v, scratch)
+                .finite_total(self.order())?;
         }
         Some(total)
     }
@@ -220,8 +228,8 @@ impl Graph {
             {
                 let frontier = &scratch.frontier;
                 let next = &mut scratch.next;
-                for wi in 0..words {
-                    let mut w = frontier[wi];
+                for (wi, &fw) in frontier.iter().enumerate() {
+                    let mut w = fw;
                     while w != 0 {
                         let v = wi * 64 + w.trailing_zeros() as usize;
                         w &= w - 1;
@@ -293,8 +301,8 @@ mod tests {
         let m = g.distance_matrix();
         for u in 0..6 {
             let row = g.bfs_distances(u);
-            for v in 0..6 {
-                assert_eq!(m.distance(u, v), (row[v] != UNREACHABLE).then_some(row[v]));
+            for (v, &rv) in row.iter().enumerate() {
+                assert_eq!(m.distance(u, v), (rv != UNREACHABLE).then_some(rv));
             }
         }
         assert_eq!(m.total(), None);

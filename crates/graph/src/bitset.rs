@@ -17,17 +17,14 @@ pub(crate) const fn words_for(nbits: usize) -> usize {
 #[inline]
 pub(crate) fn ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
     words.iter().enumerate().flat_map(|(wi, &w)| {
-        std::iter::successors(
-            if w == 0 { None } else { Some(w) },
-            |&w| {
-                let w = w & (w - 1);
-                if w == 0 {
-                    None
-                } else {
-                    Some(w)
-                }
-            },
-        )
+        std::iter::successors(if w == 0 { None } else { Some(w) }, |&w| {
+            let w = w & (w - 1);
+            if w == 0 {
+                None
+            } else {
+                Some(w)
+            }
+        })
         .map(move |w| wi * 64 + w.trailing_zeros() as usize)
     })
 }
@@ -215,9 +212,11 @@ impl VertexSet {
     /// Panics if capacities differ.
     pub fn is_subset(&self, other: &VertexSet) -> bool {
         assert_eq!(self.nbits, other.nbits, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
-
 }
 
 impl fmt::Debug for VertexSet {

@@ -92,8 +92,7 @@ fn refine(g: &Graph, cells: &mut Partition) {
                 if cells[ci].len() <= 1 {
                     continue;
                 }
-                let counts: Vec<usize> =
-                    cells[ci].iter().map(|&v| count_in(g, v, &mask)).collect();
+                let counts: Vec<usize> = cells[ci].iter().map(|&v| count_in(g, v, &mask)).collect();
                 let first = counts[0];
                 if counts.iter().all(|&c| c == first) {
                     continue;
@@ -267,13 +266,18 @@ impl Graph {
     pub fn canonical_key(&self) -> CanonKey {
         let n = self.order();
         if n == 0 {
-            return CanonKey { n: 0, bits: Box::new([]) };
+            return CanonKey {
+                n: 0,
+                bits: Box::new([]),
+            };
         }
         let mut search = Search::new(self, false);
         search.run(vec![(0..n).collect()]);
         CanonKey {
             n,
-            bits: search.best_key.expect("search of nonempty graph yields a leaf"),
+            bits: search
+                .best_key
+                .expect("search of nonempty graph yields a leaf"),
         }
     }
 
@@ -323,8 +327,8 @@ mod tests {
 
     #[test]
     fn canonical_form_is_permutation_invariant() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
         let perms = [
             vec![1, 2, 3, 4, 5, 0],
             vec![5, 4, 3, 2, 1, 0],

@@ -162,11 +162,8 @@ mod tests {
     #[test]
     fn bridges_on_barbell() {
         // Two triangles joined by the bridge (2,3).
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]).unwrap();
         assert_eq!(g.bridges(), vec![(2, 3)]);
         assert!(g.is_bridge(2, 3));
         assert!(!g.is_bridge(0, 1));
@@ -210,8 +207,8 @@ mod tests {
 
     #[test]
     fn bridges_with_multiple_components() {
-        let g = Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (4, 6)])
-            .unwrap();
+        let g =
+            Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (4, 6)]).unwrap();
         assert_eq!(g.bridges(), vec![(0, 1)]);
     }
 }

@@ -40,7 +40,10 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {vertex} out of range for graph of order {order}")
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} is not allowed in a simple graph"
+                )
             }
             GraphError::Graph6Parse { reason } => {
                 write!(f, "invalid graph6 string: {reason}")
@@ -60,13 +63,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_specific() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, order: 4 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            order: 4,
+        };
         assert_eq!(e.to_string(), "vertex 9 out of range for graph of order 4");
         let e = GraphError::SelfLoop { vertex: 2 };
         assert!(e.to_string().contains("self-loop at vertex 2"));
-        let e = GraphError::Graph6Parse { reason: "truncated".into() };
+        let e = GraphError::Graph6Parse {
+            reason: "truncated".into(),
+        };
         assert!(e.to_string().contains("truncated"));
-        let e = GraphError::OrderTooLarge { order: 100, max: 62 };
+        let e = GraphError::OrderTooLarge {
+            order: 100,
+            max: 62,
+        };
         assert!(e.to_string().contains("exceeds"));
     }
 

@@ -68,10 +68,16 @@ impl Graph {
         let mut g = Graph::empty(n);
         for (u, v) in edges {
             if u >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u, order: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u,
+                    order: n,
+                });
             }
             if v >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, order: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    order: n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { vertex: u });
@@ -105,7 +111,11 @@ impl Graph {
 
     #[inline]
     fn assert_vertex(&self, v: usize) {
-        assert!(v < self.n, "vertex {v} out of range for graph of order {}", self.n);
+        assert!(
+            v < self.n,
+            "vertex {v} out of range for graph of order {}",
+            self.n
+        );
     }
 
     #[inline]
@@ -246,7 +256,9 @@ impl Graph {
     /// Iterates all vertex pairs `(u, v)`, `u < v`, that are *not* edges.
     pub fn non_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |u| {
-            ((u + 1)..self.n).filter(move |&v| !self.has_edge(u, v)).map(move |v| (u, v))
+            ((u + 1)..self.n)
+                .filter(move |&v| !self.has_edge(u, v))
+                .map(move |v| (u, v))
         })
     }
 
@@ -281,7 +293,10 @@ impl Graph {
         assert_eq!(perm.len(), self.n, "permutation length must equal order");
         let mut seen = vec![false; self.n];
         for &p in perm {
-            assert!(p < self.n && !seen[p], "relabel requires a permutation of 0..order");
+            assert!(
+                p < self.n && !seen[p],
+                "relabel requires a permutation of 0..order"
+            );
             seen[p] = true;
         }
         let mut g = Graph::empty(self.n);
@@ -397,16 +412,25 @@ mod tests {
         assert!(Graph::from_edges(3, [(0, 1), (1, 2)]).is_ok());
         assert_eq!(
             Graph::from_edges(3, [(0, 3)]),
-            Err(GraphError::VertexOutOfRange { vertex: 3, order: 3 })
+            Err(GraphError::VertexOutOfRange {
+                vertex: 3,
+                order: 3
+            })
         );
-        assert_eq!(Graph::from_edges(3, [(1, 1)]), Err(GraphError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            Graph::from_edges(3, [(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
     }
 
     #[test]
     fn edges_iteration_sorted() {
         let g = Graph::from_edges(4, [(2, 3), (0, 1), (0, 2)]).unwrap();
         assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (2, 3)]);
-        assert_eq!(g.non_edges().collect::<Vec<_>>(), vec![(0, 3), (1, 2), (1, 3)]);
+        assert_eq!(
+            g.non_edges().collect::<Vec<_>>(),
+            vec![(0, 3), (1, 2), (1, 3)]
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl Graph {
     /// workspace's workloads).
     pub fn to_graph6(&self) -> String {
         let n = self.order();
-        assert!(n <= MAX_LONG_ORDER, "graph6 supports order <= {MAX_LONG_ORDER}");
+        assert!(
+            n <= MAX_LONG_ORDER,
+            "graph6 supports order <= {MAX_LONG_ORDER}"
+        );
         let mut out = String::new();
         if n <= 62 {
             out.push((63 + n as u8) as char);
@@ -63,7 +66,9 @@ impl Graph {
     pub fn from_graph6(s: &str) -> Result<Graph, GraphError> {
         let bytes = s.trim_end().as_bytes();
         if bytes.is_empty() {
-            return Err(GraphError::Graph6Parse { reason: "empty string".into() });
+            return Err(GraphError::Graph6Parse {
+                reason: "empty string".into(),
+            });
         }
         let parse_byte = |b: u8| -> Result<usize, GraphError> {
             if !(63..=126).contains(&b) {
@@ -75,7 +80,9 @@ impl Graph {
         };
         let (n, mut pos) = if bytes[0] == 126 {
             if bytes.len() < 4 {
-                return Err(GraphError::Graph6Parse { reason: "truncated extended order".into() });
+                return Err(GraphError::Graph6Parse {
+                    reason: "truncated extended order".into(),
+                });
             }
             if bytes[1] == 126 {
                 return Err(GraphError::Graph6Parse {
@@ -100,7 +107,9 @@ impl Graph {
         }
         while bit_idx < total_bits {
             if pos >= bytes.len() {
-                return Err(GraphError::Graph6Parse { reason: "truncated bit payload".into() });
+                return Err(GraphError::Graph6Parse {
+                    reason: "truncated bit payload".into(),
+                });
             }
             let chunk = parse_byte(bytes[pos])?;
             pos += 1;
@@ -172,5 +181,86 @@ mod tests {
     fn trailing_newline_tolerated() {
         let g = Graph::from_graph6("Bw\n").unwrap();
         assert_eq!(g, Graph::complete(3));
+    }
+
+    /// SplitMix64 — a tiny deterministic generator so the property tests
+    /// need no external dependency.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_graph(state: &mut u64, n: usize, density_num: u64) -> Graph {
+        let mut g = Graph::empty(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if splitmix(state) % 8 < density_num {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn round_trip_property_random_graphs() {
+        // Round-trip decode(encode(g)) == g over seeded random graphs of
+        // every short-form order class and several densities, including
+        // the 62-vertex short-form boundary.
+        let mut state = 0x6_2026u64;
+        for n in [2usize, 5, 8, 13, 21, 33, 62] {
+            for density in [1u64, 4, 7] {
+                for _ in 0..8 {
+                    let g = random_graph(&mut state, n, density);
+                    let enc = g.to_graph6();
+                    let dec = Graph::from_graph6(&enc).unwrap();
+                    assert_eq!(dec, g, "n={n} density={density}/8 enc={enc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_property_extended_form() {
+        // Orders above 62 use the 4-byte extended header.
+        let mut state = 0xE47u64;
+        for n in [63usize, 64, 65, 100, 127] {
+            let g = random_graph(&mut state, n, 1);
+            let enc = g.to_graph6();
+            assert_eq!(enc.as_bytes()[0], 126, "n={n} must use the extended form");
+            assert_eq!(Graph::from_graph6(&enc).unwrap(), g, "n={n}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_on_distinct_graphs() {
+        // Same order, different edge sets ⇒ different encodings (the
+        // payload is a fixed-position bitmap).
+        let mut state = 0x1D1u64;
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..200 {
+            let g = random_graph(&mut state, 9, 4);
+            let enc = g.to_graph6();
+            if let Some(prev) = seen.insert(enc.clone(), g.clone()) {
+                assert_eq!(prev, g, "two distinct graphs shared encoding {enc}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_bytes_stay_in_printable_range() {
+        let mut state = 0x99u64;
+        for n in [0usize, 1, 7, 30, 70] {
+            let g = random_graph(&mut state, n, 5);
+            for b in g.to_graph6().bytes() {
+                assert!(
+                    (63..=126).contains(&b),
+                    "byte {b} out of graph6 range (n={n})"
+                );
+            }
+        }
     }
 }

@@ -55,7 +55,13 @@ impl Graph {
     /// The diameter of a single vertex is 0.
     pub fn diameter(&self) -> Option<u32> {
         (0..self.order().max(1))
-            .map(|v| if self.order() == 0 { Some(0) } else { self.eccentricity(v) })
+            .map(|v| {
+                if self.order() == 0 {
+                    Some(0)
+                } else {
+                    self.eccentricity(v)
+                }
+            })
             .try_fold(0u32, |acc, e| e.map(|e| acc.max(e)))
     }
 
@@ -138,7 +144,11 @@ impl Graph {
         for u in 0..n {
             for v in (u + 1)..n {
                 let c = self.common_neighbors(u, v);
-                let slot = if self.has_edge(u, v) { &mut lambda } else { &mut mu };
+                let slot = if self.has_edge(u, v) {
+                    &mut lambda
+                } else {
+                    &mut mu
+                };
                 match slot {
                     None => *slot = Some(c),
                     Some(x) if *x == c => {}
@@ -146,7 +156,12 @@ impl Graph {
                 }
             }
         }
-        Some(SrgParams { n, k, lambda: lambda?, mu: mu? })
+        Some(SrgParams {
+            n,
+            k,
+            lambda: lambda?,
+            mu: mu?,
+        })
     }
 
     /// Whether the graph is a tree (connected, `m = n - 1`).
@@ -230,7 +245,10 @@ pub fn moore_bound(k: usize, d: u32) -> u64 {
 ///
 /// Panics if `k < 2` or `g < 3`.
 pub fn cage_bound(k: usize, g: u32) -> u64 {
-    assert!(k >= 2 && g >= 3, "cage bound needs degree >= 2 and girth >= 3");
+    assert!(
+        k >= 2 && g >= 3,
+        "cage bound needs degree >= 2 and girth >= 3"
+    );
     let k = k as u64;
     if g % 2 == 1 {
         // 1 + k * sum_{i=0}^{(g-3)/2} (k-1)^i
@@ -308,7 +326,12 @@ mod tests {
         // C5 is SRG(5, 2, 0, 1).
         assert_eq!(
             cycle(5).srg_params(),
-            Some(SrgParams { n: 5, k: 2, lambda: 0, mu: 1 })
+            Some(SrgParams {
+                n: 5,
+                k: 2,
+                lambda: 0,
+                mu: 1
+            })
         );
         // Complete and empty graphs are excluded by convention.
         assert_eq!(Graph::complete(5).srg_params(), None);

@@ -1,0 +1,211 @@
+//! Offline shim for the `criterion` API subset `bnf-bench` uses.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the `criterion_group!` / `criterion_main!` harness shape with real
+//! wall-clock measurement: each benchmark is warmed up, an iteration
+//! count is calibrated against a per-sample time budget, and the mean
+//! time per iteration over the samples is printed as
+//! `<group>/<name> ... time: <t>` (plus min/max across samples). No
+//! statistical analysis, plotting or regression tracking is performed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent per sample while measuring.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(50);
+
+/// Hard cap on the total measuring time of one benchmark.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_bench(&id.into(), 10, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+    }
+
+    /// Benchmarks `f` with an input under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (the shim prints as it goes; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds the identifier `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+/// The per-benchmark timing handle; call [`Bencher::iter`] exactly once.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration of each sample, filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, iteration-count calibration, then
+    /// `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time single iterations until the
+        // budget shape is known.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples
+                .push(dt.as_nanos() as f64 / iters_per_sample as f64);
+            if bench_start.elapsed() > BENCH_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<44} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{label:<44} time: [{} {} {}]  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "the closure must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sweep", 7).0, "sweep/7");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

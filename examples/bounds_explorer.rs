@@ -9,17 +9,28 @@ use bilateral_formation::empirics::{prop3_series, prop4_rows, SweepConfig, Sweep
 
 fn main() {
     println!("== Proposition 3: PoA grows like log2(alpha) along the Moore family ==\n");
-    println!("{:<20} {:>4} {:>6} {:>10} {:>12} {:>12}", "graph", "n", "girth", "alpha_max", "log2(alpha)", "PoA");
+    println!(
+        "{:<20} {:>4} {:>6} {:>10} {:>12} {:>12}",
+        "graph", "n", "girth", "alpha_max", "log2(alpha)", "PoA"
+    );
     for r in prop3_series() {
         println!(
             "{:<20} {:>4} {:>6} {:>10} {:>12.3} {:>12.4}",
-            r.name, r.n, r.girth, r.alpha_top.to_string(), r.log2_alpha, r.poa
+            r.name,
+            r.n,
+            r.girth,
+            r.alpha_top.to_string(),
+            r.log2_alpha,
+            r.poa
         );
     }
 
     println!("\n== Proposition 4: worst-case stable PoA vs the envelope (n = 7) ==\n");
     let sweep = SweepResult::run(&SweepConfig::standard(7));
-    println!("{:>6} {:>10} {:>10} {:>8}", "alpha", "max PoA", "envelope", "ratio");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "alpha", "max PoA", "envelope", "ratio"
+    );
     for r in prop4_rows(&sweep) {
         println!(
             "{:>6} {:>10.4} {:>10.4} {:>8.4}",

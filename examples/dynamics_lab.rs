@@ -13,7 +13,12 @@ use std::collections::HashMap;
 fn main() {
     let n = 7;
     let trials = 200;
-    for alpha in [Ratio::new(1, 2), Ratio::new(3, 2), Ratio::from(3), Ratio::from(8)] {
+    for alpha in [
+        Ratio::new(1, 2),
+        Ratio::new(3, 2),
+        Ratio::from(3),
+        Ratio::from(8),
+    ] {
         println!("== alpha = {alpha} ==");
         // BCG pairwise dynamics from the empty network.
         let mut outcomes: HashMap<String, usize> = HashMap::new();
@@ -26,7 +31,7 @@ fn main() {
             *outcomes.entry(key).or_default() += 1;
         }
         let mut sorted: Vec<_> = outcomes.into_iter().collect();
-        sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        sorted.sort_by_key(|a| std::cmp::Reverse(a.1));
         println!("  BCG pairwise dynamics from empty ({trials} runs):");
         for (g6, count) in sorted.iter().take(4) {
             let g = Graph::from_graph6(g6).expect("round trip");
@@ -38,7 +43,10 @@ fn main() {
             );
         }
         if sorted.len() > 4 {
-            println!("    ... and {} more distinct stable topologies", sorted.len() - 4);
+            println!(
+                "    ... and {} more distinct stable topologies",
+                sorted.len() - 4
+            );
         }
 
         // UCG best-response dynamics from the empty profile.
@@ -51,7 +59,7 @@ fn main() {
             *ucg_outcomes.entry(key).or_default() += 1;
         }
         let mut sorted: Vec<_> = ucg_outcomes.into_iter().collect();
-        sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        sorted.sort_by_key(|a| std::cmp::Reverse(a.1));
         println!("  UCG best-response dynamics from empty ({trials} runs):");
         for (g6, count) in sorted.iter().take(4) {
             let g = Graph::from_graph6(g6).expect("round trip");

@@ -36,7 +36,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["alpha", "BCG#", "BCG PoA", "BCG links", "UCG#", "UCG PoA", "UCG links"],
+            &[
+                "alpha",
+                "BCG#",
+                "BCG PoA",
+                "BCG links",
+                "UCG#",
+                "UCG PoA",
+                "UCG links"
+            ],
             &rows
         )
     );

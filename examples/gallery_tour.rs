@@ -28,8 +28,16 @@ fn main() {
     println!("\n== Moore graphs attain the bound ==");
     let petersen = bilateral_formation::atlas::named::petersen();
     let hs = bilateral_formation::atlas::named::hoffman_singleton();
-    println!("Petersen order {} = moore_bound(3,2) = {}", petersen.order(), moore_bound(3, 2));
-    println!("Hoffman–Singleton order {} = moore_bound(7,2) = {}", hs.order(), moore_bound(7, 2));
+    println!(
+        "Petersen order {} = moore_bound(3,2) = {}",
+        petersen.order(),
+        moore_bound(3, 2)
+    );
+    println!(
+        "Hoffman–Singleton order {} = moore_bound(7,2) = {}",
+        hs.order(),
+        moore_bound(7, 2)
+    );
 
     println!("\n== Section 4.1 link-convexity exhibits ==");
     for e in extended_gallery() {

@@ -27,7 +27,7 @@ fn main() {
     );
 
     // 4. Could selfish unilateral agents sustain the ring instead?
-    let ucg = UcgAnalyzer::new(&ring);
+    let ucg = UcgAnalyzer::new(&ring).unwrap();
     println!(
         "UCG Nash-supportable anywhere? {} (footnote 5 of the paper: no, for n = 6)",
         !ucg.support_intervals().is_empty()

@@ -34,7 +34,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["alpha", "plain#", "avgPoA", "maxPoA", "transfer#", "avgPoA", "maxPoA"],
+            &[
+                "alpha",
+                "plain#",
+                "avgPoA",
+                "maxPoA",
+                "transfer#",
+                "avgPoA",
+                "maxPoA"
+            ],
             &rows
         )
     );

@@ -11,9 +11,40 @@
 //! * [`core`] — equilibrium analysis (stability windows, pairwise Nash,
 //!   link convexity, the UCG Nash solver)
 //! * [`dynamics`] — myopic pairwise and best-response dynamics
-//! * [`empirics`] — the figure-regenerating sweep harness
+//! * [`engine`] — the shared classify-every-graph analysis pipeline
+//!   (work-stealing executor, per-worker scratch, `Analysis` jobs)
+//! * [`empirics`] — the figure-regenerating sweeps, defined as thin
+//!   engine jobs
 //!
-//! # Examples
+//! # Quickstart
+//!
+//! Build everything and run the test suite:
+//!
+//! ```text
+//! cargo build --release
+//! cargo test -q
+//! ```
+//!
+//! Regenerate Figure 2 (average price of anarchy of equilibrium
+//! networks across the link-cost grid; `--n 8` for the bigger sweep,
+//! `--csv` for machine-readable output, `--threads T` to size the
+//! engine's worker pool):
+//!
+//! ```text
+//! cargo run --release -p bnf-empirics --bin fig2_avg_poa -- --n 7
+//! ```
+//!
+//! The other figure binaries follow the same shape: `fig3_avg_links`,
+//! `fig1_gallery`, `poa_bounds`, `lemma6_cycles`, `efficiency_scan`.
+//!
+//! Benchmark the engine-backed pipeline (baseline numbers live in
+//! CHANGES.md):
+//!
+//! ```text
+//! cargo bench -p bnf-bench --bench fig2_fig3_sweep
+//! ```
+//!
+//! # Library example
 //!
 //! ```
 //! use bilateral_formation::prelude::*;
@@ -22,6 +53,23 @@
 //! let window = stability_window(&c6).expect("C6 is stable somewhere");
 //! assert!(window.contains(Ratio::from(4)));
 //! ```
+//!
+//! Defining a new exhaustive study is one [`engine::Analysis`] impl:
+//!
+//! ```
+//! use bilateral_formation::engine::{Analysis, AnalysisEngine, WorkerScratch};
+//! use bilateral_formation::graph::Graph;
+//!
+//! struct DiameterCensus;
+//! impl Analysis for DiameterCensus {
+//!     type Output = u32;
+//!     fn classify(&self, g: &Graph, _s: &mut WorkerScratch) -> u32 {
+//!         g.diameter().expect("connected")
+//!     }
+//! }
+//! let diameters = AnalysisEngine::new(2).run_connected(5, &DiameterCensus);
+//! assert_eq!(diameters.len(), 21);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -29,6 +77,7 @@ pub use bnf_atlas as atlas;
 pub use bnf_core as core;
 pub use bnf_dynamics as dynamics;
 pub use bnf_empirics as empirics;
+pub use bnf_engine as engine;
 pub use bnf_enumerate as enumerate;
 pub use bnf_games as games;
 pub use bnf_graph as graph;
@@ -39,6 +88,7 @@ pub mod prelude {
         is_link_convex, is_pairwise_nash, is_pairwise_stable, stability_window, DeltaCalc,
         DistanceDelta, StabilityWindow, Threshold, UcgAnalyzer,
     };
+    pub use bnf_engine::{Analysis, AnalysisEngine, WorkerScratch};
     pub use bnf_games::{
         efficient_graph, optimal_social_cost, price_of_anarchy, social_cost, GameKind, Ratio,
         StrategyProfile,

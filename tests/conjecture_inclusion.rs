@@ -25,7 +25,7 @@ fn conjecture_holds_generically_up_to_n5() {
             if ucg_necessary_window(&g).is_none() {
                 continue;
             }
-            let ucg = UcgAnalyzer::new(&g);
+            let ucg = UcgAnalyzer::new(&g).unwrap();
             for &alpha in &generic_alphas() {
                 if ucg.is_nash_supportable(alpha) {
                     assert!(
@@ -41,7 +41,7 @@ fn conjecture_holds_generically_up_to_n5() {
 #[test]
 fn conjecture_fails_from_n6() {
     let (theta, alpha) = conjecture_counterexample();
-    let ucg = UcgAnalyzer::new(&theta);
+    let ucg = UcgAnalyzer::new(&theta).unwrap();
     assert!(ucg.is_nash_supportable(alpha));
     assert!(!is_pairwise_stable(&theta, alpha));
     // And the violation is an interval, not a knife edge: any α in
@@ -63,7 +63,7 @@ fn violations_at_n6_all_share_the_nonowner_mechanism() {
         if ucg_necessary_window(&g).is_none() {
             continue;
         }
-        let ucg = UcgAnalyzer::new(&g);
+        let ucg = UcgAnalyzer::new(&g).unwrap();
         for &alpha in &generic_alphas() {
             if !ucg.is_nash_supportable(alpha) || is_pairwise_stable(&g, alpha) {
                 continue;

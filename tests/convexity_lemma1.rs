@@ -29,7 +29,10 @@ fn lemma2_link_convex_implies_nonempty_window() {
             let w = lemma2_window(&g).expect("premise holds");
             assert!(!w.is_empty(), "Lemma 2 violated on {g:?}");
             let alpha = w.sample().expect("nonempty window samples");
-            assert!(is_pairwise_stable(&g, alpha), "{g:?} at sampled alpha {alpha}");
+            assert!(
+                is_pairwise_stable(&g, alpha),
+                "{g:?} at sampled alpha {alpha}"
+            );
         }
     }
     // Link convexity is a strong global condition; exact counts at

@@ -5,17 +5,19 @@
 //! bound always dominates the BCG window's lower end, and the UCG's
 //! necessary upper bound dominates the BCG's (only the owner can sever).
 
-use bilateral_formation::core::{
-    stability_window, ucg_necessary_window, Threshold, UcgAnalyzer,
-};
+use bilateral_formation::core::{stability_window, ucg_necessary_window, Threshold, UcgAnalyzer};
 use bilateral_formation::enumerate::connected_graphs;
 
 #[test]
 fn ucg_lower_dominates_bcg_lower_exhaustive() {
     for n in 3..=7 {
         for g in connected_graphs(n) {
-            let Some(nec) = ucg_necessary_window(&g) else { continue };
-            let Some(w) = stability_window(&g) else { continue };
+            let Some(nec) = ucg_necessary_window(&g) else {
+                continue;
+            };
+            let Some(w) = stability_window(&g) else {
+                continue;
+            };
             assert!(
                 nec.lo >= w.lower.value,
                 "UCG lower must dominate BCG lower on {g:?}: {} vs {}",
@@ -46,7 +48,7 @@ fn exact_ucg_support_within_necessary_window() {
                 // No necessary window: the exact solver must agree.
                 continue;
             };
-            let solver = UcgAnalyzer::new(&g);
+            let solver = UcgAnalyzer::new(&g).unwrap();
             for iv in solver.support_intervals() {
                 if iv.lo > bilateral_formation::prelude::Ratio::ZERO {
                     assert!(nec.contains(iv.lo), "{g:?}");

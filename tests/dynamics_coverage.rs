@@ -56,7 +56,7 @@ fn best_response_fixed_points_are_ucg_nash_graphs() {
         let alpha = Ratio::from(a);
         let r = run_best_response_dynamics(&StrategyProfile::new(n), alpha, &mut rng, 400);
         assert!(r.converged);
-        let solver = UcgAnalyzer::new(&r.graph);
+        let solver = UcgAnalyzer::new(&r.graph).unwrap();
         assert!(
             solver.is_nash_supportable(alpha),
             "BR dynamics fixed point not Nash-supportable at alpha={alpha}: {:?}",

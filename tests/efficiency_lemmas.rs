@@ -4,11 +4,9 @@
 //! side of both lemmas (K_n uniquely stable below 1; the star stable but
 //! not unique above 1).
 
-use bilateral_formation::enumerate::connected_graphs;
-use bilateral_formation::games::{
-    optimal_social_cost, CostSummary, GameKind, Ratio,
-};
 use bilateral_formation::core::stability_window;
+use bilateral_formation::enumerate::connected_graphs;
+use bilateral_formation::games::{optimal_social_cost, CostSummary, GameKind, Ratio};
 use bilateral_formation::graph::Graph;
 
 fn is_star(g: &Graph) -> bool {
@@ -25,14 +23,24 @@ fn efficient_graph_brute_force_both_games() {
     for n in 4..=6 {
         let graphs = connected_graphs(n);
         for kind in [GameKind::Bilateral, GameKind::Unilateral] {
-            for &(p, q) in
-                &[(1i64, 4i64), (1, 2), (3, 4), (1, 1), (3, 2), (2, 1), (3, 1), (5, 1), (9, 1)]
-            {
+            for &(p, q) in &[
+                (1i64, 4i64),
+                (1, 2),
+                (3, 4),
+                (1, 1),
+                (3, 2),
+                (2, 1),
+                (3, 1),
+                (5, 1),
+                (9, 1),
+            ] {
                 let alpha = Ratio::new(p, q);
                 let costs: Vec<Ratio> = graphs
                     .iter()
                     .map(|g| {
-                        CostSummary::of(g, kind).social_cost_exact(alpha).expect("connected")
+                        CostSummary::of(g, kind)
+                            .social_cost_exact(alpha)
+                            .expect("connected")
                     })
                     .collect();
                 let min = costs.iter().copied().min().expect("nonempty");
@@ -63,7 +71,9 @@ fn efficient_graph_brute_force_both_games() {
                         .filter(|g| g.diameter().is_some_and(|d| d <= 2))
                         .count();
                     assert_eq!(minimizers.len(), diam2);
-                    assert!(minimizers.iter().all(|g| g.diameter().is_some_and(|d| d <= 2)));
+                    assert!(minimizers
+                        .iter()
+                        .all(|g| g.diameter().is_some_and(|d| d <= 2)));
                     assert!(minimizers.iter().any(|g| is_star(g)));
                     assert!(minimizers.iter().any(|g| is_complete(g)));
                 }

@@ -9,26 +9,22 @@ use bilateral_formation::enumerate::{
 
 #[test]
 fn graph_counts_to_n8() {
-    for n in 0..=8 {
-        assert_eq!(all_graphs(n).len() as u64, GRAPH_COUNTS[n], "n={n}");
+    for (n, &want) in GRAPH_COUNTS.iter().enumerate().take(9) {
+        assert_eq!(all_graphs(n).len() as u64, want, "n={n}");
     }
 }
 
 #[test]
 fn connected_counts_to_n8() {
-    for n in 0..=8 {
-        assert_eq!(
-            connected_graphs(n).len() as u64,
-            CONNECTED_GRAPH_COUNTS[n],
-            "n={n}"
-        );
+    for (n, &want) in CONNECTED_GRAPH_COUNTS.iter().enumerate().take(9) {
+        assert_eq!(connected_graphs(n).len() as u64, want, "n={n}");
     }
 }
 
 #[test]
 fn tree_counts_to_n10() {
-    for n in 0..=10 {
-        assert_eq!(free_trees(n).len() as u64, FREE_TREE_COUNTS[n], "n={n}");
+    for (n, &want) in FREE_TREE_COUNTS.iter().enumerate() {
+        assert_eq!(free_trees(n).len() as u64, want, "n={n}");
     }
 }
 

@@ -23,7 +23,7 @@ fn trees_have_unbounded_windows() {
     for t in free_trees(8) {
         let w = stability_window(&t).expect("trees are connected");
         assert_eq!(w.upper, Threshold::Infinite, "{t:?}");
-        let ucg = UcgAnalyzer::new(&t);
+        let ucg = UcgAnalyzer::new(&t).unwrap();
         if let Some(last) = ucg.support_intervals().last() {
             assert_eq!(last.hi, Threshold::Infinite, "{t:?}");
         }
@@ -38,7 +38,7 @@ fn star_windows_match_in_both_games() {
     let bcg = stability_window(&star).unwrap();
     assert!(bcg.contains(Ratio::ONE));
     assert!(!bcg.contains(Ratio::new(99, 100)));
-    let ucg = UcgAnalyzer::new(&star);
+    let ucg = UcgAnalyzer::new(&star).unwrap();
     let support = ucg.support_intervals();
     assert_eq!(support.len(), 1);
     assert_eq!(support[0].lo, Ratio::ONE);

@@ -1,90 +1,116 @@
 //! Property-based tests over random graphs: canonical-labelling
 //! invariance, stability-window/direct-definition agreement, Lemma 1
 //! convexity, graph6 round-trips, and delta-calculus consistency.
+//!
+//! Driven by the workspace's seeded generator rather than an external
+//! property-testing framework (the build environment is offline; see
+//! crates/shims/README.md): each property is checked on a fixed number
+//! of seeded random cases, so failures are exactly reproducible.
 
 use bilateral_formation::core::{
     cost_convex, is_pairwise_stable, stability_window, DeltaCalc, DistanceDelta,
 };
 use bilateral_formation::graph::Graph;
 use bilateral_formation::prelude::Ratio;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random graph on `n` vertices from independent edge flags.
-fn graph_strategy(n: usize) -> impl Strategy<Value = Graph> {
-    let pairs = n * (n - 1) / 2;
-    proptest::collection::vec(any::<bool>(), pairs).prop_map(move |flags| {
-        let mut g = Graph::empty(n);
-        let mut k = 0;
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if flags[k] {
-                    g.add_edge(u, v);
-                }
-                k += 1;
+const CASES: usize = 64;
+
+/// A random graph on `n` vertices from independent edge flags.
+fn random_graph(rng: &mut StdRng, n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.5) {
+                g.add_edge(u, v);
             }
         }
-        g
-    })
+    }
+    g
 }
 
-fn permutation_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
-    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+fn random_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
 }
 
-/// Strategy: a random *connected* graph — a random graph overlaid with a
-/// spanning path through a random vertex order.
-fn connected_graph_strategy(n: usize) -> impl Strategy<Value = Graph> {
-    (graph_strategy(n), permutation_strategy(n)).prop_map(|(mut g, order)| {
-        for w in order.windows(2) {
-            g.add_edge(w[0], w[1]);
-        }
-        g
-    })
+/// A random *connected* graph — a random graph overlaid with a spanning
+/// path through a random vertex order.
+fn random_connected_graph(rng: &mut StdRng, n: usize) -> Graph {
+    let mut g = random_graph(rng, n);
+    let order = random_permutation(rng, n);
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn canonical_key_is_permutation_invariant(
-        g in graph_strategy(7),
-        perm in permutation_strategy(7),
-    ) {
+#[test]
+fn canonical_key_is_permutation_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xC4A0);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 7);
+        let perm = random_permutation(&mut rng, 7);
         let relabelled = g.relabel(&perm);
-        prop_assert_eq!(g.canonical_key(), relabelled.canonical_key());
-        prop_assert_eq!(g.canonical_form(), relabelled.canonical_form());
+        assert_eq!(
+            g.canonical_key(),
+            relabelled.canonical_key(),
+            "case {case}: {g:?}"
+        );
+        assert_eq!(
+            g.canonical_form(),
+            relabelled.canonical_form(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn graph6_round_trip(g in graph_strategy(9)) {
+#[test]
+fn graph6_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x6A6);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 9);
         let enc = g.to_graph6();
-        prop_assert_eq!(Graph::from_graph6(&enc).unwrap(), g);
+        assert_eq!(Graph::from_graph6(&enc).unwrap(), g, "case {case}: {enc}");
     }
+}
 
-    #[test]
-    fn window_matches_direct_stability(
-        g in graph_strategy(6),
-        num in 1i64..40,
-        den in 1i64..5,
-    ) {
+#[test]
+fn window_matches_direct_stability() {
+    let mut rng = StdRng::seed_from_u64(0x51AB);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 6);
+        let num = 1 + rng.gen_range(0..39usize) as i64;
+        let den = 1 + rng.gen_range(0..4usize) as i64;
         let alpha = Ratio::new(num, den);
         let direct = is_pairwise_stable(&g, alpha);
         let via_window = stability_window(&g).is_some_and(|w| w.contains(alpha));
-        prop_assert_eq!(direct, via_window, "graph {:?} alpha {}", g, alpha);
+        assert_eq!(direct, via_window, "case {case}: graph {g:?} alpha {alpha}");
     }
+}
 
-    #[test]
-    fn lemma1_convexity_random(g in graph_strategy(7)) {
-        prop_assert!(cost_convex(&g));
+#[test]
+fn lemma1_convexity_random() {
+    let mut rng = StdRng::seed_from_u64(0x1E44A);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 7);
+        assert!(cost_convex(&g), "case {case}: {g:?}");
     }
+}
 
-    #[test]
-    fn add_then_drop_deltas_are_inverse(g in connected_graph_strategy(6)) {
-        // For any missing edge (u,v) of a connected graph: adding it and
-        // then asking the drop delta in the new graph must recover the
-        // addition benefit. (Restricted to connected graphs: on
-        // disconnected ones the two deltas use deliberately asymmetric
-        // infinite-cost conventions — see DeltaCalc's docs.)
+#[test]
+fn add_then_drop_deltas_are_inverse() {
+    // For any missing edge (u,v) of a connected graph: adding it and
+    // then asking the drop delta in the new graph must recover the
+    // addition benefit. (Restricted to connected graphs: on
+    // disconnected ones the two deltas use deliberately asymmetric
+    // infinite-cost conventions — see DeltaCalc's docs.)
+    let mut rng = StdRng::seed_from_u64(0xADD);
+    for case in 0..CASES {
+        let g = random_connected_graph(&mut rng, 6);
         let non_edges: Vec<(usize, usize)> = g.non_edges().collect();
         for (u, v) in non_edges {
             let mut calc = DeltaCalc::new(&g);
@@ -94,25 +120,37 @@ proptest! {
             let drop = calc2.drop_delta(u, v);
             match (add, drop) {
                 (DistanceDelta::Finite(a), DistanceDelta::Finite(d)) => {
-                    prop_assert_eq!(a, d, "({},{}) in {:?}", u, v, g)
+                    assert_eq!(a, d, "case {case}: ({u},{v}) in {g:?}")
                 }
                 (DistanceDelta::Infinite, DistanceDelta::Infinite) => {}
-                other => prop_assert!(false, "mismatched finiteness {:?}", other),
+                other => panic!("case {case}: mismatched finiteness {other:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn automorphism_count_divides_factorial(g in graph_strategy(6)) {
-        // |Aut(G)| divides n! (Lagrange) — a cheap structural sanity
-        // check on the counting search.
+#[test]
+fn automorphism_count_divides_factorial() {
+    // |Aut(G)| divides n! (Lagrange) — a cheap structural sanity
+    // check on the counting search.
+    let mut rng = StdRng::seed_from_u64(0xA07);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 6);
         let aut = g.automorphism_count();
-        prop_assert!(aut >= 1);
-        prop_assert_eq!(720 % aut, 0, "|Aut|={} must divide 6!", aut);
+        assert!(aut >= 1, "case {case}");
+        assert_eq!(720 % aut, 0, "case {case}: |Aut|={aut} must divide 6!");
     }
+}
 
-    #[test]
-    fn complement_has_same_automorphism_count(g in graph_strategy(6)) {
-        prop_assert_eq!(g.automorphism_count(), g.complement().automorphism_count());
+#[test]
+fn complement_has_same_automorphism_count() {
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 6);
+        assert_eq!(
+            g.automorphism_count(),
+            g.complement().automorphism_count(),
+            "case {case}: {g:?}"
+        );
     }
 }

@@ -22,7 +22,13 @@ fn equal_benefits_make_the_lower_end_inclusive() {
     // benefits (2, 2): at α = 2 neither endpoint *strictly* gains, so the
     // pair is not blocking and C6 is stable at its own α_min.
     let w = stability_window(&cycle(6)).unwrap();
-    assert_eq!(w.lower, LowerBound { value: Ratio::from(2), inclusive: true });
+    assert_eq!(
+        w.lower,
+        LowerBound {
+            value: Ratio::from(2),
+            inclusive: true
+        }
+    );
     assert!(is_pairwise_stable(&cycle(6), Ratio::from(2)));
 }
 
@@ -43,7 +49,13 @@ fn octahedron_point_window() {
     // SRG with λ > 0, μ > 1: stable at exactly one link cost.
     let oct = bilateral_formation::atlas::named::octahedron();
     let w = stability_window(&oct).unwrap();
-    assert_eq!(w.lower, LowerBound { value: Ratio::ONE, inclusive: true });
+    assert_eq!(
+        w.lower,
+        LowerBound {
+            value: Ratio::ONE,
+            inclusive: true
+        }
+    );
     assert_eq!(w.upper, Threshold::Finite(Ratio::ONE));
     assert!(!w.is_empty());
     assert!(is_pairwise_stable(&oct, Ratio::ONE));

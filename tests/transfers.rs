@@ -3,8 +3,7 @@
 //! effect on the stable set at small n.
 
 use bilateral_formation::core::{
-    is_pairwise_stable, is_transfer_stable, stability_window, transfer_stability_window,
-    Threshold,
+    is_pairwise_stable, is_transfer_stable, stability_window, transfer_stability_window, Threshold,
 };
 use bilateral_formation::enumerate::connected_graphs;
 use bilateral_formation::prelude::Ratio;
@@ -36,8 +35,12 @@ fn transfer_window_ends_dominate_plain_ends() {
     // window's ends.
     for n in 3..=7 {
         for g in connected_graphs(n) {
-            let Some(plain) = stability_window(&g) else { continue };
-            let Some(with) = transfer_stability_window(&g) else { continue };
+            let Some(plain) = stability_window(&g) else {
+                continue;
+            };
+            let Some(with) = transfer_stability_window(&g) else {
+                continue;
+            };
             assert!(with.lo >= plain.lower.value, "{g:?}");
             match (with.hi, plain.upper) {
                 (Threshold::Finite(t), Threshold::Finite(p)) => {

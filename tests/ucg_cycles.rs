@@ -9,7 +9,7 @@ use bilateral_formation::core::{cycle_stability_window, UcgAnalyzer};
 #[test]
 fn long_cycles_never_ucg_nash() {
     for n in 6..=9 {
-        let ucg = UcgAnalyzer::new(&cycle(n));
+        let ucg = UcgAnalyzer::new(&cycle(n)).unwrap();
         assert!(
             ucg.support_intervals().is_empty(),
             "C{n} should not be Nash-supportable in the UCG"
@@ -20,7 +20,7 @@ fn long_cycles_never_ucg_nash() {
 #[test]
 fn short_cycles_are_ucg_nash_somewhere() {
     for n in 3..=5 {
-        let ucg = UcgAnalyzer::new(&cycle(n));
+        let ucg = UcgAnalyzer::new(&cycle(n)).unwrap();
         assert!(
             !ucg.support_intervals().is_empty(),
             "C{n} should be Nash-supportable for some alpha"
