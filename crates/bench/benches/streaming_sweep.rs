@@ -1,0 +1,30 @@
+//! Streaming vs materializing enumeration sweeps (PR 2): the same
+//! `SweepJob` driven through `AnalysisEngine::run_connected` (full list
+//! up front) and `run_connected_streaming` (bounded-channel producer,
+//! prefix-sharded dedup). Peak-RSS comparisons live in CHANGES.md —
+//! high-water marks need separate processes, so they are recorded from
+//! `fig2_avg_poa --streaming` runs rather than measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bnf_empirics::{SweepConfig, SweepResult};
+
+fn bench_streaming_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_sweep");
+    group.sample_size(10);
+    for n in [7usize, 8] {
+        group.bench_with_input(BenchmarkId::new("materializing", n), &n, |b, &n| {
+            let config = SweepConfig::standard(n);
+            b.iter(|| black_box(SweepResult::run(&config)))
+        });
+        group.bench_with_input(BenchmarkId::new("streaming", n), &n, |b, &n| {
+            let config = SweepConfig::standard(n);
+            b.iter(|| black_box(SweepResult::run_streaming(&config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_sweep);
+criterion_main!(benches);

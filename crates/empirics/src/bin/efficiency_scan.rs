@@ -4,10 +4,43 @@
 //! uniqueness of the minimizer. Thin wrapper over
 //! `bnf_empirics::efficiency` (the engine job does the work).
 //!
-//! Usage: efficiency_scan [--n 7] [--threads T]
+//! Usage: efficiency_scan [--n 7] [--threads T] [--streaming]
 
-use bnf_empirics::{arg_value, default_threads, efficiency_rows, render_table};
+use bnf_empirics::MinimizerShape;
+use bnf_empirics::{
+    arg_flag, arg_value, default_threads, efficiency_rows, efficiency_rows_streaming, render_table,
+    report_peak_rss,
+};
 use bnf_games::Ratio;
+
+/// Lists small minimizer sets verbatim; summarizes by shape otherwise
+/// (at α = 1 every diameter-≤ 2 graph ties, which at n = 9 is tens of
+/// thousands of entries — unprintable as a table cell).
+fn minimizer_cell(minimizers: &[MinimizerShape]) -> String {
+    if minimizers.len() <= 8 {
+        return minimizers
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("+");
+    }
+    let complete = minimizers
+        .iter()
+        .filter(|s| matches!(s, MinimizerShape::Complete))
+        .count();
+    let star = minimizers
+        .iter()
+        .filter(|s| matches!(s, MinimizerShape::Star))
+        .count();
+    let other = minimizers.len() - complete - star;
+    let mut parts = Vec::new();
+    for (count, label) in [(complete, "complete"), (star, "star"), (other, "other")] {
+        if count > 0 {
+            parts.push(format!("{label}x{count}"));
+        }
+    }
+    parts.join("+")
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +58,17 @@ fn main() {
         Ratio::from(4),
         Ratio::from(8),
     ];
-    let scan = efficiency_rows(n, &alphas, threads);
+    let streaming = arg_flag(&args, "--streaming");
+    let scan = if streaming {
+        efficiency_rows_streaming(n, &alphas, threads)
+    } else {
+        efficiency_rows(n, &alphas, threads)
+    };
+    report_peak_rss(if streaming {
+        "streaming"
+    } else {
+        "materializing"
+    });
     let rows: Vec<Vec<String>> = scan
         .rows
         .iter()
@@ -36,11 +79,7 @@ fn main() {
                 r.formula.to_string(),
                 r.matches.to_string(),
                 r.minimizers.len().to_string(),
-                r.minimizers
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("+"),
+                minimizer_cell(&r.minimizers),
             ]
         })
         .collect();

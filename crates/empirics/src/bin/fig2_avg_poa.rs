@@ -2,11 +2,16 @@
 //! in the BCG (pairwise stable) and the UCG (Nash) as a function of link
 //! cost, over all connected non-isomorphic topologies on n vertices.
 //!
-//! Usage: fig2_avg_poa [--n 7] [--threads T] [--csv]
-//! (The paper used n = 10; see DESIGN.md §4 for the n-substitution.)
+//! Usage: fig2_avg_poa [--n 7] [--threads T] [--csv] [--streaming]
+//! (The paper used n = 10; see DESIGN.md §4 for the n-substitution.
+//! `--streaming` classifies graphs as the enumeration generates them —
+//! same output bit for bit, and the enumeration never materializes the
+//! graph list (its memory is one level's frontier; the per-topology
+//! records still scale with the count). Combine with the BNF_MAX_N env
+//! var for n ≥ 9.)
 
 use bnf_empirics::{
-    arg_flag, arg_value, fmt_stat, render_csv, render_table, SweepConfig, SweepResult,
+    arg_flag, arg_value, fmt_stat, render_csv, render_table, run_sweep_cli, SweepConfig,
 };
 use bnf_games::GameKind;
 
@@ -17,9 +22,7 @@ fn main() {
     if let Some(t) = arg_value(&args, "--threads") {
         config.threads = t.parse().expect("--threads wants a number");
     }
-    eprintln!("enumerating and classifying all connected topologies on n={n} vertices...");
-    let sweep = SweepResult::run(&config);
-    eprintln!("classified {} topologies", sweep.records.len());
+    let sweep = run_sweep_cli(&config, &args);
     let bcg = sweep.stats(GameKind::Bilateral);
     let ucg = sweep.stats(GameKind::Unilateral);
     let headers = [

@@ -1,10 +1,10 @@
 //! Reproduces Figure 3: average number of links in equilibrium networks
 //! of the BCG and UCG as a function of link cost.
 //!
-//! Usage: fig3_avg_links [--n 7] [--threads T] [--csv]
+//! Usage: fig3_avg_links [--n 7] [--threads T] [--csv] [--streaming]
 
 use bnf_empirics::{
-    arg_flag, arg_value, fmt_stat, render_csv, render_table, SweepConfig, SweepResult,
+    arg_flag, arg_value, fmt_stat, render_csv, render_table, run_sweep_cli, SweepConfig,
 };
 use bnf_games::GameKind;
 
@@ -15,8 +15,7 @@ fn main() {
     if let Some(t) = arg_value(&args, "--threads") {
         config.threads = t.parse().expect("--threads wants a number");
     }
-    eprintln!("enumerating and classifying all connected topologies on n={n} vertices...");
-    let sweep = SweepResult::run(&config);
+    let sweep = run_sweep_cli(&config, &args);
     let bcg = sweep.stats(GameKind::Bilateral);
     let ucg = sweep.stats(GameKind::Unilateral);
     let headers = [

@@ -3,10 +3,10 @@
 //! and Moore graphs) and the empirical worst-case PoA against the
 //! min(sqrt(a), n/sqrt(a)) envelope.
 //!
-//! Usage: poa_bounds [--n 7] [--threads T]
+//! Usage: poa_bounds [--n 7] [--threads T] [--streaming]
 
 use bnf_empirics::{
-    arg_value, fmt_stat, prop3_series, prop4_rows, render_table, SweepConfig, SweepResult,
+    arg_value, fmt_stat, prop3_series, prop4_rows, render_table, run_sweep_cli, SweepConfig,
 };
 
 fn main() {
@@ -49,8 +49,8 @@ fn main() {
     if let Some(t) = arg_value(&args, "--threads") {
         config.threads = t.parse().expect("--threads wants a number");
     }
-    eprintln!("\nsweeping all connected topologies on n={n} vertices for Prop 4...");
-    let sweep = SweepResult::run(&config);
+    // run_sweep_cli prints the enumeration banner and peak RSS.
+    let sweep = run_sweep_cli(&config, &args);
     let rows: Vec<Vec<String>> = prop4_rows(&sweep)
         .into_iter()
         .map(|r| {

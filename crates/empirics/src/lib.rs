@@ -18,6 +18,14 @@
 //! [`AnalysisEngine`](bnf_engine::AnalysisEngine): the engine owns
 //! enumeration, work-stealing execution and per-worker scratch reuse;
 //! the modules own only what to compute per item and how to aggregate.
+//!
+//! The sweep-driven binaries accept `--streaming` to classify
+//! topologies as the enumeration generates them: bit-identical output,
+//! no materialized graph list (the enumeration side holds one level's
+//! frontier — see `bnf-stream`; the classified records themselves still
+//! scale with the topology count). All exhaustive scans honour the
+//! `BNF_MAX_N` environment variable ([`max_sweep_n`]) so `n = 9/10`
+//! opt-ins need no recompile.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -35,13 +43,81 @@ pub use bounds::{prop3_series, prop4_rows, window_top_poa, LowerBoundRow, UpperB
 pub use bnf_engine::{default_threads, parallel_map};
 pub use cycles::{lemma6_rows, CycleRow};
 pub use efficiency::{
-    efficiency_rows, EfficiencyJob, EfficiencyRecord, EfficiencyRow, EfficiencyScan, MinimizerShape,
+    efficiency_rows, efficiency_rows_streaming, EfficiencyJob, EfficiencyRecord, EfficiencyRow,
+    EfficiencyScan, MinimizerShape,
 };
 pub use gallery::{extended_gallery, figure1_gallery, GalleryEntry};
 pub use sweep::{
     stable_catalog, EquilibriumStats, GraphRecord, SweepConfig, SweepJob, SweepResult,
 };
 pub use tables::{fmt_stat, render_csv, render_table};
+
+/// Default ceiling on exhaustive sweep orders without an explicit
+/// opt-in: the UCG orientation solve over all 261 080 9-vertex graphs
+/// needs a deliberate decision (minutes of CPU), not a typo.
+pub const DEFAULT_MAX_SWEEP_N: usize = 8;
+
+/// The sweep-order ceiling, overridable at *runtime* via the
+/// `BNF_MAX_N` environment variable (clamped to the enumeration bound
+/// of 10) so CI smoke steps and `n = 9/10` runs need no recompile.
+///
+/// Unset or unparsable values fall back to [`DEFAULT_MAX_SWEEP_N`].
+pub fn max_sweep_n() -> usize {
+    max_sweep_n_from(std::env::var("BNF_MAX_N").ok())
+}
+
+/// Pure core of [`max_sweep_n`], split out for testing.
+fn max_sweep_n_from(raw: Option<String>) -> usize {
+    raw.and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_MAX_SWEEP_N)
+        .min(10)
+}
+
+/// Peak resident set size of this process in kibibytes (`VmHWM` from
+/// `/proc/self/status`), `None` where unavailable.
+///
+/// The figure binaries report this so the streaming-vs-materializing
+/// memory comparison is a one-flag experiment instead of an external
+/// profiler session.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Shared front-end of the sweep-driven binaries: honours
+/// `--streaming`, runs [`SweepResult`] on the chosen enumeration path,
+/// and prints the shared diagnostics (path, topology count, peak RSS)
+/// to stderr — so each binary carries one call instead of a drifting
+/// copy of this block.
+pub fn run_sweep_cli(config: &SweepConfig, args: &[String]) -> SweepResult {
+    let streaming = arg_flag(args, "--streaming");
+    let path = if streaming {
+        "streaming"
+    } else {
+        "materializing"
+    };
+    eprintln!(
+        "classifying all connected topologies on n={} vertices ({path} enumeration)...",
+        config.n
+    );
+    let sweep = if streaming {
+        SweepResult::run_streaming(config)
+    } else {
+        SweepResult::run(config)
+    };
+    eprintln!("classified {} topologies", sweep.records.len());
+    report_peak_rss(path);
+    sweep
+}
+
+/// Prints this process's peak RSS to stderr where measurable (no-op
+/// elsewhere); `path` labels which enumeration path produced it.
+pub fn report_peak_rss(path: &str) {
+    if let Some(kb) = peak_rss_kb() {
+        eprintln!("peak RSS: {:.1} MiB ({path} path)", kb as f64 / 1024.0);
+    }
+}
 
 /// Parses `--name value` from a raw argument list (first occurrence).
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
@@ -59,6 +135,26 @@ pub fn arg_flag(args: &[String], name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn max_sweep_n_parsing() {
+        assert_eq!(max_sweep_n_from(None), DEFAULT_MAX_SWEEP_N);
+        assert_eq!(max_sweep_n_from(Some("9".into())), 9);
+        assert_eq!(max_sweep_n_from(Some(" 10 ".into())), 10);
+        // Clamped to the enumeration bound.
+        assert_eq!(max_sweep_n_from(Some("12".into())), 10);
+        // Garbage falls back to the default.
+        assert_eq!(max_sweep_n_from(Some("many".into())), DEFAULT_MAX_SWEEP_N);
+        assert_eq!(max_sweep_n_from(Some(String::new())), DEFAULT_MAX_SWEEP_N);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // On Linux this must parse; elsewhere None is acceptable.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb().is_some_and(|kb| kb > 0));
+        }
+    }
 
     #[test]
     fn arg_parsing() {

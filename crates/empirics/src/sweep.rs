@@ -62,7 +62,7 @@ impl SweepConfig {
 }
 
 /// Per-topology classification across the α grid.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphRecord {
     /// Number of edges `|A|`.
     pub edges: u64,
@@ -165,20 +165,50 @@ impl Analysis for SweepJob {
 
 impl SweepResult {
     /// Enumerates all connected topologies on `config.n` vertices and
-    /// classifies each across the α grid on the analysis engine.
+    /// classifies each across the α grid on the analysis engine,
+    /// materializing the full graph list first.
     ///
     /// # Panics
     ///
-    /// Panics if `config.n > 8` (the UCG orientation solve on all 261 080
-    /// 9-vertex graphs exceeds a sensible time budget; raise deliberately
-    /// if you have the hours).
+    /// Panics if `config.n` exceeds [`crate::max_sweep_n`] (default 8 —
+    /// the UCG orientation solve on all 261 080 9-vertex graphs costs
+    /// minutes; opt in via `BNF_MAX_N`, and prefer
+    /// [`SweepResult::run_streaming`] there).
     pub fn run(config: &SweepConfig) -> SweepResult {
-        assert!(config.n <= 8, "sweeps beyond n=8 need a deliberate opt-in");
+        Self::run_inner(config, false)
+    }
+
+    /// Streaming twin of [`SweepResult::run`]: classifies each topology
+    /// as the enumeration generates it
+    /// ([`AnalysisEngine::run_connected_streaming`]), so the graph list
+    /// is never materialized — the enumeration side holds one level's
+    /// frontier (the [`GraphRecord`]s still scale with the topology
+    /// count; they are the result). The records — and therefore every
+    /// aggregate statistic, bit for bit — are identical to the
+    /// materializing path's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` exceeds [`crate::max_sweep_n`].
+    pub fn run_streaming(config: &SweepConfig) -> SweepResult {
+        Self::run_inner(config, true)
+    }
+
+    fn run_inner(config: &SweepConfig, streaming: bool) -> SweepResult {
+        let cap = crate::max_sweep_n();
+        assert!(
+            config.n <= cap,
+            "sweeps beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
+        );
         let engine = AnalysisEngine::new(config.threads);
         let job = SweepJob {
             alphas: config.alphas.clone(),
         };
-        let records = engine.run_connected(config.n, &job);
+        let records = if streaming {
+            engine.run_connected_streaming(config.n, &job)
+        } else {
+            engine.run_connected(config.n, &job)
+        };
         SweepResult {
             n: config.n,
             alphas: config.alphas.clone(),
@@ -326,9 +356,13 @@ impl SweepResult {
 ///
 /// # Panics
 ///
-/// Panics if `n > 8` or `alpha <= 0`.
+/// Panics if `n` exceeds [`crate::max_sweep_n`] or `alpha <= 0`.
 pub fn stable_catalog(n: usize, alpha: Ratio) -> Vec<Graph> {
-    assert!(n <= 8, "catalogues beyond n=8 need a deliberate opt-in");
+    let cap = crate::max_sweep_n();
+    assert!(
+        n <= cap,
+        "catalogues beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
+    );
     assert!(alpha > Ratio::ZERO, "link cost must be positive");
     let graphs = connected_graphs(n);
     let engine = AnalysisEngine::with_default_threads();
@@ -384,6 +418,28 @@ mod tests {
                 .iter()
                 .any(|r| r.bcg_stable[k] && r.edges == 4);
             assert!(has_tree_stable, "alpha={}", sweep.alphas[k]);
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_bit_identical_to_materializing() {
+        let config = SweepConfig {
+            n: 6,
+            alphas: vec![Ratio::new(1, 2), Ratio::ONE, Ratio::from(3)],
+            threads: 2,
+        };
+        let mat = SweepResult::run(&config);
+        let stream = SweepResult::run_streaming(&config);
+        assert_eq!(stream.records, mat.records, "records must match in order");
+        for kind in [GameKind::Bilateral, GameKind::Unilateral] {
+            for (s, m) in stream.stats(kind).iter().zip(mat.stats(kind).iter()) {
+                assert_eq!(s.count, m.count);
+                // f64 equality is the point: identical record order means
+                // identical summation order, bit for bit.
+                assert_eq!(s.mean_poa.to_bits(), m.mean_poa.to_bits());
+                assert_eq!(s.max_poa.to_bits(), m.max_poa.to_bits());
+                assert_eq!(s.mean_links.to_bits(), m.mean_links.to_bits());
+            }
         }
     }
 

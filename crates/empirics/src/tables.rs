@@ -8,6 +8,11 @@ use std::fmt::Write as _;
 ///
 /// Panics if a row's length differs from the header's.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    // Alignment cap: `{:>w$}` panics ("Formatting argument out of
+    // range") for widths beyond u16::MAX, and a pathological cell (the
+    // n = 9 efficiency scan's minimizer list) should overflow its
+    // column rather than blow up the whole table.
+    const MAX_COL_WIDTH: usize = 512;
     let cols = headers.len();
     for row in rows {
         assert_eq!(row.len(), cols, "row width must match header width");
@@ -15,7 +20,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (w, cell) in widths.iter_mut().zip(row) {
-            *w = (*w).max(cell.len());
+            *w = (*w).max(cell.len()).min(MAX_COL_WIDTH);
         }
     }
     let mut out = String::new();

@@ -13,7 +13,12 @@
 //!
 //! * **Enumeration** — [`AnalysisEngine::run_connected`] drives the
 //!   canonical-form-deduplicated connected-topology stream from
-//!   `bnf-enumerate` straight into classification.
+//!   `bnf-enumerate` straight into classification, and
+//!   [`AnalysisEngine::run_connected_streaming`] does the same without
+//!   ever materializing the graph list: `bnf-stream` producer workers
+//!   feed canonical children through a bounded queue into the
+//!   classification pool, with the dedup set sharded by canonical-key
+//!   prefix — this is what unlocks `n = 9` sweeps in CI-class memory.
 //! * **Work-stealing execution** — a chunked atomic-counter scheduler
 //!   over [`std::thread::scope`] workers (no external thread-pool
 //!   dependency), promoted out of the old `empirics::parallel`.

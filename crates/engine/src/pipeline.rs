@@ -1,10 +1,29 @@
 //! The [`Analysis`] job trait and the [`AnalysisEngine`] runner.
 
+use std::sync::Mutex;
+
 use bnf_enumerate::connected_graphs;
-use bnf_graph::Graph;
+use bnf_graph::{CanonKey, Graph};
+use bnf_stream::sync::{lock, lock_into};
+use bnf_stream::{stream_connected, BoundedQueue};
 
 use crate::executor::{default_threads, parallel_map_with};
 use crate::scratch::WorkerScratch;
+
+/// Capacity of the producer→classifier hand-off queue used by
+/// [`AnalysisEngine::run_connected_streaming`], per classification
+/// worker.
+///
+/// Deep enough to ride out bursts (a cheap level tail arriving while
+/// classifiers chew on dense graphs), shallow enough that the buffered
+/// graphs stay negligible next to a level frontier.
+const STREAM_QUEUE_DEPTH_PER_WORKER: usize = 64;
+
+/// How many classified records a streaming worker buffers before
+/// flushing into the shared result vector — large enough to amortize
+/// the lock, small enough that local buffers stay out of the memory
+/// high-water mark.
+const STREAM_FLUSH_EVERY: usize = 1024;
 
 /// One independent per-graph classification — the unit of work every
 /// empirical module defines.
@@ -67,6 +86,73 @@ impl AnalysisEngine {
         self.run_on(&connected_graphs(n), job)
     }
 
+    /// Streaming twin of [`AnalysisEngine::run_connected`]: classifies
+    /// every connected topology on `n` vertices **as it is generated**,
+    /// never materializing the full graph list (the classified records
+    /// themselves still scale with the topology count — they are the
+    /// result).
+    ///
+    /// `bnf_stream::stream_connected` producer workers push canonical
+    /// graphs through a bounded queue into a pool of classification
+    /// workers (each owning one [`WorkerScratch`] for its lifetime). The
+    /// engine's thread budget is **split** between the two pools so
+    /// total concurrency stays ≈ `self.threads` instead of doubling
+    /// (with a floor of one worker each — a pipeline needs both sides).
+    /// The output is sorted into the exact order
+    /// [`AnalysisEngine::run_connected`] produces (edge count, then
+    /// canonical key), so downstream aggregation — including
+    /// float-summation order — is bit-identical between the two paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (enumeration bound) and propagates panics from
+    /// the job or the producer.
+    pub fn run_connected_streaming<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
+        let classifiers = self.threads.div_ceil(2);
+        let producers = (self.threads - classifiers).max(1);
+        let queue: BoundedQueue<(Graph, CanonKey)> =
+            BoundedQueue::new(classifiers * STREAM_QUEUE_DEPTH_PER_WORKER);
+        // Sort tag: (edge count, canonical-adjacency word). For every
+        // enumerable order (n ≤ 10 — asserted by the producer) the whole
+        // packed upper triangle fits in the key's leading word, so
+        // comparing it reproduces `CanonKey`'s lexicographic order
+        // without keeping a heap-boxed key per record.
+        let results: Mutex<Vec<(usize, u64, A::Output)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..classifiers {
+                scope.spawn(|| {
+                    // Close the pipeline if this classifier panics so the
+                    // producer cannot block forever on a full queue.
+                    let _guard = queue.close_guard();
+                    let mut scratch = WorkerScratch::new();
+                    let mut local = Vec::with_capacity(STREAM_FLUSH_EVERY);
+                    while let Some((graph, key)) = queue.pop() {
+                        let out = job.classify(&graph, &mut scratch);
+                        local.push((graph.edge_count(), key.prefix_word(), out));
+                        // Flush in batches: one worker must never hold a
+                        // second full copy of the result set in its local
+                        // buffer (the n = 9 peak-RSS regression).
+                        if local.len() >= STREAM_FLUSH_EVERY {
+                            lock(&results).append(&mut local);
+                        }
+                    }
+                    lock(&results).append(&mut local);
+                });
+            }
+            // The producer runs on this thread (spawning its own level
+            // workers); the guard closes the queue on return *and* on a
+            // producer panic, releasing the classifiers either way. A
+            // failed push means a classifier died and closed the queue —
+            // returning false cancels the enumeration instead of
+            // canonicalizing the rest of the graph space for nobody.
+            let _guard = queue.close_guard();
+            stream_connected(n, producers, &|graph, key| queue.push((graph, key)));
+        });
+        let mut tagged = lock_into(results);
+        tagged.sort_by_key(|t| (t.0, t.1));
+        tagged.into_iter().map(|(_, _, out)| out).collect()
+    }
+
     /// Classifies an explicit graph list (gallery exhibits, counter-
     /// example families, …), preserving its order.
     pub fn run_on<A: Analysis>(&self, graphs: &[Graph], job: &A) -> Vec<A::Output> {
@@ -108,6 +194,50 @@ mod tests {
         assert!(counts.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*counts.first().unwrap(), 5); // a tree
         assert_eq!(*counts.last().unwrap(), 15); // K6
+    }
+
+    #[test]
+    fn streaming_matches_materializing_exactly() {
+        // Same outputs in the same order — the property the empirics
+        // byte-match guarantee rests on.
+        struct Census;
+        impl Analysis for Census {
+            type Output = (usize, Option<u64>);
+            fn classify(&self, g: &Graph, s: &mut WorkerScratch) -> Self::Output {
+                (g.edge_count(), g.total_distance_with(&mut s.bfs))
+            }
+        }
+        for n in 0..8 {
+            let engine = AnalysisEngine::new(3);
+            assert_eq!(
+                engine.run_connected_streaming(n, &Census),
+                engine.run_connected(n, &Census),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_single_thread() {
+        let engine = AnalysisEngine::new(1);
+        let counts = engine.run_connected_streaming(6, &EdgeCount);
+        assert_eq!(counts.len(), 112);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn streaming_job_panic_propagates_without_deadlock() {
+        struct Boom;
+        impl Analysis for Boom {
+            type Output = ();
+            fn classify(&self, g: &Graph, _s: &mut WorkerScratch) {
+                assert!(g.edge_count() < 9, "boom"); // K5 trips this
+            }
+        }
+        let caught = std::panic::catch_unwind(|| {
+            AnalysisEngine::new(2).run_connected_streaming(5, &Boom);
+        });
+        assert!(caught.is_err(), "classifier panic must reach the caller");
     }
 
     #[test]

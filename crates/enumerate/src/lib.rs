@@ -13,11 +13,27 @@
 //! `n - 1` vertices by adding one vertex with a (non-empty) neighbour set —
 //! for the connected case because every connected graph has at least two
 //! non-cut vertices, for trees because every tree has a leaf. Candidates
-//! are canonicalized with [`Graph::canonical_key`] and deduplicated in a
-//! hash set.
+//! are canonicalized with [`Graph::canonical_form_and_key`] (one
+//! individualization–refinement search yields both the form and the
+//! dedup key) and deduplicated in a hash set.
 //!
 //! Counts are cross-checked against OEIS A000088 (graphs), A001349
 //! (connected graphs) and A000055 (free trees) in the test suite.
+//!
+//! # Scaling
+//!
+//! The list-returning functions here materialize every graph of the
+//! final level *and* a global dedup set — fine through `n = 8`, but the
+//! memory spike is what caps exhaustive sweeps below the paper's
+//! `n = 10`. The `bnf-stream` crate removes both walls: its producer
+//! runs the same vertex augmentation level by level, emits each
+//! final-level graph the moment it is proven new, and splits the dedup
+//! set into independently locked shards addressed by a mix of the
+//! canonical key's leading word (see `bnf_stream::ShardedSeen`), so
+//! neither the graph list nor a single global `HashSet` ever holds the
+//! whole level behind one lock. [`for_each_connected_graph`] delegates
+//! to that producer; classification workloads should go one seam higher
+//! (`bnf_engine::AnalysisEngine::run_connected_streaming`).
 //!
 //! # Examples
 //!
@@ -33,7 +49,7 @@
 
 use std::collections::HashSet;
 
-use bnf_graph::{Graph, VertexSet};
+use bnf_graph::{CanonKey, Graph, VertexSet};
 
 /// Known counts of simple graphs on `n` unlabelled vertices (OEIS A000088).
 pub const GRAPH_COUNTS: [u64; 10] = [1, 1, 2, 4, 11, 34, 156, 1044, 12346, 274668];
@@ -45,17 +61,6 @@ pub const CONNECTED_GRAPH_COUNTS: [u64; 10] = [1, 1, 1, 2, 6, 21, 112, 853, 1111
 /// Known counts of free trees on `n` vertices (OEIS A000055).
 pub const FREE_TREE_COUNTS: [u64; 11] = [1, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106];
 
-fn mask_to_set(cap: usize, mask: u64) -> VertexSet {
-    let mut s = VertexSet::new(cap);
-    let mut m = mask;
-    while m != 0 {
-        let v = m.trailing_zeros() as usize;
-        s.insert(v);
-        m &= m - 1;
-    }
-    s
-}
-
 /// Extends each parent by one vertex over the given neighbour-mask range,
 /// deduplicating canonically.
 fn augment<F>(parents: &[Graph], k: usize, masks: F) -> Vec<Graph>
@@ -66,19 +71,26 @@ where
     let mut out = Vec::new();
     for parent in parents {
         for mask in masks() {
-            let nbrs = mask_to_set(k, mask);
-            let child = parent.with_extra_vertex(&nbrs).canonical_form();
-            if seen.insert(child.canonical_key()) {
-                out.push(child);
+            let nbrs = VertexSet::from_mask(k, mask);
+            // One fused search per candidate; form-then-key would run
+            // the canonical labelling twice.
+            let (child, key) = parent.with_extra_vertex(&nbrs).canonical_form_and_key();
+            // Duplicates (the majority) pay a lookup, never a clone.
+            if !seen.contains(&key) {
+                seen.insert(key.clone());
+                out.push((child, key));
             }
         }
     }
-    sort_deterministically(&mut out);
-    out
+    sort_deterministically(out)
 }
 
-fn sort_deterministically(graphs: &mut [Graph]) {
-    graphs.sort_by_cached_key(|g| (g.edge_count(), g.canonical_key()));
+/// Sorts by (edge count, canonical key) — the key each graph was
+/// deduplicated under, kept alongside so the sort never re-runs the
+/// canonical search — and strips the keys.
+fn sort_deterministically(mut tagged: Vec<(Graph, CanonKey)>) -> Vec<Graph> {
+    tagged.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+    tagged.into_iter().map(|(g, _)| g).collect()
 }
 
 /// All non-isomorphic simple graphs on `n` vertices, in canonical form,
@@ -144,36 +156,41 @@ pub fn free_trees(n: usize) -> Vec<Graph> {
         let mut out = Vec::new();
         for parent in &cur {
             for anchor in 0..k {
-                let nbrs: VertexSet = std::iter::once(anchor).collect();
-                // Capacity of a one-element set is anchor+1; widen to k.
-                let mut wide = VertexSet::new(k);
-                for v in nbrs.iter() {
-                    wide.insert(v);
-                }
-                let child = parent.with_extra_vertex(&wide).canonical_form();
-                if seen.insert(child.canonical_key()) {
-                    out.push(child);
+                // Attach as a leaf of `anchor`: a one-bit neighbour set.
+                let nbrs = VertexSet::from_mask(k, 1u64 << anchor);
+                let (child, key) = parent.with_extra_vertex(&nbrs).canonical_form_and_key();
+                if !seen.contains(&key) {
+                    seen.insert(key.clone());
+                    out.push((child, key));
                 }
             }
         }
-        sort_deterministically(&mut out);
-        cur = out;
+        cur = sort_deterministically(out);
     }
     debug_assert!(cur.iter().all(Graph::is_tree));
     cur
 }
 
 /// Streaming variant of [`connected_graphs`]: invokes `visit` once per
-/// non-isomorphic connected graph on `n` vertices without retaining the
-/// full list (the dedup set is still retained).
+/// non-isomorphic connected graph on `n` vertices (in canonical form,
+/// unspecified order), without ever materializing the list.
+///
+/// # Memory contract
+///
+/// `O(largest single enumeration level)`: at any moment this holds one
+/// level's parent frontier, the *next* frontier being built (for
+/// intermediate levels), and one level's canonical-key dedup set —
+/// never the final graph list. It delegates to
+/// `bnf_stream::for_each_connected`; parallel classification workloads
+/// should use `bnf_engine::AnalysisEngine::run_connected_streaming`,
+/// which adds sharded dedup and bounded-channel hand-off on the same
+/// producer.
 ///
 /// # Panics
 ///
 /// Panics if `n > 10`.
 pub fn for_each_connected_graph<F: FnMut(&Graph)>(n: usize, mut visit: F) {
-    for g in connected_graphs(n) {
-        visit(&g);
-    }
+    bnf_stream::for_each_connected(n, |g, _key| visit(&g));
 }
 
 #[cfg(test)]

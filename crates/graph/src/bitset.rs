@@ -78,6 +78,30 @@ impl VertexSet {
         s
     }
 
+    /// Builds a set over `0..capacity` from the low `capacity` bits of
+    /// `mask` (bit `v` set ⇒ vertex `v` is a member). Bits at or above
+    /// `capacity` are ignored.
+    ///
+    /// This is the enumeration crates' neighbour-mask decoder: vertex
+    /// augmentation iterates all `2^k` neighbour sets of a new vertex as
+    /// a `u64` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity > 64` (a single word cannot address it).
+    pub fn from_mask(capacity: usize, mask: u64) -> Self {
+        assert!(capacity <= 64, "from_mask addresses at most 64 vertices");
+        let mut s = VertexSet::new(capacity);
+        if let Some(first) = s.words.first_mut() {
+            *first = if capacity == 64 {
+                mask
+            } else {
+                mask & ((1u64 << capacity) - 1)
+            };
+        }
+        s
+    }
+
     /// Builds a set from raw words (extra high bits must be clear).
     pub(crate) fn from_words(nbits: usize, words: Vec<u64>) -> Self {
         debug_assert_eq!(words.len(), words_for(nbits));
@@ -264,6 +288,18 @@ mod tests {
         assert!(s.remove(64));
         assert!(!s.remove(64));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_mask_decodes_low_bits() {
+        let s = VertexSet::from_mask(5, 0b10110);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(s.capacity(), 5);
+        // Bits at or above capacity are ignored.
+        let t = VertexSet::from_mask(3, 0b11111000 | 0b101);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(VertexSet::from_mask(0, !0).len(), 0);
+        assert_eq!(VertexSet::from_mask(64, !0).len(), 64);
     }
 
     #[test]

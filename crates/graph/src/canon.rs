@@ -37,6 +37,20 @@ impl CanonKey {
     pub fn order(&self) -> usize {
         self.n
     }
+
+    /// The leading word of the packed canonical adjacency bits (0 for the
+    /// empty key).
+    ///
+    /// This is the *prefix* used to shard canonical-key sets: for graphs
+    /// of order ≤ 11 the whole upper triangle fits in this word, and for
+    /// larger orders the high bits still carry the lexicographically most
+    /// significant adjacency entries. Consumers should mix it (e.g.
+    /// Fibonacci hashing) before reducing modulo a shard count — the
+    /// canonical form is the lexicographically *greatest* labelling, so
+    /// the raw high bits are heavily biased toward 1.
+    pub fn prefix_word(&self) -> u64 {
+        self.bits.first().copied().unwrap_or(0)
+    }
 }
 
 /// Packs the upper triangle (row-major, `u < v`) of `g` relabelled by
@@ -281,6 +295,38 @@ impl Graph {
         }
     }
 
+    /// The canonical form and its key from a *single*
+    /// individualization–refinement search.
+    ///
+    /// [`Graph::canonical_form`] followed by [`Graph::canonical_key`]
+    /// runs the search twice; enumeration inner loops (which
+    /// canonicalize every augmentation candidate) use this fused entry
+    /// point to halve that cost. The returned key equals
+    /// `self.canonical_key()` and the returned graph equals
+    /// `self.canonical_form()`.
+    pub fn canonical_form_and_key(&self) -> (Graph, CanonKey) {
+        let n = self.order();
+        if n == 0 {
+            return (
+                Graph::empty(0),
+                CanonKey {
+                    n: 0,
+                    bits: Box::new([]),
+                },
+            );
+        }
+        let mut search = Search::new(self, false);
+        search.run(vec![(0..n).collect()]);
+        let form = self.relabel(&search.best_perm);
+        let key = CanonKey {
+            n,
+            bits: search
+                .best_key
+                .expect("search of nonempty graph yields a leaf"),
+        };
+        (form, key)
+    }
+
     /// Isomorphism test via canonical keys.
     pub fn is_isomorphic(&self, other: &Graph) -> bool {
         self.order() == other.order()
@@ -394,6 +440,37 @@ mod tests {
         set.insert(cycle(6).canonical_key());
         assert_eq!(set.len(), 2);
         assert_eq!(cycle(5).canonical_key().order(), 5);
+    }
+
+    #[test]
+    fn fused_form_and_key_matches_separate_calls() {
+        for g in [
+            petersen(),
+            cycle(6),
+            Graph::complete(5),
+            Graph::empty(3),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap(),
+        ] {
+            let (form, key) = g.canonical_form_and_key();
+            assert_eq!(form, g.canonical_form());
+            assert_eq!(key, g.canonical_key());
+            // Idempotence: the canonical form keys to the same key.
+            assert_eq!(form.canonical_key(), key);
+        }
+        let (form, key) = Graph::empty(0).canonical_form_and_key();
+        assert_eq!(form.order(), 0);
+        assert_eq!(key, Graph::empty(0).canonical_key());
+        assert_eq!(key.prefix_word(), 0);
+    }
+
+    #[test]
+    fn prefix_word_carries_leading_adjacency_bits() {
+        // K5's canonical upper triangle is all ones: 10 bits set from the
+        // top of the word.
+        let (_, key) = Graph::complete(5).canonical_form_and_key();
+        assert_eq!(key.prefix_word() >> 54, 0b1111111111);
+        // An edgeless graph packs all zeros.
+        assert_eq!(Graph::empty(5).canonical_key().prefix_word(), 0);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! The level-by-level connected-graph producer.
+//!
+//! Every connected graph on `k + 1` vertices is some connected graph on
+//! `k` vertices plus one new vertex with a non-empty neighbour set, so
+//! the enumeration walks levels `1, 2, …, n`, holding only
+//!
+//! * the previous level's frontier (the parents),
+//! * the current level's canonical-key dedup set ([`ShardedSeen`]), and
+//! * — for intermediate levels only — the next frontier being built.
+//!
+//! Graphs of the final level are handed to the caller's sink the moment
+//! their key wins the dedup insert and are never collected, which is
+//! what keeps peak memory at `O(largest level)` instead of
+//! `O(final level list + dedup set + classification backlog)`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bnf_graph::{CanonKey, Graph, VertexSet};
+
+use crate::shard::ShardedSeen;
+use crate::sync::{lock, lock_into};
+
+/// Shards allocated per producer worker (see [`ShardedSeen`]).
+const SHARDS_PER_WORKER: usize = 8;
+
+/// Per-level sizes observed by one streaming enumeration run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// `level_sizes[k]` is the number of distinct connected graphs on
+    /// `k + 1` vertices produced at level `k` (the last entry is the
+    /// number of graphs emitted to the sink).
+    pub level_sizes: Vec<u64>,
+}
+
+impl StreamStats {
+    /// The number of graphs emitted to the sink (the final level size).
+    pub fn emitted(&self) -> u64 {
+        self.level_sizes.last().copied().unwrap_or(0)
+    }
+
+    /// The largest level (the peak frontier the run had to hold).
+    pub fn peak_level(&self) -> u64 {
+        self.level_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Streams every non-isomorphic connected graph on `n` vertices into
+/// `sink`, which is invoked concurrently from up to `threads` producer
+/// workers (in no particular order), exactly once per isomorphism
+/// class. Each graph arrives in canonical form together with its
+/// canonical key.
+///
+/// The sink returns `true` to keep the stream flowing; returning
+/// `false` **cancels** the enumeration — sibling workers observe the
+/// cancellation at their next parent *chunk* (≤ 64 parents, so the sink
+/// may still see a bounded tail of calls) and `stream_connected`
+/// returns early with partial stats.
+/// (The engine uses this so a dead classification pipeline does not
+/// leave the producer canonicalizing millions of unwanted candidates.)
+///
+/// Memory contract: `O(largest single level)` — the full final-level
+/// graph list is never materialized (its dedup *keys* are retained, as
+/// they must be, sharded by key prefix).
+///
+/// # Panics
+///
+/// Panics if `n > 10` (the level-`n` dedup set would not fit in memory)
+/// and propagates panics from `sink`.
+pub fn stream_connected<S>(n: usize, threads: usize, sink: &S) -> StreamStats
+where
+    S: Fn(Graph, CanonKey) -> bool + Sync,
+{
+    assert!(
+        n <= 10,
+        "exhaustive enumeration beyond n=10 is not supported"
+    );
+    let threads = threads.max(1);
+    let mut stats = StreamStats::default();
+    if n == 0 {
+        let (g, key) = Graph::empty(0).canonical_form_and_key();
+        sink(g, key);
+        stats.level_sizes.push(1);
+        return stats;
+    }
+    // Level 0: the single one-vertex graph.
+    let mut parents = vec![Graph::empty(1)];
+    stats.level_sizes.push(1);
+    if n == 1 {
+        let (g, key) = Graph::empty(1).canonical_form_and_key();
+        sink(g, key);
+        return stats;
+    }
+    let cancelled = AtomicBool::new(false);
+    for k in 1..n {
+        let last = k + 1 == n;
+        let seen = ShardedSeen::new(threads * SHARDS_PER_WORKER);
+        // The next frontier, built sharded so workers rarely contend;
+        // merged (and the shards dropped) at the end of the level.
+        let frontier: Vec<Mutex<Vec<(Graph, CanonKey)>>> = (0..seen.shard_count())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let emitted = AtomicU64::new(0);
+        let next = AtomicUsize::new(0);
+        let chunk = (parents.len() / (threads * 8)).clamp(1, 64);
+        let worker = || {
+            let mut fresh = 0u64;
+            'chunks: loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= parents.len() || cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                let end = (start + chunk).min(parents.len());
+                for parent in &parents[start..end] {
+                    // Non-empty neighbour sets keep every child connected.
+                    for mask in 1..(1u64 << k) {
+                        let child = parent.with_extra_vertex(&VertexSet::from_mask(k, mask));
+                        let (form, key) = child.canonical_form_and_key();
+                        if !seen.insert(&key) {
+                            continue;
+                        }
+                        fresh += 1;
+                        if last {
+                            if !sink(form, key) {
+                                cancelled.store(true, Ordering::Relaxed);
+                                break 'chunks;
+                            }
+                        } else {
+                            let shard = seen.shard_of(&key);
+                            lock(&frontier[shard]).push((form, key));
+                        }
+                    }
+                }
+            }
+            emitted.fetch_add(fresh, Ordering::Relaxed);
+        };
+        if threads == 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(worker);
+                }
+            });
+        }
+        stats.level_sizes.push(emitted.load(Ordering::Relaxed));
+        if cancelled.load(Ordering::Relaxed) {
+            return stats;
+        }
+        if !last {
+            // Merge the frontier shards into the next parent list. The
+            // deterministic sort keeps chunk assignment (and therefore
+            // run-to-run thread behaviour) reproducible; the graph *set*
+            // is order-independent either way.
+            let mut merged: Vec<(Graph, CanonKey)> = Vec::new();
+            for shard in frontier {
+                merged.append(&mut lock_into(shard));
+            }
+            merged.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+            parents = merged.into_iter().map(|(g, _)| g).collect();
+        }
+    }
+    stats
+}
+
+/// Serial streaming enumeration: invokes `visit` once per non-isomorphic
+/// connected graph on `n` vertices (canonical form plus key), holding
+/// only the current frontier and one level's dedup keys — the
+/// single-threaded, lock-free twin of [`stream_connected`] for callers
+/// with `FnMut` state.
+///
+/// # Panics
+///
+/// Panics if `n > 10` and propagates panics from `visit`.
+pub fn for_each_connected<V>(n: usize, mut visit: V)
+where
+    V: FnMut(Graph, CanonKey),
+{
+    assert!(
+        n <= 10,
+        "exhaustive enumeration beyond n=10 is not supported"
+    );
+    if n == 0 {
+        let (g, key) = Graph::empty(0).canonical_form_and_key();
+        visit(g, key);
+        return;
+    }
+    let mut parents = vec![Graph::empty(1)];
+    if n == 1 {
+        let (g, key) = Graph::empty(1).canonical_form_and_key();
+        visit(g, key);
+        return;
+    }
+    for k in 1..n {
+        let last = k + 1 == n;
+        let mut seen = std::collections::HashSet::new();
+        let mut next: Vec<(Graph, CanonKey)> = Vec::new();
+        for parent in &parents {
+            for mask in 1..(1u64 << k) {
+                let child = parent.with_extra_vertex(&VertexSet::from_mask(k, mask));
+                let (form, key) = child.canonical_form_and_key();
+                // Duplicates (the majority) pay a lookup, never a clone.
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.insert(key.clone());
+                if last {
+                    visit(form, key);
+                } else {
+                    next.push((form, key));
+                }
+            }
+        }
+        if !last {
+            next.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+            parents = next.into_iter().map(|(g, _)| g).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// OEIS A001349 — connected graphs on n unlabelled vertices.
+    const CONNECTED: [u64; 8] = [1, 1, 1, 2, 6, 21, 112, 853];
+
+    #[test]
+    fn parallel_counts_match_oeis() {
+        for (n, &want) in CONNECTED.iter().enumerate() {
+            let count = AtomicU64::new(0);
+            let stats = stream_connected(n, 2, &|g, key| {
+                assert_eq!(g.order(), n);
+                assert_eq!(key.order(), n);
+                assert!(n == 0 || g.is_connected());
+                count.fetch_add(1, Ordering::Relaxed);
+                true
+            });
+            assert_eq!(count.load(Ordering::Relaxed), want, "n={n}");
+            assert_eq!(stats.emitted(), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn serial_matches_parallel_key_multiset() {
+        for n in 0..7 {
+            let mut serial = Vec::new();
+            for_each_connected(n, |_, key| serial.push(key));
+            let parallel = Mutex::new(Vec::new());
+            stream_connected(n, 4, &|_, key| {
+                lock(&parallel).push(key);
+                true
+            });
+            let mut parallel = lock_into(parallel);
+            // The serial path must already be duplicate-free…
+            let distinct: HashSet<_> = serial.iter().cloned().collect();
+            assert_eq!(distinct.len(), serial.len(), "n={n}");
+            // …and the parallel path must emit exactly the same multiset.
+            serial.sort();
+            parallel.sort();
+            assert_eq!(serial, parallel, "n={n}");
+        }
+    }
+
+    #[test]
+    fn emitted_graphs_are_canonical_forms() {
+        for_each_connected(5, |g, key| {
+            assert_eq!(g.canonical_key(), key);
+            assert_eq!(g.canonical_form(), g);
+        });
+    }
+
+    #[test]
+    fn stats_record_every_level() {
+        let stats = stream_connected(6, 2, &|_, _| true);
+        assert_eq!(stats.level_sizes, vec![1, 1, 2, 6, 21, 112]);
+        assert_eq!(stats.peak_level(), 112);
+        assert_eq!(stats.emitted(), 112);
+    }
+
+    #[test]
+    fn sink_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            stream_connected(5, 2, &|g, _| {
+                assert!(g.order() < 5, "boom");
+                true
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn cancelling_sink_stops_enumeration_early() {
+        for threads in [1, 3] {
+            let emitted = AtomicU64::new(0);
+            let stats = stream_connected(7, threads, &|_, _| {
+                emitted.fetch_add(1, Ordering::Relaxed) < 9
+            });
+            let got = emitted.load(Ordering::Relaxed);
+            assert!(got >= 10, "sink ran until cancellation, got {got}");
+            assert!(
+                got < 853,
+                "threads={threads}: cancellation must cut the final level short, got {got}"
+            );
+            assert!(stats.emitted() < 853);
+        }
+    }
+
+    #[test]
+    fn single_thread_avoids_spawning_but_matches() {
+        let count = AtomicU64::new(0);
+        stream_connected(6, 1, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 112);
+    }
+}

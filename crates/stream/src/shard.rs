@@ -1,0 +1,157 @@
+//! The prefix-sharded canonical-key dedup set.
+//!
+//! One enumeration level deduplicates millions of augmentation
+//! candidates against each other; a single global `Mutex<HashSet>` would
+//! serialize every insert. Instead the key space is split into
+//! independently locked shards addressed by a mix of the canonical key's
+//! *prefix word* ([`bnf_graph::CanonKey::prefix_word`]): two workers
+//! only contend when their candidates land in the same shard, so with a
+//! few shards per worker the lock is effectively uncontended. The shards
+//! are merged (counted / drained) once per level, never all held at
+//! once by one worker.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use bnf_graph::CanonKey;
+
+use crate::sync::lock;
+
+/// A canonical-key set sharded by key prefix, safe for concurrent
+/// insertion from enumeration workers.
+#[derive(Debug)]
+pub struct ShardedSeen {
+    shards: Vec<Mutex<HashSet<CanonKey>>>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: u64,
+}
+
+impl ShardedSeen {
+    /// A set with at least `min_shards` shards (rounded up to a power of
+    /// two, clamped to `[1, 256]`).
+    pub fn new(min_shards: usize) -> ShardedSeen {
+        let count = min_shards.clamp(1, 256).next_power_of_two();
+        ShardedSeen {
+            shards: (0..count).map(|_| Mutex::new(HashSet::new())).collect(),
+            mask: count as u64 - 1,
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    ///
+    /// The prefix word is Fibonacci-mixed before reduction: canonical
+    /// forms are lexicographically greatest, so the raw high bits are
+    /// biased toward 1 and would pile every key into the top shard.
+    pub fn shard_of(&self, key: &CanonKey) -> usize {
+        (key.prefix_word().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32 & self.mask) as usize
+    }
+
+    /// Inserts `key`, returning `true` iff it was not already present.
+    ///
+    /// Only the owning shard is locked, and only for the duration of the
+    /// lookup. The key is borrowed and cloned *only when fresh*: the
+    /// duplicate majority of augmentation candidates must not pay a heap
+    /// allocation just to be discarded.
+    pub fn insert(&self, key: &CanonKey) -> bool {
+        let mut set = lock(&self.shards[self.shard_of(key)]);
+        if set.contains(key) {
+            false
+        } else {
+            set.insert(key.clone())
+        }
+    }
+
+    /// Total number of distinct keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnf_graph::Graph;
+
+    #[test]
+    fn shard_count_is_power_of_two_and_clamped() {
+        assert_eq!(ShardedSeen::new(0).shard_count(), 1);
+        assert_eq!(ShardedSeen::new(1).shard_count(), 1);
+        assert_eq!(ShardedSeen::new(3).shard_count(), 4);
+        assert_eq!(ShardedSeen::new(8).shard_count(), 8);
+        assert_eq!(ShardedSeen::new(1000).shard_count(), 256);
+    }
+
+    #[test]
+    fn insert_dedups_across_shards() {
+        let seen = ShardedSeen::new(8);
+        let a = Graph::complete(4).canonical_key();
+        let b = Graph::empty(4).canonical_key();
+        assert!(seen.is_empty());
+        assert!(seen.insert(&a));
+        assert!(!seen.insert(&a));
+        assert!(seen.insert(&b));
+        assert!(!seen.insert(&b));
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let seen = ShardedSeen::new(16);
+        for n in 0..6 {
+            let key = Graph::complete(n).canonical_key();
+            let s = seen.shard_of(&key);
+            assert!(s < seen.shard_count());
+            assert_eq!(s, seen.shard_of(&key));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_agree_with_serial() {
+        // All 64 labelled graphs on 4 vertices over 3 edges of a fixed
+        // pool, inserted from 4 threads: the distinct canonical keys must
+        // match a serial HashSet.
+        use std::collections::HashSet;
+        let pool = [(0usize, 1usize), (1, 2), (2, 3), (0, 2), (0, 3), (3, 1)];
+        let mut serial = HashSet::new();
+        let mut graphs = Vec::new();
+        for i in 0..pool.len() {
+            for j in 0..pool.len() {
+                for k in 0..pool.len() {
+                    let g = Graph::from_edges(4, [pool[i], pool[j], pool[k]]).unwrap();
+                    serial.insert(g.canonical_key());
+                    graphs.push(g);
+                }
+            }
+        }
+        let sharded = ShardedSeen::new(8);
+        let fresh = std::sync::atomic::AtomicUsize::new(0);
+        let (sharded_ref, fresh_ref) = (&sharded, &fresh);
+        std::thread::scope(|s| {
+            for chunk in graphs.chunks(graphs.len() / 4 + 1) {
+                let (sharded, fresh) = (sharded_ref, fresh_ref);
+                s.spawn(move || {
+                    for g in chunk {
+                        if sharded.insert(&g.canonical_key()) {
+                            fresh.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.len(), serial.len());
+        assert_eq!(
+            fresh.load(std::sync::atomic::Ordering::Relaxed),
+            serial.len()
+        );
+    }
+}

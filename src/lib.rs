@@ -7,6 +7,8 @@
 //! * [`graph`] — graph substrate (BFS, canonical labelling, properties)
 //! * [`atlas`] — named graphs and families (Figure 1 gallery, cages)
 //! * [`enumerate`] — exhaustive non-isomorphic enumeration
+//! * [`stream`] — streaming sharded enumeration: level-by-level
+//!   augmentation feeding classification without materializing the list
 //! * [`games`] — the UCG/BCG model: strategies, costs, efficiency, PoA
 //! * [`core`] — equilibrium analysis (stability windows, pairwise Nash,
 //!   link convexity, the UCG Nash solver)
@@ -36,6 +38,15 @@
 //!
 //! The other figure binaries follow the same shape: `fig3_avg_links`,
 //! `fig1_gallery`, `poa_bounds`, `lemma6_cycles`, `efficiency_scan`.
+//! Add `--streaming` to classify topologies as the enumeration
+//! generates them (identical output bit for bit, no materialized graph
+//! list — the enumeration side holds one level's frontier); orders
+//! beyond the default `n = 8` ceiling opt in at runtime via the
+//! `BNF_MAX_N` environment variable:
+//!
+//! ```text
+//! BNF_MAX_N=9 cargo run --release -p bnf-empirics --bin fig2_avg_poa -- --n 9 --streaming
+//! ```
 //!
 //! Benchmark the engine-backed pipeline (baseline numbers live in
 //! CHANGES.md):
@@ -81,6 +92,7 @@ pub use bnf_engine as engine;
 pub use bnf_enumerate as enumerate;
 pub use bnf_games as games;
 pub use bnf_graph as graph;
+pub use bnf_stream as stream;
 
 /// The most commonly used items, for glob import in examples.
 pub mod prelude {

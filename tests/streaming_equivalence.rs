@@ -1,0 +1,98 @@
+//! End-to-end equivalence of the streaming sharded enumeration
+//! (`bnf-stream`, PR 2) with the materializing path it replaces: same
+//! canonical-key multisets, same counts at n = 8, and bit-identical
+//! sweep aggregates through the engine seam.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bilateral_formation::engine::{Analysis, AnalysisEngine, WorkerScratch};
+use bilateral_formation::enumerate::{
+    connected_graphs, for_each_connected_graph, CONNECTED_GRAPH_COUNTS,
+};
+use bilateral_formation::graph::{CanonKey, Graph};
+use bilateral_formation::stream::{for_each_connected, stream_connected};
+
+/// The streaming producer and the materialized list agree on the exact
+/// multiset of canonical keys (serial and parallel producers both).
+#[test]
+fn key_multisets_match_to_n7() {
+    for n in 0..=7 {
+        let mut materialized: BTreeMap<CanonKey, u32> = BTreeMap::new();
+        for g in connected_graphs(n) {
+            *materialized.entry(g.canonical_key()).or_insert(0) += 1;
+        }
+        // The materialized list is duplicate-free by construction.
+        assert!(materialized.values().all(|&c| c == 1), "n={n}");
+
+        let mut serial: BTreeMap<CanonKey, u32> = BTreeMap::new();
+        for_each_connected(n, |_, key| *serial.entry(key).or_insert(0) += 1);
+        assert_eq!(serial, materialized, "serial streaming differs at n={n}");
+
+        let parallel: Mutex<BTreeMap<CanonKey, u32>> = Mutex::new(BTreeMap::new());
+        stream_connected(n, 4, &|_, key| {
+            *parallel.lock().unwrap().entry(key).or_insert(0) += 1;
+            true
+        });
+        let parallel = parallel.into_inner().unwrap();
+        assert_eq!(
+            parallel, materialized,
+            "parallel streaming differs at n={n}"
+        );
+    }
+}
+
+/// OEIS A001349 cross-check for the streaming path at n = 8 — the order
+/// the materializing tests already cover, now reached without holding
+/// the 11 117-graph list.
+#[test]
+fn streaming_connected_count_n8() {
+    let mut count = 0u64;
+    for_each_connected_graph(8, |g| {
+        assert_eq!(g.order(), 8);
+        count += 1;
+    });
+    assert_eq!(count, CONNECTED_GRAPH_COUNTS[8]);
+}
+
+/// The engine's streaming runner returns classification outputs in the
+/// materializing runner's exact deterministic order.
+#[test]
+fn engine_streaming_output_order_matches() {
+    struct DistanceCensus;
+    impl Analysis for DistanceCensus {
+        type Output = (usize, u64);
+        fn classify(&self, g: &Graph, s: &mut WorkerScratch) -> (usize, u64) {
+            let d = g.total_distance_with(&mut s.bfs).expect("connected");
+            (g.edge_count(), d)
+        }
+    }
+    let engine = AnalysisEngine::new(2);
+    for n in [5, 6, 7] {
+        assert_eq!(
+            engine.run_connected_streaming(n, &DistanceCensus),
+            engine.run_connected(n, &DistanceCensus),
+            "n={n}"
+        );
+    }
+}
+
+/// The parallel producer's per-level stats match the known level sizes
+/// whatever the thread count.
+#[test]
+fn stream_stats_thread_count_invariant() {
+    for threads in [1, 2, 5] {
+        let emitted = AtomicU64::new(0);
+        let stats = stream_connected(7, threads, &|_, _| {
+            emitted.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert_eq!(emitted.load(Ordering::Relaxed), 853, "threads={threads}");
+        assert_eq!(
+            stats.level_sizes,
+            vec![1, 1, 2, 6, 21, 112, 853],
+            "threads={threads}"
+        );
+    }
+}
