@@ -1,5 +1,5 @@
-//! Named graphs and graph families for the bilateral network-formation
-//! reproduction.
+//! Named graphs, graph families, and the persistent classification
+//! atlas for the bilateral network-formation reproduction.
 //!
 //! Provides every concrete graph the paper reasons about: the Figure 1
 //! gallery (Petersen, McGee, octahedron, Clebsch, Hoffman–Singleton,
@@ -7,6 +7,13 @@
 //! the link-convexity pair (Desargues / dodecahedron) of Section 4.1, the
 //! elementary families (stars, cycles, complete and complete multipartite
 //! graphs), and random models for dynamics experiments.
+//!
+//! The [`store`] module adds the *other* kind of atlas: a persistent
+//! append-only store of per-graph classification records
+//! ([`bnf_core::WindowRecord`]) keyed by canonical graph6 string, so
+//! exhaustive sweeps can skip re-classifying topologies they have
+//! already seen (`--atlas <path>` on the sweep binaries). See
+//! `crates/atlas/README.md` for the format.
 //!
 //! # Examples
 //!
@@ -24,9 +31,11 @@ pub mod families;
 pub mod lcf;
 pub mod named;
 pub mod random;
+pub mod store;
 
 pub use families::{
     circulant, complete, complete_bipartite, complete_multipartite, cycle, grid, hypercube, path,
     star, wheel,
 };
 pub use lcf::{lcf, try_lcf};
+pub use store::{AtlasError, ClassificationAtlas, ATLAS_MAGIC, ATLAS_VERSION};

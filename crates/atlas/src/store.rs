@@ -1,0 +1,812 @@
+//! The persistent classification atlas: an append-only on-disk store of
+//! [`WindowRecord`]s keyed by canonical graph6 string.
+//!
+//! Classification is a pure function of the canonical key, so records
+//! never change — the store only ever grows, and a warm atlas lets every
+//! sweep (any α grid, any enumeration path, any follow-up workload on
+//! the engine seam) skip the expensive window extraction for keys it
+//! has already seen. See `crates/atlas/README.md` for the byte-level
+//! format and the invalidation rules.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bnf_core::{ClosedInterval, LowerBound, StabilityWindow, Threshold, WindowRecord};
+use bnf_games::Ratio;
+use bnf_graph::Graph;
+
+/// Leading magic bytes of an atlas file.
+pub const ATLAS_MAGIC: [u8; 8] = *b"BNFATLAS";
+
+/// Current format *and semantics* version. Bump whenever the byte layout
+/// **or the meaning of a stored record** changes (e.g. a classifier fix
+/// that alters windows) — version-mismatched files are rejected, never
+/// silently reinterpreted.
+pub const ATLAS_VERSION: u32 = 1;
+
+/// Why an atlas file could not be opened, read or appended to.
+#[derive(Debug)]
+pub enum AtlasError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`ATLAS_MAGIC`] — not an atlas.
+    BadMagic,
+    /// The file's version differs from [`ATLAS_VERSION`]; stale caches
+    /// must be deleted (or kept for an old build), never reinterpreted.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+    },
+    /// Structurally invalid record data at `offset` (truncation counts:
+    /// a half-written record means the producing run died mid-append).
+    Corrupt {
+        /// Byte offset of the offending record frame.
+        offset: u64,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// An append tried to bind `key` to a record different from the one
+    /// already stored — classification is pure, so this indicates a
+    /// classifier change without an [`ATLAS_VERSION`] bump.
+    KeyConflict {
+        /// The canonical graph6 key with two distinct records.
+        key: String,
+    },
+    /// Two complete-coverage declarations for one order disagree on the
+    /// topology count — the enumeration universe is fixed per order, so
+    /// this indicates a corrupted or hand-edited store.
+    CoverageConflict {
+        /// The order with conflicting coverage counts.
+        order: usize,
+    },
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::Io(e) => write!(f, "atlas I/O error: {e}"),
+            AtlasError::BadMagic => write!(f, "not an atlas file (bad magic)"),
+            AtlasError::VersionMismatch { found } => write!(
+                f,
+                "atlas version {found} != supported {ATLAS_VERSION}; delete the file to rebuild"
+            ),
+            AtlasError::Corrupt { offset, reason } => {
+                write!(f, "corrupt atlas record at byte {offset}: {reason}")
+            }
+            AtlasError::KeyConflict { key } => write!(
+                f,
+                "conflicting record for key {key}: classifier changed without a version bump?"
+            ),
+            AtlasError::CoverageConflict { order } => {
+                write!(f, "conflicting complete-coverage counts for order {order}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtlasError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AtlasError {
+    fn from(e: std::io::Error) -> Self {
+        AtlasError::Io(e)
+    }
+}
+
+/// An open classification atlas: the whole store buffered into an
+/// in-memory key → record map (bufread on open; the n = 10 record
+/// population is ~12 M entries of ~100 bytes — RAM-sized by design),
+/// with appends written through to disk.
+#[derive(Debug)]
+pub struct ClassificationAtlas {
+    path: PathBuf,
+    map: HashMap<String, WindowRecord>,
+    /// Orders whose *complete* connected enumeration is stored, with
+    /// the topology count recorded at completion time.
+    coverage: HashMap<u16, u64>,
+}
+
+/// Frame tag: the payload is one encoded [`WindowRecord`].
+const FRAME_RECORD: u8 = 1;
+/// Frame tag: the payload declares complete sweep coverage for one
+/// order (`u16` order + `u64` topology count).
+const FRAME_COVERAGE: u8 = 2;
+
+impl ClassificationAtlas {
+    /// Opens an atlas at `path`, creating an empty one (header only) if
+    /// the file is missing or zero-length.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::BadMagic`] / [`AtlasError::VersionMismatch`] for
+    /// foreign or stale files, [`AtlasError::Corrupt`] for truncated or
+    /// malformed records, [`AtlasError::Io`] on filesystem failure.
+    pub fn open(path: impl AsRef<Path>) -> Result<ClassificationAtlas, AtlasError> {
+        let path = path.as_ref().to_path_buf();
+        let file = match File::open(&path) {
+            Ok(f) => Some(f),
+            Err(e) if e.kind() == ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        let mut map = HashMap::new();
+        let mut coverage = HashMap::new();
+        match file {
+            Some(file) if file.metadata()?.len() > 0 => {
+                let mut r = BufReader::new(file);
+                let mut header = [0u8; 12];
+                r.read_exact(&mut header)
+                    .map_err(|_| AtlasError::BadMagic)?;
+                if header[..8] != ATLAS_MAGIC {
+                    return Err(AtlasError::BadMagic);
+                }
+                let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+                if found != ATLAS_VERSION {
+                    return Err(AtlasError::VersionMismatch { found });
+                }
+                let mut offset = 12u64;
+                loop {
+                    let mut len_buf = [0u8; 4];
+                    match r.read_exact(&mut len_buf) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
+                        Err(e) => return Err(e.into()),
+                    }
+                    let len = u32::from_le_bytes(len_buf) as usize;
+                    let mut payload = vec![0u8; len];
+                    r.read_exact(&mut payload)
+                        .map_err(|_| AtlasError::Corrupt {
+                            offset,
+                            reason: format!("record frame of {len} bytes truncated"),
+                        })?;
+                    decode_frame(&payload, &mut map, &mut coverage)
+                        .map_err(|reason| AtlasError::Corrupt { offset, reason })?;
+                    offset += 4 + len as u64;
+                }
+            }
+            _ => {
+                // Missing or empty: stamp a fresh header.
+                let mut w = BufWriter::new(
+                    OpenOptions::new()
+                        .create(true)
+                        .write(true)
+                        .truncate(true)
+                        .open(&path)?,
+                );
+                w.write_all(&ATLAS_MAGIC)?;
+                w.write_all(&ATLAS_VERSION.to_le_bytes())?;
+                w.flush()?;
+            }
+        }
+        Ok(ClassificationAtlas {
+            path,
+            map,
+            coverage,
+        })
+    }
+
+    /// The record stored for a canonical graph6 `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&WindowRecord> {
+        self.map.get(key)
+    }
+
+    /// Whether `key` is already classified.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Iterates over all stored records (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &WindowRecord> {
+        self.map.values()
+    }
+
+    /// Appends every record whose key is not yet stored; returns how
+    /// many were newly written. Records whose key is present must be
+    /// *identical* to the stored ones.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::KeyConflict`] if any key — already stored *or*
+    /// duplicated within this batch — maps to a different record
+    /// (records appended before the conflict was seen stay appended;
+    /// they are valid), [`AtlasError::Io`] on write failure.
+    pub fn append_records<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a WindowRecord>,
+    ) -> Result<usize, AtlasError> {
+        let mut fresh: Vec<&WindowRecord> = Vec::new();
+        for rec in records {
+            match self.map.get(&rec.key) {
+                Some(stored) if stored == rec => {}
+                Some(_) => {
+                    return Err(AtlasError::KeyConflict {
+                        key: rec.key.clone(),
+                    })
+                }
+                None => fresh.push(rec),
+            }
+        }
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        let mut payload = Vec::new();
+        // The enumeration can only yield distinct keys within one
+        // batch, but defend against caller-supplied duplicates: an
+        // identical duplicate is skipped, a conflicting one is the
+        // KeyConflict invariant violation — never silently dropped.
+        let mut appended = 0usize;
+        for rec in fresh {
+            if let Some(stored) = self.map.get(&rec.key) {
+                if stored == rec {
+                    continue;
+                }
+                w.flush()?;
+                return Err(AtlasError::KeyConflict {
+                    key: rec.key.clone(),
+                });
+            }
+            payload.clear();
+            payload.push(FRAME_RECORD);
+            encode_record(rec, &mut payload);
+            w.write_all(&(payload.len() as u32).to_le_bytes())?;
+            w.write_all(&payload)?;
+            self.map.insert(rec.key.clone(), rec.clone());
+            appended += 1;
+        }
+        w.flush()?;
+        Ok(appended)
+    }
+
+    /// Declares that every connected topology on `order` vertices is
+    /// stored (`count` of them) — call after appending a *full* sweep's
+    /// records. Warm runs then replay the whole catalogue from the
+    /// store ([`ClassificationAtlas::complete_sweep`]) without touching
+    /// the enumerator. Idempotent for matching counts.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::CoverageConflict`] when coverage for `order` is
+    /// already declared with a different count, [`AtlasError::Io`] on
+    /// write failure.
+    pub fn mark_complete(&mut self, order: usize, count: usize) -> Result<(), AtlasError> {
+        match self.coverage.get(&(order as u16)) {
+            Some(&stored) if stored == count as u64 => return Ok(()),
+            Some(_) => return Err(AtlasError::CoverageConflict { order }),
+            None => {}
+        }
+        let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        let mut payload = vec![FRAME_COVERAGE];
+        payload.extend_from_slice(&(order as u16).to_le_bytes());
+        payload.extend_from_slice(&(count as u64).to_le_bytes());
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.flush()?;
+        self.coverage.insert(order as u16, count as u64);
+        Ok(())
+    }
+
+    /// The declared complete-sweep topology count for `order`, if a
+    /// full sweep has been persisted.
+    pub fn coverage(&self, order: usize) -> Option<u64> {
+        u16::try_from(order)
+            .ok()
+            .and_then(|o| self.coverage.get(&o).copied())
+    }
+
+    /// The full connected catalogue for `order` in **engine enumeration
+    /// order** (edge count, then canonical key), served entirely from
+    /// the store — or `None` when coverage was never declared or the
+    /// stored records do not match the declared count (defensive: fall
+    /// back to classifying).
+    ///
+    /// Sort keys are recovered with [`Graph::packed_self_key`] on the
+    /// decoded canonical forms — O(n²) per record, no canonical search
+    /// — which reproduces the engine's `(edges, canonical key)` order
+    /// exactly for every enumerable order (n ≤ 10: the packed triangle
+    /// fits the key's leading word).
+    pub fn complete_sweep(&self, order: usize) -> Option<Vec<WindowRecord>> {
+        let declared = self.coverage(order)?;
+        let mut tagged: Vec<(u64, u64, &WindowRecord)> = self
+            .map
+            .values()
+            .filter(|r| r.order as usize == order)
+            .map(|r| {
+                let g = Graph::from_graph6(&r.key).ok()?;
+                Some((r.edges, g.packed_self_key().prefix_word(), r))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        if tagged.len() as u64 != declared {
+            return None;
+        }
+        tagged.sort_by_key(|t| (t.0, t.1));
+        Some(tagged.into_iter().map(|(_, _, r)| r.clone()).collect())
+    }
+}
+
+/// Parses one frame (tag byte + payload) into the maps.
+fn decode_frame(
+    payload: &[u8],
+    map: &mut HashMap<String, WindowRecord>,
+    coverage: &mut HashMap<u16, u64>,
+) -> Result<(), String> {
+    let (&tag, body) = payload
+        .split_first()
+        .ok_or_else(|| "empty frame".to_string())?;
+    match tag {
+        FRAME_RECORD => {
+            let record = decode_record(body)?;
+            map.insert(record.key.clone(), record);
+            Ok(())
+        }
+        FRAME_COVERAGE => {
+            let mut c = Cursor { buf: body, pos: 0 };
+            let order = c.u16()?;
+            let count = c.u64()?;
+            if c.pos != body.len() {
+                return Err("trailing bytes after coverage frame".into());
+            }
+            match coverage.get(&order) {
+                Some(&stored) if stored != count => Err(format!(
+                    "conflicting coverage counts for order {order}: {stored} vs {count}"
+                )),
+                _ => {
+                    coverage.insert(order, count);
+                    Ok(())
+                }
+            }
+        }
+        t => Err(format!("unknown frame tag {t}")),
+    }
+}
+
+fn put_ratio(out: &mut Vec<u8>, r: Ratio) {
+    out.extend_from_slice(&r.numer().to_le_bytes());
+    out.extend_from_slice(&r.denom().to_le_bytes());
+}
+
+fn put_threshold(out: &mut Vec<u8>, t: Threshold) {
+    match t {
+        Threshold::Finite(r) => {
+            out.push(0);
+            put_ratio(out, r);
+        }
+        Threshold::Infinite => out.push(1),
+    }
+}
+
+fn put_interval(out: &mut Vec<u8>, iv: ClosedInterval) {
+    put_ratio(out, iv.lo);
+    put_threshold(out, iv.hi);
+}
+
+fn encode_record(rec: &WindowRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(rec.key.len() as u16).to_le_bytes());
+    out.extend_from_slice(rec.key.as_bytes());
+    out.extend_from_slice(&(rec.order as u16).to_le_bytes());
+    out.extend_from_slice(&(rec.edges as u32).to_le_bytes());
+    out.extend_from_slice(&rec.total_distance.to_le_bytes());
+    match rec.stability {
+        None => out.push(0),
+        Some(w) => {
+            out.push(1);
+            put_ratio(out, w.lower.value);
+            out.push(u8::from(w.lower.inclusive));
+            put_threshold(out, w.upper);
+        }
+    }
+    match rec.transfer {
+        None => out.push(0),
+        Some(iv) => {
+            out.push(1);
+            put_interval(out, iv);
+        }
+    }
+    out.extend_from_slice(&(rec.ucg_support.len() as u16).to_le_bytes());
+    for iv in &rec.ucg_support {
+        put_interval(out, *iv);
+    }
+}
+
+/// A cursor over one record payload; every getter errors (with a
+/// string diagnosis) instead of panicking so corrupt files surface as
+/// [`AtlasError::Corrupt`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload ends {n} bytes short"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn ratio(&mut self) -> Result<Ratio, String> {
+        let num = self.i64()?;
+        let den = self.i64()?;
+        if den == 0 {
+            return Err("ratio with zero denominator".into());
+        }
+        Ok(Ratio::new(num, den))
+    }
+
+    fn threshold(&mut self) -> Result<Threshold, String> {
+        match self.u8()? {
+            0 => Ok(Threshold::Finite(self.ratio()?)),
+            1 => Ok(Threshold::Infinite),
+            t => Err(format!("unknown threshold tag {t}")),
+        }
+    }
+
+    fn interval(&mut self) -> Result<ClosedInterval, String> {
+        Ok(ClosedInterval {
+            lo: self.ratio()?,
+            hi: self.threshold()?,
+        })
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Result<WindowRecord, String> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let key_len = c.u16()? as usize;
+    let key = std::str::from_utf8(c.take(key_len)?)
+        .map_err(|_| "key is not UTF-8".to_string())?
+        .to_string();
+    let order = u32::from(c.u16()?);
+    let edges = u64::from(c.u32()?);
+    let total_distance = c.u64()?;
+    let stability = match c.u8()? {
+        0 => None,
+        1 => {
+            let value = c.ratio()?;
+            let inclusive = match c.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(format!("unknown inclusivity tag {t}")),
+            };
+            let upper = c.threshold()?;
+            Some(StabilityWindow {
+                lower: LowerBound { value, inclusive },
+                upper,
+            })
+        }
+        t => return Err(format!("unknown stability tag {t}")),
+    };
+    let transfer = match c.u8()? {
+        0 => None,
+        1 => Some(c.interval()?),
+        t => return Err(format!("unknown transfer tag {t}")),
+    };
+    let n_support = c.u16()? as usize;
+    let mut ucg_support = Vec::with_capacity(n_support);
+    for _ in 0..n_support {
+        ucg_support.push(c.interval()?);
+    }
+    if c.pos != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after record",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(WindowRecord {
+        key,
+        order,
+        edges,
+        total_distance,
+        stability,
+        transfer,
+        ucg_support,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A unique throwaway path under the system temp dir (no tempfile
+    /// crate offline; unique per process × counter).
+    fn scratch_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let k = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "bnf-atlas-test-{}-{k}-{tag}.bnfatlas",
+            std::process::id()
+        ))
+    }
+
+    fn sample_records() -> Vec<WindowRecord> {
+        vec![
+            WindowRecord {
+                key: "D?{".into(),
+                order: 5,
+                edges: 4,
+                total_distance: 32,
+                stability: Some(StabilityWindow {
+                    lower: LowerBound {
+                        value: Ratio::new(1, 2),
+                        inclusive: false,
+                    },
+                    upper: Threshold::Infinite,
+                }),
+                transfer: Some(ClosedInterval {
+                    lo: Ratio::new(3, 4),
+                    hi: Threshold::Finite(Ratio::from(9)),
+                }),
+                ucg_support: vec![
+                    ClosedInterval {
+                        lo: Ratio::ONE,
+                        hi: Threshold::Finite(Ratio::from(2)),
+                    },
+                    ClosedInterval {
+                        lo: Ratio::from(5),
+                        hi: Threshold::Infinite,
+                    },
+                ],
+            },
+            WindowRecord {
+                key: "DQw".into(),
+                order: 5,
+                edges: 5,
+                total_distance: 30,
+                stability: None,
+                transfer: None,
+                ucg_support: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_reopen() {
+        let path = scratch_path("roundtrip");
+        let records = sample_records();
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            assert!(atlas.is_empty());
+            assert_eq!(atlas.append_records(&records).unwrap(), 2);
+            // Idempotent: same records append nothing.
+            assert_eq!(atlas.append_records(&records).unwrap(), 0);
+            assert_eq!(atlas.len(), 2);
+        }
+        let reopened = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        for rec in &records {
+            assert_eq!(reopened.get(&rec.key), Some(rec));
+        }
+        assert!(!reopened.contains("Bw"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_accumulates_across_sessions() {
+        let path = scratch_path("accumulate");
+        let records = sample_records();
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            atlas.append_records(&records[..1]).unwrap();
+        }
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            assert_eq!(atlas.len(), 1);
+            assert_eq!(atlas.append_records(&records).unwrap(), 1);
+        }
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.len(), 2);
+        assert_eq!(atlas.iter().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let path = scratch_path("badmagic");
+        std::fs::write(&path, b"NOTANATLASFILE").unwrap();
+        assert!(matches!(
+            ClassificationAtlas::open(&path),
+            Err(AtlasError::BadMagic)
+        ));
+        // Too short for even the magic: also BadMagic, not a panic.
+        std::fs::write(&path, b"BNF").unwrap();
+        assert!(matches!(
+            ClassificationAtlas::open(&path),
+            Err(AtlasError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = scratch_path("version");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&ATLAS_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match ClassificationAtlas::open(&path) {
+            Err(AtlasError::VersionMismatch { found: 99 }) => {}
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_record_is_corrupt() {
+        let path = scratch_path("truncated");
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            atlas.append_records(&sample_records()).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        match ClassificationAtlas::open(&path) {
+            Err(AtlasError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_payload_is_corrupt_with_offset() {
+        let path = scratch_path("malformed");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&ATLAS_MAGIC);
+        bytes.extend_from_slice(&ATLAS_VERSION.to_le_bytes());
+        // A record frame of 7 bytes whose key length claims 400.
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.push(super::FRAME_RECORD);
+        bytes.extend_from_slice(&400u16.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+        match ClassificationAtlas::open(&path) {
+            Err(AtlasError::Corrupt { offset: 12, .. }) => {}
+            other => panic!("expected Corrupt at offset 12, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coverage_round_trips_and_replays_in_engine_order() {
+        let path = scratch_path("coverage");
+        // Classify the real n=4 connected catalogue (6 topologies) so
+        // the replay order is checkable against a fresh classification.
+        let mut scratch = bnf_graph::BfsScratch::new();
+        let records: Vec<WindowRecord> = bnf_graph_enumeration_n4()
+            .iter()
+            .map(|g| WindowRecord::classify(g, &mut scratch))
+            .collect();
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            atlas.append_records(&records).unwrap();
+            assert_eq!(atlas.coverage(4), None);
+            assert_eq!(atlas.complete_sweep(4), None, "no coverage declared yet");
+            atlas.mark_complete(4, records.len()).unwrap();
+            atlas.mark_complete(4, records.len()).unwrap(); // idempotent
+            assert!(matches!(
+                atlas.mark_complete(4, records.len() + 1),
+                Err(AtlasError::CoverageConflict { order: 4 })
+            ));
+        }
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.coverage(4), Some(records.len() as u64));
+        assert_eq!(atlas.coverage(5), None);
+        let replayed = atlas.complete_sweep(4).expect("coverage declared");
+        // Engine order: non-decreasing edge count, same record set.
+        assert_eq!(replayed.len(), records.len());
+        assert!(replayed.windows(2).all(|w| w[0].edges <= w[1].edges));
+        let mut by_key: Vec<&str> = replayed.iter().map(|r| r.key.as_str()).collect();
+        by_key.sort_unstable();
+        let mut expect: Vec<&str> = records.iter().map(|r| r.key.as_str()).collect();
+        expect.sort_unstable();
+        assert_eq!(by_key, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The six connected graphs on 4 vertices, hand-listed (the atlas
+    /// crate does not depend on bnf-enumerate).
+    fn bnf_graph_enumeration_n4() -> Vec<Graph> {
+        [
+            &[(0, 1), (1, 2), (2, 3)][..],                         // path
+            &[(0, 1), (0, 2), (0, 3)][..],                         // star
+            &[(0, 1), (1, 2), (2, 3), (3, 0)][..],                 // C4
+            &[(0, 1), (1, 2), (2, 0), (0, 3)][..],                 // paw
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)][..],         // diamond
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)][..], // K4
+        ]
+        .iter()
+        .map(|edges| Graph::from_edges(4, edges.iter().copied()).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn key_conflicts_are_rejected() {
+        let path = scratch_path("conflict");
+        let records = sample_records();
+        let mut atlas = ClassificationAtlas::open(&path).unwrap();
+        atlas.append_records(&records).unwrap();
+        let mut altered = records[0].clone();
+        altered.edges += 1;
+        match atlas.append_records([&altered]) {
+            Err(AtlasError::KeyConflict { key }) => assert_eq!(key, records[0].key),
+            other => panic!("expected KeyConflict, got {other:?}"),
+        }
+        // Nothing was written: the stored record is unchanged.
+        assert_eq!(atlas.get(&records[0].key), Some(&records[0]));
+        // A conflicting duplicate *within one batch* is also rejected,
+        // never silently dropped (identical duplicates are skipped).
+        let mut third = records[0].clone();
+        third.key = "Dhc".into();
+        let mut third_conflict = third.clone();
+        third_conflict.total_distance += 1;
+        match atlas.append_records([&third, &third, &third_conflict]) {
+            Err(AtlasError::KeyConflict { key }) => assert_eq!(key, "Dhc"),
+            other => panic!("expected intra-batch KeyConflict, got {other:?}"),
+        }
+        // The first copy made it in and survives a reopen.
+        drop(atlas);
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.get("Dhc"), Some(&third));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(AtlasError::BadMagic.to_string().contains("magic"));
+        assert!(AtlasError::VersionMismatch { found: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(AtlasError::KeyConflict { key: "Bw".into() }
+            .to_string()
+            .contains("Bw"));
+    }
+}

@@ -1,0 +1,199 @@
+//! CI perf gate: compares criterion-shim JSON estimates against a
+//! committed baseline and fails on regression.
+//!
+//! Usage: bench_gate <BENCH_BASELINE.json> <tolerance> <estimates.json>...
+//!
+//! Every benchmark id in the baseline must appear in (exactly one of)
+//! the estimate files with a mean no more than `(1 + tolerance) ×`
+//! the baseline mean; a missing or slower benchmark exits 1. Extra
+//! estimates not in the baseline are reported but never fail the gate.
+//! Both files use the shim's `{"benchmarks":[{"id":…,"mean_ns":…,…}]}`
+//! shape (`BNF_CRITERION_JSON`), so refreshing the baseline is copying
+//! an artifact.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `id → mean_ns` pairs from one shim-format JSON document.
+///
+/// Not a general JSON parser: the shim (and the committed baseline)
+/// emit one flat object per benchmark with `"id"` preceding
+/// `"mean_ns"`, which is all this scanner assumes. Malformed input
+/// yields an error rather than silently passing the gate.
+fn parse_estimates(doc: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut rest = doc;
+    while let Some(idx) = rest.find("\"id\":\"") {
+        rest = &rest[idx + 6..];
+        let end = rest
+            .find('"')
+            .ok_or_else(|| "unterminated id string".to_string())?;
+        let id = rest[..end].to_string();
+        if id.contains('\\') {
+            return Err(format!("id {id:?} contains escapes the gate cannot parse"));
+        }
+        rest = &rest[end + 1..];
+        let mkey = "\"mean_ns\":";
+        let midx = rest
+            .find(mkey)
+            .ok_or_else(|| format!("no mean_ns after id {id:?}"))?;
+        let after = &rest[midx + mkey.len()..];
+        let num: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        let mean: f64 = num
+            .parse()
+            .map_err(|_| format!("bad mean_ns {num:?} for id {id:?}"))?;
+        if out.insert(id.clone(), mean).is_some() {
+            return Err(format!("duplicate id {id:?}"));
+        }
+        rest = after;
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_estimates(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3} ms", ns / 1e6)
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let [baseline_path, tolerance, estimate_paths @ ..] = args else {
+        return Err(
+            "usage: bench_gate <BENCH_BASELINE.json> <tolerance> <estimates.json>...".into(),
+        );
+    };
+    if estimate_paths.is_empty() {
+        return Err("no estimate files given".into());
+    }
+    let tolerance: f64 = tolerance
+        .parse()
+        .map_err(|_| format!("bad tolerance {tolerance:?} (want e.g. 0.25)"))?;
+    let baseline = load(baseline_path)?;
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no benchmarks in baseline"));
+    }
+    let mut measured: BTreeMap<String, f64> = BTreeMap::new();
+    for path in estimate_paths {
+        for (id, mean) in load(path)? {
+            if measured.insert(id.clone(), mean).is_some() {
+                return Err(format!("benchmark {id:?} measured in two estimate files"));
+            }
+        }
+    }
+    let mut ok = true;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  status",
+        "benchmark", "baseline", "measured", "ratio"
+    );
+    for (id, base) in &baseline {
+        match measured.get(id) {
+            None => {
+                ok = false;
+                println!(
+                    "{id:<44} {:>12} {:>12} {:>8}  MISSING",
+                    fmt_ms(*base),
+                    "-",
+                    "-"
+                );
+            }
+            Some(&mean) => {
+                let ratio = mean / base;
+                let pass = ratio <= 1.0 + tolerance;
+                ok &= pass;
+                println!(
+                    "{id:<44} {:>12} {:>12} {ratio:>8.2}  {}",
+                    fmt_ms(*base),
+                    fmt_ms(mean),
+                    if pass { "ok" } else { "REGRESSED" }
+                );
+            }
+        }
+    }
+    for (id, mean) in &measured {
+        if !baseline.contains_key(id) {
+            println!(
+                "{id:<44} {:>12} {:>12} {:>8}  (not gated)",
+                "-",
+                fmt_ms(*mean),
+                "-"
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench gate FAILED: regression beyond tolerance (or missing benchmark)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"benchmarks":[
+  {"id":"fig2_fig3/sweep/7","mean_ns":123456789.0,"min_ns":1.0,"max_ns":2.0,"samples":10},
+  {"id":"streaming_sweep/streaming/7","mean_ns":98765432.1,"min_ns":1.0,"max_ns":2.0,"samples":10}
+]}"#;
+
+    #[test]
+    fn parses_shim_output() {
+        let map = parse_estimates(SAMPLE).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["fig2_fig3/sweep/7"], 123456789.0);
+        assert_eq!(map["streaming_sweep/streaming/7"], 98765432.1);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_estimates(r#"{"benchmarks":[{"id":"x}"#).is_err());
+        assert!(parse_estimates(r#"{"id":"x","other":1}"#).is_err());
+        assert!(parse_estimates(r#"{"id":"x","mean_ns":"fast"}"#).is_err());
+        assert!(
+            parse_estimates(r#"{"id":"a","mean_ns":1},{"id":"a","mean_ns":2}"#).is_err(),
+            "duplicates"
+        );
+        // No benchmarks at all parses as empty (the caller rejects it).
+        assert!(parse_estimates("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_logic_end_to_end() {
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("bnf-gate-base-{}.json", std::process::id()));
+        let est = dir.join(format!("bnf-gate-est-{}.json", std::process::id()));
+        std::fs::write(&base, r#"{"benchmarks":[{"id":"a","mean_ns":100.0}]}"#).unwrap();
+        // Within tolerance (20% over, 25% allowed).
+        std::fs::write(&est, r#"{"benchmarks":[{"id":"a","mean_ns":120.0}]}"#).unwrap();
+        let args = |tol: &str| {
+            vec![
+                base.to_str().unwrap().to_string(),
+                tol.to_string(),
+                est.to_str().unwrap().to_string(),
+            ]
+        };
+        assert_eq!(run(&args("0.25")), Ok(true));
+        assert_eq!(run(&args("0.1")), Ok(false), "20% over a 10% gate fails");
+        // A baseline id absent from the estimates fails.
+        std::fs::write(&est, r#"{"benchmarks":[{"id":"b","mean_ns":1.0}]}"#).unwrap();
+        assert_eq!(run(&args("0.25")), Ok(false));
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&est).ok();
+    }
+}

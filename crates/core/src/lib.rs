@@ -42,6 +42,7 @@ mod convexity;
 mod delta;
 mod interval;
 mod pairwise_nash;
+mod record;
 mod stability;
 mod theorems;
 mod transfers;
@@ -53,6 +54,7 @@ pub use convexity::{
 pub use delta::{DeltaCalc, DistanceDelta};
 pub use interval::{ClosedInterval, LowerBound, StabilityWindow, Threshold};
 pub use pairwise_nash::{is_nash_bcg, is_pairwise_nash, MAX_EXHAUSTIVE_DEGREE};
+pub use record::WindowRecord;
 pub use stability::{
     addition_thresholds, deletion_thresholds, is_pairwise_stable, stability_window,
     stability_window_with,

@@ -309,52 +309,95 @@ impl UcgAnalyzer {
     /// between them — supportability is constant between consecutive
     /// endpoints.
     pub fn support_intervals(&self) -> Vec<ClosedInterval> {
+        self.support_intervals_within(ClosedInterval::ALL)
+    }
+
+    /// [`UcgAnalyzer::support_intervals`] restricted to `clip` — for
+    /// callers that already *know* the support set is contained in
+    /// `clip` (e.g. the orientation-free necessary window of
+    /// [`ucg_necessary_window`], which provably contains it). Probing is
+    /// limited to the table endpoints inside `clip` plus `clip`'s own
+    /// bounds, which is what makes the one-shot window extraction of
+    /// `WindowRecord` affordable: the orientation solver runs per
+    /// surviving endpoint instead of per grid point per run.
+    ///
+    /// With `clip` = [`ClosedInterval::ALL`] this is exactly
+    /// [`UcgAnalyzer::support_intervals`]. With a proper `clip` the
+    /// result equals the full support set **provided** the support set
+    /// is contained in `clip`; callers violating that premise get the
+    /// intersection-shaped subset only.
+    pub fn support_intervals_within(&self, clip: ClosedInterval) -> Vec<ClosedInterval> {
         let mut endpoints: Vec<Ratio> = Vec::new();
         for t in &self.tables {
             for iv in t.values() {
-                if iv.lo > Ratio::ZERO {
+                if iv.lo > Ratio::ZERO && clip.contains(iv.lo) {
                     endpoints.push(iv.lo);
                 }
                 if let Threshold::Finite(h) = iv.hi {
-                    if h > Ratio::ZERO {
+                    if h > Ratio::ZERO && clip.contains(h) {
                         endpoints.push(h);
                     }
                 }
             }
         }
-        endpoints.push(Ratio::new(1, 2)); // ensure at least one probe
+        // Supportability only flips at table endpoints, so clip's own
+        // bounds anchor the probe sequence at the boundary segments.
+        if clip.lo > Ratio::ZERO {
+            endpoints.push(clip.lo);
+        }
+        if let Threshold::Finite(h) = clip.hi {
+            if h > Ratio::ZERO {
+                endpoints.push(h);
+            }
+        }
+        if endpoints.is_empty() {
+            endpoints.push(Ratio::new(1, 2)); // ensure at least one probe
+        }
         endpoints.sort();
         endpoints.dedup();
         // Probe sequence: a point below every endpoint (supportability
-        // there means "all α > 0 up to the first endpoint"), each
-        // endpoint, midpoints between neighbours, and one point beyond
-        // the largest endpoint.
-        let eps = endpoints[0] / Ratio::from(2);
+        // there means "all α > 0 up to the first endpoint"; skipped when
+        // clip starts above zero — its lower bound is already the first
+        // endpoint), each endpoint, midpoints between neighbours, and —
+        // when unbounded above — one point beyond the largest endpoint.
         let mut probes: Vec<Ratio> = Vec::with_capacity(endpoints.len() * 2 + 2);
-        probes.push(eps);
+        if clip.lo <= Ratio::ZERO {
+            probes.push(endpoints[0] / Ratio::from(2));
+        }
         for (k, &e) in endpoints.iter().enumerate() {
             if k > 0 {
                 probes.push(Ratio::midpoint(endpoints[k - 1], e));
             }
             probes.push(e);
         }
-        probes.push(*endpoints.last().expect("nonempty") + Ratio::ONE);
+        let unbounded = matches!(clip.hi, Threshold::Infinite);
+        if unbounded {
+            probes.push(*endpoints.last().expect("nonempty") + Ratio::ONE);
+        }
         probes.retain(|&p| p > Ratio::ZERO);
         let status: Vec<bool> = probes
             .iter()
             .map(|&p| self.is_nash_supportable(p))
             .collect();
+        // A run starting at the eps probe (present only when clip
+        // reaches down to 0) extends down to 0 (exclusive — α must be
+        // positive); report lo = 0. With a positive clip.lo the first
+        // probe is clip.lo itself and the run genuinely starts there.
+        let run_lo = |s: usize| {
+            if s == 0 && clip.lo <= Ratio::ZERO {
+                Ratio::ZERO
+            } else {
+                probes[s]
+            }
+        };
         let mut out: Vec<ClosedInterval> = Vec::new();
         let mut run_start: Option<usize> = None;
         for k in 0..probes.len() {
             match (status[k], run_start) {
                 (true, None) => run_start = Some(k),
                 (false, Some(s)) => {
-                    // A run starting at the eps probe extends down to 0
-                    // (exclusive — α must be positive); report lo = 0.
-                    let lo = if s == 0 { Ratio::ZERO } else { probes[s] };
                     out.push(ClosedInterval {
-                        lo,
+                        lo: run_lo(s),
                         hi: Threshold::Finite(probes[k - 1]),
                     });
                     run_start = None;
@@ -363,11 +406,15 @@ impl UcgAnalyzer {
             }
         }
         if let Some(s) = run_start {
-            let lo = if s == 0 { Ratio::ZERO } else { probes[s] };
-            out.push(ClosedInterval {
-                lo,
-                hi: Threshold::Infinite,
-            });
+            // A run still open at the last probe: unbounded when the
+            // probe sequence ran past every endpoint, capped at clip's
+            // (inclusive) upper bound otherwise.
+            let hi = if unbounded {
+                Threshold::Infinite
+            } else {
+                Threshold::Finite(*probes.last().expect("nonempty"))
+            };
+            out.push(ClosedInterval { lo: run_lo(s), hi });
         }
         out
     }
@@ -600,6 +647,43 @@ mod tests {
                     assert!(nec.contains(h), "{g:?}: hi {h} outside {nec}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn clipped_support_matches_unclipped() {
+        // For every graph whose support set sits inside its necessary
+        // window (a theorem; cross-checked in
+        // `necessary_window_contains_exact_support`), clipping the probe
+        // sequence to that window must not change the answer.
+        let p4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let theta =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
+        for g in [
+            star(5),
+            star(7),
+            cycle(4),
+            cycle(5),
+            cycle(6),
+            Graph::complete(5),
+            p4,
+            theta,
+        ] {
+            let nec = ucg_necessary_window(&g);
+            let ucg = UcgAnalyzer::new(&g).unwrap();
+            let full = ucg.support_intervals();
+            match nec {
+                None => assert!(full.is_empty(), "{g:?}: no necessary window"),
+                Some(nec) => {
+                    assert_eq!(
+                        ucg.support_intervals_within(nec),
+                        full,
+                        "{g:?}: clip {nec} changed the support set"
+                    );
+                }
+            }
+            // Clipping to ALL is the identity by construction.
+            assert_eq!(ucg.support_intervals_within(ClosedInterval::ALL), full);
         }
     }
 

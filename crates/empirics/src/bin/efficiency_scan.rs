@@ -1,15 +1,17 @@
 //! Verifies Lemmas 4 and 5 exhaustively: at each link cost the efficient
 //! graph over ALL connected topologies is the complete graph (alpha < 1),
 //! the star (alpha > 1), and exactly those two tie at alpha = 1; reports
-//! uniqueness of the minimizer. Thin wrapper over
-//! `bnf_empirics::efficiency` (the engine job does the work).
+//! uniqueness of the minimizer. Thin fold over the shared window-record
+//! sweep (`bnf_empirics::efficiency`), so it rides the same `--atlas`
+//! cache as the figure binaries.
 //!
 //! Usage: efficiency_scan [--n 7] [--threads T] [--streaming]
+//!        [--atlas PATH] [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
 
 use bnf_empirics::MinimizerShape;
 use bnf_empirics::{
-    arg_flag, arg_value, default_threads, efficiency_rows, efficiency_rows_streaming, render_table,
-    report_peak_rss,
+    arg_value, default_threads, efficiency_scan_windows, grid_from_args, render_table,
+    run_window_sweep_cli,
 };
 use bnf_games::Ratio;
 
@@ -48,27 +50,20 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads").map_or_else(default_threads, |v| {
         v.parse().expect("--threads wants a number")
     });
-    let alphas = [
-        Ratio::new(1, 4),
-        Ratio::new(1, 2),
-        Ratio::new(3, 4),
-        Ratio::ONE,
-        Ratio::new(3, 2),
-        Ratio::from(2),
-        Ratio::from(4),
-        Ratio::from(8),
-    ];
-    let streaming = arg_flag(&args, "--streaming");
-    let scan = if streaming {
-        efficiency_rows_streaming(n, &alphas, threads)
-    } else {
-        efficiency_rows(n, &alphas, threads)
-    };
-    report_peak_rss(if streaming {
-        "streaming"
-    } else {
-        "materializing"
+    let alphas = grid_from_args(&args, || {
+        vec![
+            Ratio::new(1, 4),
+            Ratio::new(1, 2),
+            Ratio::new(3, 4),
+            Ratio::ONE,
+            Ratio::new(3, 2),
+            Ratio::from(2),
+            Ratio::from(4),
+            Ratio::from(8),
+        ]
     });
+    let windows = run_window_sweep_cli(n, threads, &args);
+    let scan = efficiency_scan_windows(&windows, &alphas);
     let rows: Vec<Vec<String>> = scan
         .rows
         .iter()

@@ -4,6 +4,11 @@
 //! min(sqrt(a), n/sqrt(a)) envelope.
 //!
 //! Usage: poa_bounds [--n 7] [--threads T] [--streaming]
+//!        [--atlas PATH] [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
+//!
+//! The Prop 4 table reads the same shared window records as the figure
+//! sweeps (no inline window extraction of its own), so `--atlas` makes
+//! its exhaustive half incremental too.
 
 use bnf_empirics::{
     arg_value, fmt_stat, prop3_series, prop4_rows, render_table, run_sweep_cli, SweepConfig,

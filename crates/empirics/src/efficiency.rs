@@ -1,26 +1,21 @@
-//! Lemmas 4 and 5, verified exhaustively as an engine job: at each link
-//! cost the efficient graph over ALL connected topologies is the
-//! complete graph (α < 1), the star (α > 1), and exactly those two tie
-//! at α = 1.
+//! Lemmas 4 and 5, verified exhaustively: at each link cost the
+//! efficient graph over ALL connected topologies is the complete graph
+//! (α < 1), the star (α > 1), and exactly those two tie at α = 1.
 //!
-//! The per-topology work (cost summary + shape certificate) runs on the
-//! [`AnalysisEngine`]; the per-α minimization folds the records.
+//! Since PR 3 this scan folds the shared [`WindowRecord`] catalogue (a
+//! [`WindowSweep`]) instead of running its own engine job: the social
+//! cost needs only (order, edges, total distance), and the minimizer
+//! shape certificate is derivable from the same fields — a connected
+//! graph is complete iff it has all `n(n-1)/2` edges, and a tree
+//! (`n-1` edges) is the star iff its ordered distance total hits the
+//! tree minimum `2(n-1)²` (the star uniquely minimizes the Wiener
+//! index over trees). Sharing the emitter means `efficiency_scan`
+//! rides the same `--atlas` cache as the figure sweeps.
 
-use bnf_engine::{Analysis, AnalysisEngine, WorkerScratch};
+use bnf_core::WindowRecord;
 use bnf_games::{optimal_social_cost, CostSummary, GameKind, Ratio};
-use bnf_graph::Graph;
 
-/// Per-topology data for the efficiency scan: the exact cost summary
-/// plus the shape certificate used to label minimizers.
-#[derive(Debug, Clone)]
-pub struct EfficiencyRecord {
-    /// The exact social-cost summary (order, edges, total distance).
-    pub summary: CostSummary,
-    /// Whether the topology is the complete graph.
-    pub complete: bool,
-    /// Whether the topology is a star (a tree with a universal vertex).
-    pub star: bool,
-}
+use crate::sweep::WindowSweep;
 
 /// How an efficiency minimizer is labelled in the Lemma 4/5 tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,35 +29,35 @@ pub enum MinimizerShape {
     Other(u64),
 }
 
+impl MinimizerShape {
+    /// Labels one classified topology on `n` vertices.
+    fn of(n: usize, rec: &WindowRecord) -> MinimizerShape {
+        if rec.edges == (n * n.saturating_sub(1) / 2) as u64 {
+            MinimizerShape::Complete
+        } else if rec.edges == n.saturating_sub(1) as u64
+            && rec.total_distance == star_total_distance(n)
+        {
+            MinimizerShape::Star
+        } else {
+            MinimizerShape::Other(rec.edges)
+        }
+    }
+}
+
+/// Ordered-pair distance total of the star `K_{1,n-1}` — the unique
+/// minimum over trees on `n` vertices: `2(n-1)` hub pairs at distance 1
+/// plus `(n-1)(n-2)` leaf pairs at distance 2.
+fn star_total_distance(n: usize) -> u64 {
+    let m = n.saturating_sub(1) as u64;
+    2 * m * m
+}
+
 impl std::fmt::Display for MinimizerShape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MinimizerShape::Complete => write!(f, "complete"),
             MinimizerShape::Star => write!(f, "star"),
             MinimizerShape::Other(m) => write!(f, "other(m={m})"),
-        }
-    }
-}
-
-/// The engine job computing one [`EfficiencyRecord`] per topology.
-#[derive(Debug, Clone, Copy)]
-pub struct EfficiencyJob;
-
-impl Analysis for EfficiencyJob {
-    type Output = EfficiencyRecord;
-
-    fn classify(&self, g: &Graph, scratch: &mut WorkerScratch) -> EfficiencyRecord {
-        let n = g.order();
-        let summary = CostSummary {
-            order: n,
-            edges: g.edge_count() as u64,
-            total_distance: g.total_distance_with(&mut scratch.bfs),
-            kind: GameKind::Bilateral,
-        };
-        EfficiencyRecord {
-            complete: g.edge_count() == n * (n - 1) / 2,
-            star: g.is_tree() && (0..n).any(|v| g.degree(v) == n - 1),
-            summary,
         }
     }
 }
@@ -94,67 +89,63 @@ pub struct EfficiencyScan {
     pub rows: Vec<EfficiencyRow>,
 }
 
-/// Classifies every connected topology on `n` vertices and folds the
-/// per-α efficiency table, materializing the enumeration first.
+/// Classifies every connected topology on `n` vertices through the
+/// shared window emitter and folds the per-α efficiency table,
+/// materializing the enumeration first.
 ///
 /// # Panics
 ///
 /// Panics if `n` exceeds [`crate::max_sweep_n`] (the `BNF_MAX_N`
 /// opt-in shared by every exhaustive scan) or the α grid is empty.
 pub fn efficiency_rows(n: usize, alphas: &[Ratio], threads: usize) -> EfficiencyScan {
-    assert_scan_bounds(n, alphas);
-    let records = AnalysisEngine::new(threads).run_connected(n, &EfficiencyJob);
-    fold_rows(n, &records, alphas)
+    efficiency_scan_windows(&WindowSweep::run(n, threads, false, None), alphas)
 }
 
 /// Streaming twin of [`efficiency_rows`]: classifies topologies as the
-/// enumeration generates them
-/// (`AnalysisEngine::run_connected_streaming`) without materializing
-/// the graph list — at n = 9 this roughly halves peak RSS, since the
-/// per-topology records here are small. Produces the identical table.
+/// enumeration generates them without materializing the graph list.
+/// Produces the identical table.
 ///
 /// # Panics
 ///
 /// Panics if `n` exceeds [`crate::max_sweep_n`] or the α grid is empty.
 pub fn efficiency_rows_streaming(n: usize, alphas: &[Ratio], threads: usize) -> EfficiencyScan {
-    assert_scan_bounds(n, alphas);
-    let records = AnalysisEngine::new(threads).run_connected_streaming(n, &EfficiencyJob);
-    fold_rows(n, &records, alphas)
+    efficiency_scan_windows(&WindowSweep::run(n, threads, true, None), alphas)
 }
 
-fn assert_scan_bounds(n: usize, alphas: &[Ratio]) {
-    let cap = crate::max_sweep_n();
-    assert!(
-        n <= cap,
-        "scans beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
-    );
+/// The per-α minimization over an already-classified [`WindowSweep`] —
+/// the shared fold behind both enumeration paths and the atlas-backed
+/// `efficiency_scan` binary.
+///
+/// # Panics
+///
+/// Panics if the α grid is empty (the enumeration may be empty only
+/// for `n = 0`, which no caller reaches).
+pub fn efficiency_scan_windows(windows: &WindowSweep, alphas: &[Ratio]) -> EfficiencyScan {
     assert!(!alphas.is_empty(), "the α grid must be nonempty");
-}
-
-/// The per-α minimization over classified records, shared by both
-/// enumeration paths.
-fn fold_rows(n: usize, records: &[EfficiencyRecord], alphas: &[Ratio]) -> EfficiencyScan {
+    let n = windows.n;
+    let records = &windows.records;
     let rows = alphas
         .iter()
         .map(|&alpha| {
             let costs: Vec<Ratio> = records
                 .iter()
-                .map(|r| r.summary.social_cost_exact(alpha).expect("connected"))
+                .map(|r| {
+                    CostSummary {
+                        order: n,
+                        edges: r.edges,
+                        total_distance: Some(r.total_distance),
+                        kind: GameKind::Bilateral,
+                    }
+                    .social_cost_exact(alpha)
+                    .expect("connected")
+                })
                 .collect();
             let min_cost = costs.iter().copied().min().expect("nonempty enumeration");
             let minimizers: Vec<MinimizerShape> = records
                 .iter()
                 .zip(&costs)
                 .filter(|&(_, &c)| c == min_cost)
-                .map(|(r, _)| {
-                    if r.complete {
-                        MinimizerShape::Complete
-                    } else if r.star {
-                        MinimizerShape::Star
-                    } else {
-                        MinimizerShape::Other(r.summary.edges)
-                    }
-                })
+                .map(|(r, _)| MinimizerShape::of(n, r))
                 .collect();
             let formula = optimal_social_cost(GameKind::Bilateral, n, alpha);
             EfficiencyRow {
@@ -226,6 +217,37 @@ mod tests {
             assert_eq!(s.min_cost, m.min_cost);
             assert_eq!(s.matches, m.matches);
             assert_eq!(s.minimizers, m.minimizers);
+        }
+    }
+
+    #[test]
+    fn star_certificate_matches_structural_check() {
+        // The distance-sum star test must agree with the structural
+        // "tree with a universal vertex" definition on every connected
+        // topology (trees and non-trees alike) at small n.
+        use bnf_enumerate::connected_graphs;
+        for n in 2..=6 {
+            for g in connected_graphs(n) {
+                let structural = g.is_tree() && (0..n).any(|v| g.degree(v) == n - 1);
+                let rec = WindowRecord {
+                    key: String::new(),
+                    order: n as u32,
+                    edges: g.edge_count() as u64,
+                    total_distance: g.total_distance().unwrap(),
+                    stability: None,
+                    transfer: None,
+                    ucg_support: Vec::new(),
+                };
+                // `of` labels K2 "complete" first (as the old job's
+                // table did); a Complete-labelled *tree* is still a
+                // structural star.
+                let labelled_star = match MinimizerShape::of(n, &rec) {
+                    MinimizerShape::Star => true,
+                    MinimizerShape::Complete => rec.edges == (n - 1) as u64,
+                    MinimizerShape::Other(_) => false,
+                };
+                assert_eq!(labelled_star, structural, "n={n}, g={}", g.to_graph6());
+            }
         }
     }
 

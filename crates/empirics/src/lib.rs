@@ -26,6 +26,14 @@
 //! scale with the topology count). All exhaustive scans honour the
 //! `BNF_MAX_N` environment variable ([`max_sweep_n`]) so `n = 9/10`
 //! opt-ins need no recompile.
+//!
+//! Classification is **windows-first** ([`sweep::WindowSweep`]): each
+//! topology yields one α-independent window record, any α grid is a
+//! post-pass ([`grid`], `--grid paper|linear:..|log2:..`), and
+//! `--atlas <path>` persists the records in an append-only store
+//! ([`bnf_atlas::ClassificationAtlas`]) so re-runs — finer grids,
+//! `--streaming`, follow-up workloads — skip classification for keys
+//! already seen.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -34,8 +42,11 @@ pub mod bounds;
 pub mod cycles;
 pub mod efficiency;
 pub mod gallery;
+pub mod grid;
 pub mod sweep;
 pub mod tables;
+
+use bnf_games::Ratio;
 
 pub use bounds::{prop3_series, prop4_rows, window_top_poa, LowerBoundRow, UpperBoundRow};
 // Re-exported so the executor keeps its pre-engine `empirics` path; the
@@ -43,12 +54,14 @@ pub use bounds::{prop3_series, prop4_rows, window_top_poa, LowerBoundRow, UpperB
 pub use bnf_engine::{default_threads, parallel_map};
 pub use cycles::{lemma6_rows, CycleRow};
 pub use efficiency::{
-    efficiency_rows, efficiency_rows_streaming, EfficiencyJob, EfficiencyRecord, EfficiencyRow,
+    efficiency_rows, efficiency_rows_streaming, efficiency_scan_windows, EfficiencyRow,
     EfficiencyScan, MinimizerShape,
 };
 pub use gallery::{extended_gallery, figure1_gallery, GalleryEntry};
+pub use grid::GridSpec;
 pub use sweep::{
-    stable_catalog, EquilibriumStats, GraphRecord, SweepConfig, SweepJob, SweepResult,
+    stable_catalog, EquilibriumStats, GraphRecord, SweepConfig, SweepJob, SweepResult, WindowJob,
+    WindowSweep,
 };
 pub use tables::{fmt_stat, render_csv, render_table};
 
@@ -86,29 +99,91 @@ pub fn peak_rss_kb() -> Option<u64> {
 }
 
 /// Shared front-end of the sweep-driven binaries: honours
-/// `--streaming`, runs [`SweepResult`] on the chosen enumeration path,
-/// and prints the shared diagnostics (path, topology count, peak RSS)
-/// to stderr — so each binary carries one call instead of a drifting
-/// copy of this block.
+/// `--streaming`, `--atlas <path>` and `--grid <spec>`, runs the
+/// windows-first classification, evaluates the α grid as a post-pass
+/// ([`grid::evaluate`]), and prints the shared diagnostics (path,
+/// topology count, classification wall time, atlas hit counts, peak
+/// RSS) to stderr — so each binary carries one call instead of a
+/// drifting copy of this block.
 pub fn run_sweep_cli(config: &SweepConfig, args: &[String]) -> SweepResult {
+    // Parse the grid *before* the sweep: a typo in --grid must fail in
+    // milliseconds, not after minutes of classification.
+    let alphas = grid_from_args(args, || config.alphas.clone());
+    let windows = run_window_sweep_cli(config.n, config.threads, args);
+    grid::evaluate(&windows, &alphas)
+}
+
+/// The α grid selected by `--grid <spec>`, or `default()` when the flag
+/// is absent — the one shared grid-flag front-end of every sweep
+/// binary.
+///
+/// # Panics
+///
+/// Panics (with the parse diagnostic) on a malformed spec — a CLI
+/// front-end, not a library error path.
+pub fn grid_from_args(args: &[String], default: impl FnOnce() -> Vec<Ratio>) -> Vec<Ratio> {
+    match arg_value(args, "--grid") {
+        Some(spec) => GridSpec::parse(&spec)
+            .unwrap_or_else(|e| panic!("bad --grid: {e}"))
+            .alphas(),
+        None => default(),
+    }
+}
+
+/// The windows-first half of [`run_sweep_cli`], also used directly by
+/// `efficiency_scan`: parses `--streaming` / `--atlas`, classifies all
+/// connected topologies on `n` vertices into a [`WindowSweep`], appends
+/// fresh records back to the atlas, and reports the classification wall
+/// time in milliseconds (the number the CI cold/warm ≥ 10× gate reads)
+/// plus atlas hit counts and peak RSS to stderr.
+///
+/// # Panics
+///
+/// Panics (with a diagnostic) when the atlas cannot be opened or
+/// appended to — a CLI front-end, not a library error path.
+pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> WindowSweep {
     let streaming = arg_flag(args, "--streaming");
     let path = if streaming {
         "streaming"
     } else {
         "materializing"
     };
+    let mut atlas = arg_value(args, "--atlas").map(|p| {
+        bnf_atlas::ClassificationAtlas::open(&p)
+            .unwrap_or_else(|e| panic!("cannot open atlas {p}: {e}"))
+    });
     eprintln!(
-        "classifying all connected topologies on n={} vertices ({path} enumeration)...",
-        config.n
+        "classifying all connected topologies on n={n} vertices ({path} enumeration{})...",
+        match &atlas {
+            Some(a) => format!(", atlas-backed: {} stored records", a.len()),
+            None => String::new(),
+        }
     );
-    let sweep = if streaming {
-        SweepResult::run_streaming(config)
-    } else {
-        SweepResult::run(config)
-    };
-    eprintln!("classified {} topologies", sweep.records.len());
+    let started = std::time::Instant::now();
+    let windows = WindowSweep::run(n, threads, streaming, atlas.as_ref());
+    let elapsed_ms = started.elapsed().as_millis();
+    eprintln!(
+        "classified {} topologies: classification took {elapsed_ms} ms ({path} path)",
+        windows.records.len()
+    );
+    if let Some(atlas) = atlas.as_mut() {
+        let appended = atlas
+            .append_records(&windows.records)
+            .unwrap_or_else(|e| panic!("atlas append failed: {e}"));
+        // This was a full sweep of order n: declare coverage so the
+        // next run replays the catalogue without enumerating at all.
+        atlas
+            .mark_complete(n, windows.records.len())
+            .unwrap_or_else(|e| panic!("atlas coverage update failed: {e}"));
+        eprintln!(
+            "atlas {}: {} hits, {appended} new records appended ({} stored)",
+            atlas.path().display(),
+            windows.records.len() - appended,
+            atlas.len()
+        );
+    }
     report_peak_rss(path);
-    sweep
+    windows
 }
 
 /// Prints this process's peak RSS to stderr where measurable (no-op

@@ -8,9 +8,21 @@
 //! see DESIGN.md §4 for the substitution rationale. The pipeline is
 //! identical: exhaustive non-isomorphic enumeration, exact equilibrium
 //! tests, per-α aggregation.
+//!
+//! Since PR 3 the sweep is **windows-first**: classification emits one
+//! α-independent [`WindowRecord`] per topology ([`WindowSweep`],
+//! optionally backed by a persistent
+//! [`ClassificationAtlas`](bnf_atlas::ClassificationAtlas)), and any α
+//! grid is evaluated afterwards as a pure post-pass
+//! ([`crate::grid::evaluate`]) — so finer Figure 2/3 axes cost nothing
+//! beyond the membership tests. The original per-α job survives as
+//! [`SweepJob`] / [`SweepResult::run_per_alpha`], the reference
+//! implementation the equivalence tests compare against bit for bit.
 
+use bnf_atlas::ClassificationAtlas;
 use bnf_core::{
     stability_window_with, transfer_stability_window_with, ucg_necessary_window_with, UcgAnalyzer,
+    WindowRecord,
 };
 use bnf_engine::{default_threads, Analysis, AnalysisEngine, WorkerScratch};
 use bnf_enumerate::connected_graphs;
@@ -104,12 +116,104 @@ pub struct EquilibriumStats {
     pub mean_links: f64,
 }
 
-/// The Figure 2/3 classification job: equilibrium membership of one
-/// topology across an α grid, in every game variant the harness tracks.
+/// The windows-first classification job: emits one α-independent
+/// [`WindowRecord`] per topology, consulting a persistent
+/// [`ClassificationAtlas`] first when one is attached.
 ///
-/// This is the workhorse [`Analysis`] of the workspace; the figure
-/// binaries, the Proposition 4 scan and the conjecture checks all read
-/// its records.
+/// This is the workhorse [`Analysis`] of the workspace since PR 3: the
+/// figure binaries, the efficiency scan, the Proposition 4 table and
+/// the conjecture checks all fold its records (through
+/// [`crate::grid::evaluate`] for α-grid questions). It must run on the
+/// keyed engine paths ([`AnalysisEngine::run_connected_keyed`] /
+/// [`AnalysisEngine::run_connected_streaming_keyed`]) so each record
+/// carries its canonical graph6 key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowJob<'a> {
+    /// Warm store to consult before classifying; records found here are
+    /// returned as-is (classification is a pure function of the key).
+    pub atlas: Option<&'a ClassificationAtlas>,
+}
+
+impl Analysis for WindowJob<'_> {
+    type Output = WindowRecord;
+
+    fn classify(&self, g: &Graph, scratch: &mut WorkerScratch) -> WindowRecord {
+        // Unkeyed fallback (ad-hoc graph lists): canonicalize here so
+        // the record still carries the canonical key.
+        WindowRecord::classify(g, &mut scratch.bfs)
+    }
+
+    fn classify_keyed(&self, key: &str, g: &Graph, scratch: &mut WorkerScratch) -> WindowRecord {
+        if let Some(hit) = self.atlas.and_then(|a| a.get(key)) {
+            return hit.clone();
+        }
+        WindowRecord::classify_with_key(key.to_owned(), g, &mut scratch.bfs)
+    }
+}
+
+/// The α-independent classified catalogue: one [`WindowRecord`] per
+/// connected topology on `n` vertices, in the engine's deterministic
+/// enumeration order. Evaluate any α grid over it with
+/// [`crate::grid::evaluate`]; persist it with
+/// [`ClassificationAtlas::append_records`].
+#[derive(Debug, Clone)]
+pub struct WindowSweep {
+    /// Number of players.
+    pub n: usize,
+    /// One record per connected non-isomorphic graph (enumeration
+    /// order: edge count, then canonical key).
+    pub records: Vec<WindowRecord>,
+}
+
+impl WindowSweep {
+    /// Enumerates and classifies all connected topologies on `n`
+    /// vertices into window records; `streaming` selects the
+    /// bounded-channel enumeration (identical records, no materialized
+    /// graph list), `atlas` skips classification for already-stored
+    /// keys. When the atlas declares *complete* coverage for `n`
+    /// ([`ClassificationAtlas::mark_complete`] after a prior full
+    /// sweep), the whole catalogue is replayed from the store in engine
+    /// order and the enumerator never runs — the warm-run fast path.
+    /// The caller owns appending fresh records (and the coverage
+    /// marker) back to the atlas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`crate::max_sweep_n`] (default 8; opt in
+    /// via `BNF_MAX_N`).
+    pub fn run(
+        n: usize,
+        threads: usize,
+        streaming: bool,
+        atlas: Option<&ClassificationAtlas>,
+    ) -> WindowSweep {
+        let cap = crate::max_sweep_n();
+        assert!(
+            n <= cap,
+            "sweeps beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
+        );
+        if let Some(records) = atlas.and_then(|a| a.complete_sweep(n)) {
+            return WindowSweep { n, records };
+        }
+        let engine = AnalysisEngine::new(threads);
+        let job = WindowJob { atlas };
+        let records = if streaming {
+            engine.run_connected_streaming_keyed(n, &job)
+        } else {
+            engine.run_connected_keyed(n, &job)
+        };
+        WindowSweep { n, records }
+    }
+}
+
+/// The legacy per-α classification job: equilibrium membership of one
+/// topology across a *fixed* α grid, re-deriving window membership per
+/// grid point.
+///
+/// Kept as the independent reference implementation: the windows-first
+/// post-pass must reproduce its records bit for bit
+/// (`tests/grid_postpass.rs`), which is what certifies the
+/// [`WindowRecord`] windows as exact rather than approximations.
 #[derive(Debug, Clone)]
 pub struct SweepJob {
     /// The link-cost grid each topology is classified against.
@@ -164,9 +268,12 @@ impl Analysis for SweepJob {
 }
 
 impl SweepResult {
-    /// Enumerates all connected topologies on `config.n` vertices and
-    /// classifies each across the α grid on the analysis engine,
-    /// materializing the full graph list first.
+    /// Enumerates all connected topologies on `config.n` vertices,
+    /// classifies each into an α-independent [`WindowRecord`] on the
+    /// analysis engine (materializing the graph list first), and
+    /// evaluates the config's α grid as a post-pass. Identical records
+    /// to the legacy per-α path ([`SweepResult::run_per_alpha`]), bit
+    /// for bit.
     ///
     /// # Panics
     ///
@@ -180,9 +287,9 @@ impl SweepResult {
 
     /// Streaming twin of [`SweepResult::run`]: classifies each topology
     /// as the enumeration generates it
-    /// ([`AnalysisEngine::run_connected_streaming`]), so the graph list
-    /// is never materialized — the enumeration side holds one level's
-    /// frontier (the [`GraphRecord`]s still scale with the topology
+    /// ([`AnalysisEngine::run_connected_streaming_keyed`]), so the
+    /// graph list is never materialized — the enumeration side holds
+    /// one level's frontier (the records still scale with the topology
     /// count; they are the result). The records — and therefore every
     /// aggregate statistic, bit for bit — are identical to the
     /// materializing path's.
@@ -195,6 +302,20 @@ impl SweepResult {
     }
 
     fn run_inner(config: &SweepConfig, streaming: bool) -> SweepResult {
+        let windows = WindowSweep::run(config.n, config.threads, streaming, None);
+        crate::grid::evaluate(&windows, &config.alphas)
+    }
+
+    /// The legacy reference path: classifies every topology directly
+    /// against the α grid with [`SweepJob`], re-deriving window
+    /// membership per grid point. Quadratic in (topologies × grid) the
+    /// way the windows-first path is not — exists so equivalence tests
+    /// can certify the post-pass, and for A/B timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n` exceeds [`crate::max_sweep_n`].
+    pub fn run_per_alpha(config: &SweepConfig) -> SweepResult {
         let cap = crate::max_sweep_n();
         assert!(
             config.n <= cap,
@@ -204,11 +325,7 @@ impl SweepResult {
         let job = SweepJob {
             alphas: config.alphas.clone(),
         };
-        let records = if streaming {
-            engine.run_connected_streaming(config.n, &job)
-        } else {
-            engine.run_connected(config.n, &job)
-        };
+        let records = engine.run_connected(config.n, &job);
         SweepResult {
             n: config.n,
             alphas: config.alphas.clone(),

@@ -37,6 +37,25 @@ pub trait Analysis: Sync {
 
     /// Classifies one graph, using `scratch` for all reusable buffers.
     fn classify(&self, graph: &Graph, scratch: &mut WorkerScratch) -> Self::Output;
+
+    /// The record-emitting path: classifies one graph given its
+    /// canonical graph6 key. The `*_keyed` engine runners call this
+    /// with `graph.to_graph6()` of the enumerated graph (enumeration
+    /// emits canonical forms, so that string *is* the canonical key).
+    ///
+    /// The default ignores the key and delegates to
+    /// [`Analysis::classify`]; jobs backed by a persistent store (the
+    /// classification atlas) override it to consult the store before
+    /// computing, and to stamp the key into the emitted record.
+    fn classify_keyed(
+        &self,
+        key: &str,
+        graph: &Graph,
+        scratch: &mut WorkerScratch,
+    ) -> Self::Output {
+        let _ = key;
+        self.classify(graph, scratch)
+    }
 }
 
 /// Executes [`Analysis`] jobs over graph families with work-stealing
@@ -86,6 +105,29 @@ impl AnalysisEngine {
         self.run_on(&connected_graphs(n), job)
     }
 
+    /// Record-emitting twin of [`AnalysisEngine::run_connected`]: each
+    /// (canonical) enumerated graph is classified through
+    /// [`Analysis::classify_keyed`] with its canonical graph6 string,
+    /// so atlas-backed jobs can skip graphs the store already knows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (enumeration bound) and propagates panics from
+    /// the job.
+    pub fn run_connected_keyed<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
+        self.run_on_keyed(&connected_graphs(n), job)
+    }
+
+    /// Classifies an explicit list of **canonical-form** graphs through
+    /// [`Analysis::classify_keyed`], preserving order. Callers passing
+    /// non-canonical graphs hand the job a key that is not the
+    /// canonical one — enumeration output always qualifies.
+    pub fn run_on_keyed<A: Analysis>(&self, graphs: &[Graph], job: &A) -> Vec<A::Output> {
+        parallel_map_with(graphs, self.threads, WorkerScratch::new, |g, s| {
+            job.classify_keyed(&g.to_graph6(), g, s)
+        })
+    }
+
     /// Streaming twin of [`AnalysisEngine::run_connected`]: classifies
     /// every connected topology on `n` vertices **as it is generated**,
     /// never materializing the full graph list (the classified records
@@ -108,6 +150,33 @@ impl AnalysisEngine {
     /// Panics if `n > 10` (enumeration bound) and propagates panics from
     /// the job or the producer.
     pub fn run_connected_streaming<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
+        self.run_connected_streaming_with(n, job, |job, g, s| job.classify(g, s))
+    }
+
+    /// Record-emitting twin of
+    /// [`AnalysisEngine::run_connected_streaming`]: classifier workers
+    /// call [`Analysis::classify_keyed`] with the canonical graph6 of
+    /// each streamed graph (the producer emits canonical forms), so the
+    /// atlas key is identical between the streaming and materializing
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (enumeration bound) and propagates panics from
+    /// the job or the producer.
+    pub fn run_connected_streaming_keyed<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
+        self.run_connected_streaming_with(n, job, |job, g, s| {
+            job.classify_keyed(&g.to_graph6(), g, s)
+        })
+    }
+
+    /// Shared body of the streaming runners, generic over how a worker
+    /// invokes the job (plain vs keyed).
+    fn run_connected_streaming_with<A, F>(&self, n: usize, job: &A, classify: F) -> Vec<A::Output>
+    where
+        A: Analysis,
+        F: Fn(&A, &Graph, &mut WorkerScratch) -> A::Output + Sync,
+    {
         let classifiers = self.threads.div_ceil(2);
         let producers = (self.threads - classifiers).max(1);
         let queue: BoundedQueue<(Graph, CanonKey)> =
@@ -127,7 +196,7 @@ impl AnalysisEngine {
                     let mut scratch = WorkerScratch::new();
                     let mut local = Vec::with_capacity(STREAM_FLUSH_EVERY);
                     while let Some((graph, key)) = queue.pop() {
-                        let out = job.classify(&graph, &mut scratch);
+                        let out = classify(job, &graph, &mut scratch);
                         local.push((graph.edge_count(), key.prefix_word(), out));
                         // Flush in batches: one worker must never hold a
                         // second full copy of the result set in its local
@@ -215,6 +284,52 @@ mod tests {
                 "n={n}"
             );
         }
+    }
+
+    #[test]
+    fn keyed_paths_pass_canonical_graph6_keys() {
+        // The keyed runners must (a) default to `classify` output and
+        // (b) hand every job the graph's own graph6 — which for
+        // enumeration output is the canonical key.
+        struct KeyCheck;
+        impl Analysis for KeyCheck {
+            type Output = (String, usize);
+            fn classify(&self, g: &Graph, _s: &mut WorkerScratch) -> Self::Output {
+                ("unkeyed".into(), g.edge_count())
+            }
+            fn classify_keyed(&self, key: &str, g: &Graph, _s: &mut WorkerScratch) -> Self::Output {
+                let decoded = Graph::from_graph6(key).expect("key must be valid graph6");
+                assert_eq!(&decoded, g, "keyed runners pass the graph's own encoding");
+                assert_eq!(
+                    decoded.canonical_key(),
+                    g.canonical_key(),
+                    "enumerated graphs are canonical, so the key is canonical"
+                );
+                (key.to_string(), g.edge_count())
+            }
+        }
+        let engine = AnalysisEngine::new(3);
+        let keyed = engine.run_connected_keyed(6, &KeyCheck);
+        assert_eq!(keyed.len(), 112);
+        assert!(keyed.iter().all(|(k, _)| k != "unkeyed"));
+        // Streaming keyed: identical outputs in identical order.
+        assert_eq!(engine.run_connected_streaming_keyed(6, &KeyCheck), keyed);
+        // Keys are unique — one per isomorphism class.
+        let mut keys: Vec<&String> = keyed.iter().map(|(k, _)| k).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 112);
+    }
+
+    #[test]
+    fn keyed_default_falls_back_to_classify() {
+        // A job that does not override classify_keyed behaves exactly
+        // like the unkeyed path.
+        let engine = AnalysisEngine::new(2);
+        assert_eq!(
+            engine.run_connected_keyed(5, &EdgeCount),
+            engine.run_connected(5, &EdgeCount)
+        );
     }
 
     #[test]

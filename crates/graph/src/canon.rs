@@ -295,6 +295,30 @@ impl Graph {
         }
     }
 
+    /// Packs this graph's **own** adjacency into a key without any
+    /// canonical search — O(n²), no individualization–refinement.
+    ///
+    /// The result equals [`Graph::canonical_key`] exactly when `self`
+    /// already *is* a canonical form (the canonical form's identity
+    /// labelling is its own canonical labelling). Consumers holding
+    /// canonical forms at rest — the classification atlas replaying a
+    /// stored sweep in engine order — use this to recover sort keys
+    /// without paying the search per graph.
+    pub fn packed_self_key(&self) -> CanonKey {
+        let n = self.order();
+        if n == 0 {
+            return CanonKey {
+                n: 0,
+                bits: Box::new([]),
+            };
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        CanonKey {
+            n,
+            bits: packed_key(self, &identity),
+        }
+    }
+
     /// The canonical form and its key from a *single*
     /// individualization–refinement search.
     ///
@@ -369,6 +393,23 @@ mod tests {
             e.push((i, 5 + i));
         }
         Graph::from_edges(10, e).unwrap()
+    }
+
+    #[test]
+    fn packed_self_key_of_canonical_form_is_the_canonical_key() {
+        for g in [
+            Graph::empty(0),
+            Graph::empty(1),
+            cycle(5),
+            cycle(8),
+            petersen(),
+            Graph::complete(6),
+            Graph::from_edges(6, [(0, 3), (1, 4), (2, 5), (0, 5), (1, 3)]).unwrap(),
+        ] {
+            let (form, key) = g.canonical_form_and_key();
+            assert_eq!(form.packed_self_key(), key, "graph {g:?}");
+            assert_eq!(form.packed_self_key().prefix_word(), key.prefix_word());
+        }
     }
 
     #[test]

@@ -6,11 +6,25 @@
 //! count is calibrated against a per-sample time budget, and the mean
 //! time per iteration over the samples is printed as
 //! `<group>/<name> ... time: <t>` (plus min/max across samples). No
-//! statistical analysis, plotting or regression tracking is performed.
+//! statistical analysis or plotting is performed.
+//!
+//! Two hooks exist for CI regression gating:
+//!
+//! * **Filtering** — like real criterion, positional command-line
+//!   arguments are substring filters: `cargo bench -- sweep/7` runs
+//!   only benchmarks whose `<group>/<name>` id contains `sweep/7`
+//!   (flags starting with `-` are ignored).
+//! * **JSON estimates** — when the `BNF_CRITERION_JSON` environment
+//!   variable names a file, every completed benchmark rewrites it with
+//!   all estimates so far as
+//!   `{"benchmarks":[{"id":…,"mean_ns":…,"min_ns":…,"max_ns":…,"samples":…}]}`
+//!   — the format `BENCH_BASELINE.json` and the `bench_gate` tool
+//!   consume.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock spent per sample while measuring.
@@ -20,16 +34,28 @@ const SAMPLE_BUDGET: Duration = Duration::from_millis(50);
 const BENCH_BUDGET: Duration = Duration::from_secs(3);
 
 /// The benchmark driver handed to `criterion_group!` targets.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    /// Substring filters from the command line; empty means "run all".
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
+        }
+    }
 }
 
 impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.into(),
             sample_size: 10,
         }
@@ -37,14 +63,14 @@ impl Criterion {
 
     /// Runs a single ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
-        run_bench(&id.into(), 10, f);
+        run_bench(&id.into(), 10, &self.filters, f);
     }
 }
 
 /// A named collection of benchmarks sharing a sample-size setting.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -58,7 +84,12 @@ impl BenchmarkGroup<'_> {
 
     /// Benchmarks `f` under `<group>/<id>`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
-        run_bench(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        run_bench(
+            &format!("{}/{}", self.name, id.into()),
+            self.sample_size,
+            &self.parent.filters,
+            f,
+        );
     }
 
     /// Benchmarks `f` with an input under `<group>/<id>`.
@@ -66,9 +97,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &self.parent.filters,
+            |b| f(b, input),
+        );
     }
 
     /// Ends the group (the shim prints as it goes; nothing to flush).
@@ -133,7 +167,15 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    filters: &[String],
+    mut f: F,
+) {
+    if !filters.is_empty() && !filters.iter().any(|pat| label.contains(pat.as_str())) {
+        return;
+    }
     let mut b = Bencher {
         sample_size,
         samples: Vec::new(),
@@ -153,6 +195,71 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) 
         fmt_ns(max),
         b.samples.len()
     );
+    record_estimate(label, mean, min, max, b.samples.len());
+}
+
+/// One completed benchmark measurement, for the JSON estimates file.
+#[derive(Debug, Clone)]
+struct Estimate {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// All estimates completed so far in this process.
+static ESTIMATES: Mutex<Vec<Estimate>> = Mutex::new(Vec::new());
+
+/// Appends an estimate and, when `BNF_CRITERION_JSON` names a file,
+/// rewrites it with everything measured so far — the file is valid JSON
+/// after every benchmark, so a timeboxed CI run still uploads whatever
+/// finished.
+fn record_estimate(id: &str, mean_ns: f64, min_ns: f64, max_ns: f64, samples: usize) {
+    let Ok(path) = std::env::var("BNF_CRITERION_JSON") else {
+        return;
+    };
+    let mut all = ESTIMATES.lock().unwrap_or_else(|e| e.into_inner());
+    all.push(Estimate {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        max_ns,
+        samples,
+    });
+    let mut out = String::from("{\"benchmarks\":[");
+    for (k, e) in all.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+            json_escape(&e.id),
+            e.mean_ns,
+            e.min_ns,
+            e.max_ns,
+            e.samples
+        ));
+    }
+    out.push_str("\n]}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {err}");
+    }
+}
+
+/// Escapes the characters JSON strings cannot contain raw (benchmark
+/// ids are plain ASCII identifiers, but stay correct regardless).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Declares a benchmark group function, mirroring criterion's macro.
@@ -180,9 +287,15 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// A driver with no filters, regardless of this test binary's own
+    /// command-line arguments.
+    fn unfiltered() -> Criterion {
+        Criterion { filters: vec![] }
+    }
+
     #[test]
     fn bencher_records_samples() {
-        let mut c = Criterion::default();
+        let mut c = unfiltered();
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         let mut ran = 0u64;
@@ -199,6 +312,39 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("sweep", 7).0, "sweep/7");
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            filters: vec!["sweep/7".into()],
+        };
+        let mut group = c.benchmark_group("fig2_fig3");
+        group.sample_size(2);
+        let mut matched = 0u64;
+        let mut skipped = 0u64;
+        group.bench_with_input(BenchmarkId::new("sweep", 7), &(), |b, ()| {
+            b.iter(|| {
+                matched += 1;
+                matched
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sweep_engine", 7), &(), |b, ()| {
+            b.iter(|| {
+                skipped += 1;
+                skipped
+            })
+        });
+        group.finish();
+        assert!(matched > 0, "fig2_fig3/sweep/7 matches the filter");
+        assert_eq!(skipped, 0, "fig2_fig3/sweep_engine/7 must be filtered out");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("fig2_fig3/sweep/7"), "fig2_fig3/sweep/7");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!
 //! * [`graph`] — graph substrate (BFS, canonical labelling, properties)
 //! * [`atlas`] — named graphs and families (Figure 1 gallery, cages)
+//!   plus the persistent classification atlas (`--atlas` store)
 //! * [`enumerate`] — exhaustive non-isomorphic enumeration
 //! * [`stream`] — streaming sharded enumeration: level-by-level
 //!   augmentation feeding classification without materializing the list
@@ -46,6 +47,18 @@
 //!
 //! ```text
 //! BNF_MAX_N=9 cargo run --release -p bnf-empirics --bin fig2_avg_poa -- --n 9 --streaming
+//! ```
+//!
+//! Classification is windows-first: each topology is classified once
+//! into α-independent windows, and the α axis is a free post-pass.
+//! `--grid log2:1/4:64:32` evaluates a log-dense axis from the same
+//! records; `--atlas sweeps.bnfatlas` persists them, so re-runs (any
+//! grid, any enumeration mode, `efficiency_scan` and `poa_bounds`
+//! included) replay from the store instead of re-classifying:
+//!
+//! ```text
+//! cargo run --release -p bnf-empirics --bin fig2_avg_poa -- \
+//!     --n 8 --atlas sweeps.bnfatlas --grid log2:1/4:64:32
 //! ```
 //!
 //! Benchmark the engine-backed pipeline (baseline numbers live in
