@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use bnf_atlas::named::{clebsch, mcgee, petersen};
-use bnf_core::{is_pairwise_nash, stability_window, UcgAnalyzer};
+use bnf_core::{is_pairwise_nash, stability_window, ucg_necessary_window, UcgAnalyzer};
 use bnf_games::Ratio;
 use bnf_graph::Graph;
 
@@ -52,6 +52,31 @@ fn bench_equilibria(c: &mut Criterion) {
     });
     group.bench_function("ucg_support_intervals_theta7", |b| {
         b.iter(|| black_box(solver.support_intervals()))
+    });
+    // The UCG share of a cold n = 7 window sweep, start to finish:
+    // necessary-window pre-filter, exact analyzer build, clipped
+    // support-interval extraction — over every connected 7-vertex
+    // topology. This is the hot path the propagating solver rewrote;
+    // the perf gate holds the line on it.
+    let n7: Vec<Graph> = bnf_enumerate::connected_graphs(7);
+    group.bench_function("ucg_support_intervals_n7_batch", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for g in &n7 {
+                if let Some(nec) = ucg_necessary_window(g) {
+                    let solver = UcgAnalyzer::new(g).unwrap();
+                    total += solver.support_intervals_within(nec).len();
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("ucg_analyzer_build_n7_batch", |b| {
+        b.iter(|| {
+            for g in &n7 {
+                black_box(UcgAnalyzer::new(g).unwrap());
+            }
+        })
     });
     group.finish();
 }

@@ -1,9 +1,17 @@
 //! Streaming vs materializing enumeration sweeps (PR 2): the same
 //! `SweepJob` driven through `AnalysisEngine::run_connected` (full list
 //! up front) and `run_connected_streaming` (bounded-channel producer,
-//! prefix-sharded dedup). Peak-RSS comparisons live in CHANGES.md —
-//! high-water marks need separate processes, so they are recorded from
-//! `fig2_avg_poa --streaming` runs rather than measured here.
+//! canonical-construction pruned enumeration). Peak-RSS comparisons
+//! live in CHANGES.md — high-water marks need separate processes, so
+//! they are recorded from `fig2_avg_poa --streaming` runs rather than
+//! measured here.
+//!
+//! The group also reports `candidates_per_survivor/8`, a
+//! counter-derived pruning-quality metric (not a timing): constructed
+//! augmentation candidates per emitted graph across the whole n = 8
+//! enumeration. The perf gate holds it alongside the wall-clock means —
+//! a pruning regression shows up here before it shows up in noise-prone
+//! timings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -23,6 +31,11 @@ fn bench_streaming_sweep(c: &mut Criterion) {
             b.iter(|| black_box(SweepResult::run_streaming(&config)))
         });
     }
+    let stats = bnf_stream::stream_connected(8, 1, &|_, _| true);
+    group.report_metric(
+        "candidates_per_survivor/8",
+        stats.prune.candidates_per_survivor(),
+    );
     group.finish();
 }
 

@@ -41,7 +41,10 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("canonical_key_asymmetric9", |b| {
         b.iter(|| black_box(asym.canonical_key()))
     });
-    for n in [6usize, 7] {
+    // n = 8 rides the canonical-construction pruned producer through
+    // four levels of real blowup — the enumeration number the perf
+    // gate holds (the unpruned path sat near 900 ms here).
+    for n in [6usize, 7, 8] {
         group.bench_with_input(BenchmarkId::new("connected_graphs", n), &n, |b, &n| {
             b.iter(|| black_box(connected_graphs(n).len()))
         });

@@ -1,15 +1,20 @@
 //! CI perf gate: compares criterion-shim JSON estimates against a
 //! committed baseline and fails on regression.
 //!
-//! Usage: bench_gate <BENCH_BASELINE.json> <tolerance> <estimates.json>...
+//! Usage: bench_gate [--strict] <BENCH_BASELINE.json> <tolerance> <estimates.json>...
 //!
 //! Every benchmark id in the baseline must appear in (exactly one of)
 //! the estimate files with a mean no more than `(1 + tolerance) ×`
-//! the baseline mean; a missing or slower benchmark exits 1. Extra
-//! estimates not in the baseline are reported but never fail the gate.
+//! the baseline mean; a missing or slower benchmark exits 1 — an id
+//! the run never measured is a MISSING failure, never a silent skip.
+//! With `--strict`, the converse also gates: a *measured* id with no
+//! baseline entry fails (UNGATED), so a new hot-path benchmark cannot
+//! land in the CI filter set without a baseline mean in the same
+//! commit. Without `--strict`, extra estimates are reported as
+//! `(not gated)` but pass.
 //! Both files use the shim's `{"benchmarks":[{"id":…,"mean_ns":…,…}]}`
-//! shape (`BNF_CRITERION_JSON`), so refreshing the baseline is copying
-//! an artifact.
+//! shape (`BNF_CRITERION_JSON`); see `crates/bench/README.md` for the
+//! baseline-refresh procedure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -63,9 +68,14 @@ fn fmt_ms(ns: f64) -> String {
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
+    let (strict, args) = match args {
+        [first, rest @ ..] if first == "--strict" => (true, rest),
+        _ => (false, args),
+    };
     let [baseline_path, tolerance, estimate_paths @ ..] = args else {
         return Err(
-            "usage: bench_gate <BENCH_BASELINE.json> <tolerance> <estimates.json>...".into(),
+            "usage: bench_gate [--strict] <BENCH_BASELINE.json> <tolerance> <estimates.json>..."
+                .into(),
         );
     };
     if estimate_paths.is_empty() {
@@ -117,11 +127,20 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
     for (id, mean) in &measured {
         if !baseline.contains_key(id) {
+            // In strict mode a measured benchmark with no baseline mean
+            // is a failure: new hot-path benches must land their
+            // baseline entry in the same commit that adds them to CI.
+            ok &= !strict;
             println!(
-                "{id:<44} {:>12} {:>12} {:>8}  (not gated)",
+                "{id:<44} {:>12} {:>12} {:>8}  {}",
                 "-",
                 fmt_ms(*mean),
-                "-"
+                "-",
+                if strict {
+                    "UNGATED (missing baseline id)"
+                } else {
+                    "(not gated)"
+                }
             );
         }
     }
@@ -190,9 +209,35 @@ mod tests {
         };
         assert_eq!(run(&args("0.25")), Ok(true));
         assert_eq!(run(&args("0.1")), Ok(false), "20% over a 10% gate fails");
-        // A baseline id absent from the estimates fails.
+        // A baseline id absent from the estimates fails (no silent
+        // skip for unmeasured baselines).
         std::fs::write(&est, r#"{"benchmarks":[{"id":"b","mean_ns":1.0}]}"#).unwrap();
         assert_eq!(run(&args("0.25")), Ok(false));
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&est).ok();
+    }
+
+    #[test]
+    fn strict_mode_fails_ids_missing_from_the_baseline() {
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("bnf-gate-sbase-{}.json", std::process::id()));
+        let est = dir.join(format!("bnf-gate-sest-{}.json", std::process::id()));
+        std::fs::write(&base, r#"{"benchmarks":[{"id":"a","mean_ns":100.0}]}"#).unwrap();
+        // `a` passes; `fresh` has no baseline entry.
+        std::fs::write(
+            &est,
+            r#"{"benchmarks":[{"id":"a","mean_ns":100.0},{"id":"fresh","mean_ns":1.0}]}"#,
+        )
+        .unwrap();
+        let plain = vec![
+            base.to_str().unwrap().to_string(),
+            "0.25".to_string(),
+            est.to_str().unwrap().to_string(),
+        ];
+        let mut strict = vec!["--strict".to_string()];
+        strict.extend(plain.iter().cloned());
+        assert_eq!(run(&plain), Ok(true), "lenient mode only reports extras");
+        assert_eq!(run(&strict), Ok(false), "strict mode gates them");
         std::fs::remove_file(&base).ok();
         std::fs::remove_file(&est).ok();
     }

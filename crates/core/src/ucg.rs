@@ -18,12 +18,26 @@
 //!    `α(|S| - |O_i|) + (D_S - D_cur) ≥ 0`. Folding over all `S` yields,
 //!    per (vertex, owned set), an exact closed rational interval of
 //!    admissible α ([`ClosedInterval`]).
-//! 3. Nash-supportability at α is an exact cover search: assign each edge
-//!    an owner so every vertex's owned set has an interval containing α —
-//!    backtracking with per-vertex forward pruning.
+//! 3. Nash-supportability at α is an exact cover problem: assign each
+//!    edge an owner so every vertex's owned set has an interval
+//!    containing α. It is solved by **constraint propagation** over the
+//!    per-vertex best-response tables: per vertex, the masks consistent
+//!    with the current partial orientation are intersected and unioned
+//!    as bit sets — a bit forced into every consistent mask orients its
+//!    edge toward the vertex, a bit absent from all of them orients it
+//!    away (unit-literal propagation) — and only when the fixpoint
+//!    leaves genuinely free edges does the solver branch, fail-first,
+//!    on the most constrained vertex. The consistent-mask sublists are
+//!    α-independent, so they are memoized per `(vertex, owned,
+//!    decided)` prefix and **reused across every α probe** that
+//!    [`UcgAnalyzer::support_intervals_within`] issues for one graph —
+//!    an infeasible prefix (empty sublist) is refuted once, not once
+//!    per endpoint. (The pre-propagation edge-by-edge backtracker
+//!    survives as a `#[cfg(test)]` oracle.)
 
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 use bnf_games::Ratio;
 use bnf_graph::{BfsScratch, Graph};
@@ -87,9 +101,9 @@ pub struct UcgAnalyzer {
     n: usize,
     edges: Vec<(usize, usize)>,
     rows: Vec<u64>,
-    /// Per vertex: owned-neighbour mask → admissible α interval (absent
-    /// masks are infeasible at every α).
-    tables: Vec<HashMap<u64, ClosedInterval>>,
+    /// Per vertex: (owned-neighbour mask, admissible α interval) pairs
+    /// sorted by mask (absent masks are infeasible at every α).
+    tables: Vec<Vec<(u64, ClosedInterval)>>,
 }
 
 /// Distance sums from `src` over the row-substituted graph: the base rows
@@ -156,26 +170,44 @@ impl UcgAnalyzer {
         let edges: Vec<(usize, usize)> = g.edges().collect();
         let half = if n == 0 { 0 } else { 1u64 << (n - 1) };
         let mut tables = Vec::with_capacity(n);
+        // Unreachable deviations tabulate as MAX (tighter cache than
+        // Option<u64> in the hot fold below).
+        const UNREACHABLE: u64 = u64::MAX;
+        let mut dist: Vec<u64> = vec![UNREACHABLE; half as usize];
         for i in 0..n {
-            // Tabulate D_i(R) for every effective row R (compressed index).
-            let dist: Vec<Option<u64>> = (0..half)
-                .map(|c| distsum_with_row(&rows, n, i, expand_mask(c, i)))
-                .collect();
+            // Tabulate D_i(R) for every effective row R (compressed
+            // index); one buffer reused across vertices.
+            for c in 0..half {
+                dist[c as usize] =
+                    distsum_with_row(&rows, n, i, expand_mask(c, i)).unwrap_or(UNREACHABLE);
+            }
             let row = rows[i];
-            let d_cur = dist[compress_mask(row, i) as usize]
-                .expect("connected graph has finite distance sums");
-            let mut table = HashMap::new();
+            let d_cur = dist[compress_mask(row, i) as usize];
+            assert_ne!(d_cur, UNREACHABLE, "connected graph has finite sums");
+            let mut table: Vec<(u64, ClosedInterval)> = Vec::new();
             // Enumerate owned subsets O of N(i) (submask enumeration).
+            // Wish sets are restricted to S disjoint from `keep` — the
+            // neighbours whose edges others buy: wishing for an edge i
+            // already has costs α for the identical graph, so those
+            // constraints are implied (dominated) and skipping them
+            // shrinks the fold from 2^deg · 2^(n-1) to 3^deg · 2^(n-1-deg).
             let mut o = row;
             loop {
-                if let Some(iv) = best_response_interval(&dist, row, o, d_cur, i, half) {
-                    table.insert(o, iv);
+                let keep_c = compress_mask(row & !o, i);
+                let comp = (half - 1) & !keep_c;
+                if let Some(iv) =
+                    best_response_interval(&dist, keep_c, comp, i64::from(o.count_ones()), d_cur)
+                {
+                    table.push((o, iv));
                 }
                 if o == 0 {
                     break;
                 }
                 o = (o - 1) & row;
             }
+            // Sorted by mask: deterministic solver behaviour and
+            // binary-searchable point queries.
+            table.sort_unstable_by_key(|&(m, _)| m);
             tables.push(table);
         }
         Ok(UcgAnalyzer {
@@ -202,7 +234,10 @@ impl UcgAnalyzer {
             0,
             "owned mask must be a neighbour subset"
         );
-        self.tables[i].get(&owned_mask).copied()
+        self.tables[i]
+            .binary_search_by_key(&owned_mask, |&(m, _)| m)
+            .ok()
+            .map(|idx| self.tables[i][idx].1)
     }
 
     /// Whether `g` is Nash-supportable at `alpha`: some orientation makes
@@ -222,6 +257,16 @@ impl UcgAnalyzer {
     ///
     /// Panics if `alpha <= 0`.
     pub fn find_orientation(&self, alpha: Ratio) -> Option<Vec<(usize, usize)>> {
+        OrientationSolver::new(self).solve(alpha)
+    }
+
+    /// The pre-propagation reference solver: edge-by-edge backtracking
+    /// with per-vertex forward pruning, exactly the algorithm the
+    /// propagating solver replaced. Kept as the independent oracle the
+    /// equivalence tests certify [`UcgAnalyzer::find_orientation`]
+    /// against over every small connected graph.
+    #[cfg(test)]
+    fn find_orientation_oracle(&self, alpha: Ratio) -> Option<Vec<(usize, usize)>> {
         assert!(alpha > Ratio::ZERO, "link cost must be positive");
         let allowed: Vec<Vec<u64>> = self
             .tables
@@ -229,7 +274,7 @@ impl UcgAnalyzer {
             .map(|t| {
                 t.iter()
                     .filter(|(_, iv)| iv.contains(alpha))
-                    .map(|(&m, _)| m)
+                    .map(|&(m, _)| m)
                     .collect()
             })
             .collect();
@@ -258,10 +303,12 @@ impl UcgAnalyzer {
         }
     }
 
+    #[cfg(test)]
     fn vertex_feasible(&self, allowed: &[Vec<u64>], v: usize, owned: u64, decided: u64) -> bool {
         allowed[v].iter().any(|&m| m & decided == owned)
     }
 
+    #[cfg(test)]
     #[allow(clippy::too_many_arguments)]
     fn assign(
         &self,
@@ -329,7 +376,7 @@ impl UcgAnalyzer {
     pub fn support_intervals_within(&self, clip: ClosedInterval) -> Vec<ClosedInterval> {
         let mut endpoints: Vec<Ratio> = Vec::new();
         for t in &self.tables {
-            for iv in t.values() {
+            for (_, iv) in t.iter() {
                 if iv.lo > Ratio::ZERO && clip.contains(iv.lo) {
                     endpoints.push(iv.lo);
                 }
@@ -375,10 +422,12 @@ impl UcgAnalyzer {
             probes.push(*endpoints.last().expect("nonempty") + Ratio::ONE);
         }
         probes.retain(|&p| p > Ratio::ZERO);
-        let status: Vec<bool> = probes
-            .iter()
-            .map(|&p| self.is_nash_supportable(p))
-            .collect();
+        // One solver for the whole probe sequence: the memoized
+        // consistent-mask prefixes (and the infeasible ones especially)
+        // are α-independent, so every endpoint probe after the first
+        // re-uses them instead of re-deriving the same refutations.
+        let mut solver = OrientationSolver::new(self);
+        let status: Vec<bool> = probes.iter().map(|&p| solver.solve(p).is_some()).collect();
         // A run starting at the eps probe (present only when clip
         // reaches down to 0) extends down to 0 (exclusive — α must be
         // positive); report lo = 0. With a positive clip.lo the first
@@ -420,36 +469,236 @@ impl UcgAnalyzer {
     }
 }
 
-fn best_response_interval(
-    dist: &[Option<u64>],
-    row: u64,
-    owned: u64,
-    d_cur: u64,
-    i: usize,
-    half: u64,
-) -> Option<ClosedInterval> {
-    let k = i64::from(owned.count_ones());
-    let keep = row & !owned; // others' purchases at i, which survive
-    let mut lo = Ratio::ZERO;
-    let mut hi = Threshold::Infinite;
-    for c in 0..half {
-        let s_mask = expand_mask(c, i);
-        let eff = keep | s_mask;
-        let d_s = match dist[compress_mask(eff, i) as usize] {
-            Some(d) => d,
-            None => continue, // infinite deviation cost, never better
+/// Cap on memoized `(vertex, owned, decided)` prefixes — states visited
+/// by realistic solves number in the hundreds; the cap only bounds
+/// pathological search spaces.
+const MEMO_CAP: usize = 1 << 15;
+
+/// A partial orientation: per vertex, which incident edges are decided
+/// and which of those the vertex itself owns (bit masks over
+/// neighbours).
+#[derive(Debug, Clone)]
+struct OrientationState {
+    owned: Vec<u64>,
+    decided: Vec<u64>,
+}
+
+impl OrientationState {
+    /// Orients one undecided edge: `buyer` purchases the edge to
+    /// `other`.
+    #[inline]
+    fn orient(&mut self, buyer: usize, other: usize) {
+        self.owned[buyer] |= 1 << other;
+        self.decided[buyer] |= 1 << other;
+        self.decided[other] |= 1 << buyer;
+    }
+}
+
+/// The propagating orientation solver (see the module docs, step 3).
+///
+/// Built once per [`UcgAnalyzer::find_orientation`] call — and once per
+/// [`UcgAnalyzer::support_intervals_within`] *probe sequence*, which is
+/// where the memo pays: the consistent-mask sublists keyed by
+/// `(vertex, owned, decided)` do not depend on α, so refutations and
+/// table filters carry over from probe to probe.
+struct OrientationSolver<'a> {
+    an: &'a UcgAnalyzer,
+    /// `(vertex, owned, decided)` → the vertex's table entries whose
+    /// mask agrees with the prefix (`mask & decided == owned`). An
+    /// empty list proves the prefix infeasible at **every** α.
+    memo: HashMap<(usize, u64, u64), ConsistentMasks>,
+}
+
+/// Shared α-independent sublist of one vertex's best-response table.
+type ConsistentMasks = Rc<Vec<(u64, ClosedInterval)>>;
+
+impl<'a> OrientationSolver<'a> {
+    fn new(an: &'a UcgAnalyzer) -> Self {
+        OrientationSolver {
+            an,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The α-independent sublist of `v`'s best-response table masks
+    /// consistent with the prefix, memoized.
+    fn consistent(&mut self, v: usize, owned: u64, decided: u64) -> ConsistentMasks {
+        if let Some(hit) = self.memo.get(&(v, owned, decided)) {
+            return Rc::clone(hit);
+        }
+        let list: Vec<(u64, ClosedInterval)> = self.an.tables[v]
+            .iter()
+            .filter(|&&(m, _)| m & decided == owned)
+            .copied()
+            .collect();
+        let rc = Rc::new(list);
+        if self.memo.len() < MEMO_CAP {
+            self.memo.insert((v, owned, decided), Rc::clone(&rc));
+        }
+        rc
+    }
+
+    /// A witness orientation at `alpha`, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0`.
+    fn solve(&mut self, alpha: Ratio) -> Option<Vec<(usize, usize)>> {
+        assert!(alpha > Ratio::ZERO, "link cost must be positive");
+        let n = self.an.n;
+        let mut state = OrientationState {
+            owned: vec![0u64; n],
+            decided: vec![0u64; n],
         };
-        let m = i64::from(s_mask.count_ones());
+        if !self.search(&mut state, alpha) {
+            return None;
+        }
+        Some(
+            self.an
+                .edges
+                .iter()
+                .map(|&(u, v)| {
+                    if state.owned[u] >> v & 1 == 1 {
+                        (u, v)
+                    } else {
+                        (v, u)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Unit-literal propagation to fixpoint. Per vertex the consistent,
+    /// α-allowed masks are folded into an intersection and a union over
+    /// the undecided bits: a bit in every mask is a forced purchase by
+    /// the vertex, a bit in none is a forced purchase by the other
+    /// endpoint. Returns `false` on a refuted vertex (no allowed mask).
+    fn propagate(&mut self, state: &mut OrientationState, alpha: Ratio) -> bool {
+        let n = self.an.n;
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                let list = self.consistent(v, state.owned[v], state.decided[v]);
+                let mut count = 0usize;
+                let mut union = 0u64;
+                let mut inter = !0u64;
+                for &(m, iv) in list.iter() {
+                    if iv.contains(alpha) {
+                        count += 1;
+                        union |= m;
+                        inter &= m;
+                    }
+                }
+                if count == 0 {
+                    return false;
+                }
+                let und = self.an.rows[v] & !state.decided[v];
+                if und == 0 {
+                    continue;
+                }
+                let mut must = inter & und; // v buys these or nothing fits
+                while must != 0 {
+                    let b = must.trailing_zeros() as usize;
+                    must &= must - 1;
+                    state.orient(v, b);
+                    changed = true;
+                }
+                let mut cant = und & !union; // v never buys: the other end must
+                while cant != 0 {
+                    let b = cant.trailing_zeros() as usize;
+                    cant &= cant - 1;
+                    state.orient(b, v);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Propagate, then branch fail-first on an undecided edge of the
+    /// vertex with the fewest α-allowed consistent masks.
+    fn search(&mut self, state: &mut OrientationState, alpha: Ratio) -> bool {
+        if !self.propagate(state, alpha) {
+            return false;
+        }
+        let n = self.an.n;
+        // Most-constrained undecided vertex (fail-first ordering).
+        let mut pick: Option<(usize, usize)> = None; // (allowed count, vertex)
+        for v in 0..n {
+            if self.an.rows[v] & !state.decided[v] == 0 {
+                continue;
+            }
+            let list = self.consistent(v, state.owned[v], state.decided[v]);
+            let count = list.iter().filter(|(_, iv)| iv.contains(alpha)).count();
+            if pick.is_none_or(|(c, _)| count < c) {
+                pick = Some((count, v));
+            }
+        }
+        let Some((_, v)) = pick else {
+            return true; // every edge decided and every vertex feasible
+        };
+        let b = (self.an.rows[v] & !state.decided[v]).trailing_zeros() as usize;
+        for (buyer, other) in [(v, b), (b, v)] {
+            let mut child = state.clone();
+            child.orient(buyer, other);
+            if self.search(&mut child, alpha) {
+                *state = child;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Folds the Nash constraints of one `(vertex, owned set)` pair into an
+/// admissible-α interval. `keep_c` is the compressed mask of neighbours
+/// whose edges others buy, `comp` the compressed complement the wish
+/// sets range over, `k = |owned|`, and `dist` the tabulated distance
+/// sums (`u64::MAX` = disconnecting deviation).
+fn best_response_interval(
+    dist: &[u64],
+    keep_c: u64,
+    comp: u64,
+    k: i64,
+    d_cur: u64,
+) -> Option<ClosedInterval> {
+    // This fold is the hot loop of the whole analyzer build. Bounds are
+    // tracked as raw numerator/denominator pairs compared by
+    // cross-multiplication (exact in i128) and normalized into `Ratio`
+    // (one gcd) only once at the end, instead of per deviation.
+    let mut lo = (0i64, 1i64); // max(0, -diff/coeff) over coeff > 0
+    let mut hi: Option<(i64, i64)> = None; // min of diff/-coeff over coeff < 0; None = ∞
+    let mut c = comp;
+    loop {
+        let d_s = dist[(keep_c | c) as usize];
+        if d_s == u64::MAX {
+            // Disconnecting deviation: infinite cost, never better.
+            if c == 0 {
+                break;
+            }
+            c = (c - 1) & comp;
+            continue;
+        }
+        let m = i64::from(c.count_ones());
         let diff = d_s as i64 - d_cur as i64; // distance change of deviation
         let coeff = m - k; // α-units change of deviation
         match coeff.cmp(&0) {
             std::cmp::Ordering::Greater => {
                 // need α ≥ -diff / coeff
-                lo = Ratio::max(lo, Ratio::new(-diff, coeff));
+                if i128::from(-diff) * i128::from(lo.1) > i128::from(lo.0) * i128::from(coeff) {
+                    lo = (-diff, coeff);
+                }
             }
             std::cmp::Ordering::Less => {
                 // need α ≤ diff / (-coeff)
-                hi = Threshold::min(hi, Threshold::Finite(Ratio::new(diff, -coeff)));
+                let cand = (diff, -coeff);
+                if hi.is_none_or(|h| {
+                    i128::from(cand.0) * i128::from(h.1) < i128::from(h.0) * i128::from(cand.1)
+                }) {
+                    hi = Some(cand);
+                }
             }
             std::cmp::Ordering::Equal => {
                 if diff < 0 {
@@ -457,10 +706,32 @@ fn best_response_interval(
                 }
             }
         }
+        if c == 0 {
+            break;
+        }
+        c = (c - 1) & comp;
     }
+    let lo = if lo.0 <= 0 {
+        Ratio::ZERO
+    } else {
+        Ratio::new(lo.0, lo.1)
+    };
     match hi {
-        Threshold::Finite(h) if h < lo => None,
-        _ => Some(ClosedInterval { lo, hi }),
+        Some(h) => {
+            let h = Ratio::new(h.0, h.1);
+            if h < lo {
+                None
+            } else {
+                Some(ClosedInterval {
+                    lo,
+                    hi: Threshold::Finite(h),
+                })
+            }
+        }
+        None => Some(ClosedInterval {
+            lo,
+            hi: Threshold::Infinite,
+        }),
     }
 }
 
@@ -684,6 +955,128 @@ mod tests {
             }
             // Clipping to ALL is the identity by construction.
             assert_eq!(ucg.support_intervals_within(ClosedInterval::ALL), full);
+        }
+    }
+
+    /// Probe sequence covering every cell the support set can have:
+    /// all table endpoints, the midpoints between them, a point below
+    /// the first and one beyond the last.
+    fn probe_grid(ucg: &UcgAnalyzer) -> Vec<Ratio> {
+        let mut endpoints: Vec<Ratio> = Vec::new();
+        for t in &ucg.tables {
+            for (_, iv) in t.iter() {
+                if iv.lo > Ratio::ZERO {
+                    endpoints.push(iv.lo);
+                }
+                if let Threshold::Finite(h) = iv.hi {
+                    if h > Ratio::ZERO {
+                        endpoints.push(h);
+                    }
+                }
+            }
+        }
+        if endpoints.is_empty() {
+            endpoints.push(Ratio::ONE);
+        }
+        endpoints.sort();
+        endpoints.dedup();
+        let mut probes = vec![endpoints[0] / Ratio::from(2)];
+        for (k, &e) in endpoints.iter().enumerate() {
+            if k > 0 {
+                probes.push(Ratio::midpoint(endpoints[k - 1], e));
+            }
+            probes.push(e);
+        }
+        probes.push(*endpoints.last().unwrap() + Ratio::ONE);
+        probes.retain(|&p| p > Ratio::ZERO);
+        probes
+    }
+
+    /// The propagating solver and the backtracking oracle must agree on
+    /// supportability at every probe, and any witness either returns
+    /// must actually support the graph.
+    fn assert_solver_matches_oracle(g: &Graph) {
+        let ucg = UcgAnalyzer::new(g).unwrap();
+        for p in probe_grid(&ucg) {
+            let new = ucg.find_orientation(p);
+            let old = ucg.find_orientation_oracle(p);
+            assert_eq!(new.is_some(), old.is_some(), "{g:?} at alpha={p}");
+            for owners in [new, old].into_iter().flatten() {
+                let profile = bnf_games::StrategyProfile::supporting_unilateral(g, &owners);
+                assert_eq!(
+                    &profile.induced_graph(bnf_games::GameKind::Unilateral),
+                    g,
+                    "invalid witness for {g:?} at alpha={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagating_solver_matches_oracle_exhaustively() {
+        // Every connected graph on up to 7 vertices: identical
+        // supportability at every best-response table endpoint cell.
+        for n in 2..=7 {
+            for g in bnf_enumerate::connected_graphs(n) {
+                assert_solver_matches_oracle(&g);
+            }
+        }
+    }
+
+    #[test]
+    fn propagating_solver_matches_oracle_on_named_graphs() {
+        // The named atlas exhibits within the solver's practical order:
+        // Petersen, the octahedron and the 8-star.
+        let petersen = {
+            let mut e = Vec::new();
+            for i in 0..5 {
+                e.push((i, (i + 1) % 5));
+                e.push((5 + i, 5 + (i + 2) % 5));
+                e.push((i, 5 + i));
+            }
+            Graph::from_edges(10, e).unwrap()
+        };
+        let octahedron = Graph::from_edges(
+            6,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+            ],
+        )
+        .unwrap();
+        for g in [petersen, octahedron, star(8), cycle(8)] {
+            assert_solver_matches_oracle(&g);
+        }
+    }
+
+    #[test]
+    fn support_intervals_unchanged_by_solver_rewrite() {
+        // The support sets of every small connected graph, re-derived
+        // probe by probe with the oracle, must equal the intervals the
+        // propagating path reports.
+        for n in 2..=6 {
+            for g in bnf_enumerate::connected_graphs(n) {
+                let ucg = UcgAnalyzer::new(&g).unwrap();
+                let ivs = ucg.support_intervals();
+                for p in probe_grid(&ucg) {
+                    let in_support = ivs.iter().any(|iv| iv.contains(p));
+                    assert_eq!(
+                        in_support,
+                        ucg.find_orientation_oracle(p).is_some(),
+                        "{g:?} at alpha={p}"
+                    );
+                }
+            }
         }
     }
 

@@ -160,12 +160,30 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
         }
     );
     let started = std::time::Instant::now();
-    let windows = WindowSweep::run(n, threads, streaming, atlas.as_ref());
+    let (windows, stats) = WindowSweep::run_with_stats(n, threads, streaming, atlas.as_ref());
     let elapsed_ms = started.elapsed().as_millis();
     eprintln!(
         "classified {} topologies: classification took {elapsed_ms} ms ({path} path)",
         windows.records.len()
     );
+    if let Some(stats) = stats {
+        // The canonical-construction pruning counters: how many
+        // children the enumeration actually constructed, what the
+        // cheap pre-filters disposed of, and the candidates-per-
+        // survivor ratio CI gates.
+        let p = &stats.prune;
+        eprintln!(
+            "enumeration: {} candidates ({} orbit-skipped masks), {} cheap-rejected, \
+             {} search-rejected, {} duplicates, {} accepted ({:.2} candidates/survivor)",
+            p.candidates,
+            p.orbit_skipped,
+            p.cheap_rejected,
+            p.search_rejected,
+            p.duplicates,
+            p.accepted(),
+            p.candidates_per_survivor()
+        );
+    }
     if let Some(atlas) = atlas.as_mut() {
         let appended = atlas
             .append_records(&windows.records)

@@ -187,22 +187,41 @@ impl WindowSweep {
         streaming: bool,
         atlas: Option<&ClassificationAtlas>,
     ) -> WindowSweep {
+        Self::run_with_stats(n, threads, streaming, atlas).0
+    }
+
+    /// [`WindowSweep::run`] plus the enumeration's
+    /// [`StreamStats`](bnf_stream::StreamStats) when the streaming
+    /// producer ran (`None` on the materializing, atlas-replay and
+    /// trivially-small paths) — the canonical-construction pruning
+    /// counters the `--streaming` CLI diagnostics report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`crate::max_sweep_n`].
+    pub fn run_with_stats(
+        n: usize,
+        threads: usize,
+        streaming: bool,
+        atlas: Option<&ClassificationAtlas>,
+    ) -> (WindowSweep, Option<bnf_stream::StreamStats>) {
         let cap = crate::max_sweep_n();
         assert!(
             n <= cap,
             "sweeps beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
         );
         if let Some(records) = atlas.and_then(|a| a.complete_sweep(n)) {
-            return WindowSweep { n, records };
+            return (WindowSweep { n, records }, None);
         }
         let engine = AnalysisEngine::new(threads);
         let job = WindowJob { atlas };
-        let records = if streaming {
-            engine.run_connected_streaming_keyed(n, &job)
+        let (records, stats) = if streaming {
+            let (records, stats) = engine.run_connected_streaming_keyed_with_stats(n, &job);
+            (records, Some(stats))
         } else {
-            engine.run_connected_keyed(n, &job)
+            (engine.run_connected_keyed(n, &job), None)
         };
-        WindowSweep { n, records }
+        (WindowSweep { n, records }, stats)
     }
 }
 

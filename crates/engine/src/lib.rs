@@ -12,13 +12,14 @@
 //! The engine fuses three concerns the jobs would otherwise duplicate:
 //!
 //! * **Enumeration** — [`AnalysisEngine::run_connected`] drives the
-//!   canonical-form-deduplicated connected-topology stream from
-//!   `bnf-enumerate` straight into classification, and
-//!   [`AnalysisEngine::run_connected_streaming`] does the same without
-//!   ever materializing the graph list: `bnf-stream` producer workers
-//!   feed canonical children through a bounded queue into the
-//!   classification pool, with the dedup set sharded by canonical-key
-//!   prefix — this is what unlocks `n = 9` sweeps in CI-class memory.
+//!   connected-topology catalogue from `bnf-enumerate` straight into
+//!   classification, and [`AnalysisEngine::run_connected_streaming`]
+//!   does the same without ever materializing the graph list:
+//!   `bnf-stream` producer workers run the canonical-construction
+//!   pruned augmentation (each isomorphism class emitted exactly once,
+//!   no dedup set at all) and feed canonical children through a
+//!   bounded queue into the classification pool — this is what unlocks
+//!   `n = 9/10` sweeps in CI-class memory and CPU.
 //! * **Work-stealing execution** — a chunked atomic-counter scheduler
 //!   over [`std::thread::scope`] workers (no external thread-pool
 //!   dependency), promoted out of the old `empirics::parallel`.

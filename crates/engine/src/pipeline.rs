@@ -5,7 +5,7 @@ use std::sync::Mutex;
 use bnf_enumerate::connected_graphs;
 use bnf_graph::{CanonKey, Graph};
 use bnf_stream::sync::{lock, lock_into};
-use bnf_stream::{stream_connected, BoundedQueue};
+use bnf_stream::{stream_connected, BoundedQueue, StreamStats};
 
 use crate::executor::{default_threads, parallel_map_with};
 use crate::scratch::WorkerScratch;
@@ -151,6 +151,7 @@ impl AnalysisEngine {
     /// the job or the producer.
     pub fn run_connected_streaming<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
         self.run_connected_streaming_with(n, job, |job, g, s| job.classify(g, s))
+            .0
     }
 
     /// Record-emitting twin of
@@ -165,6 +166,24 @@ impl AnalysisEngine {
     /// Panics if `n > 10` (enumeration bound) and propagates panics from
     /// the job or the producer.
     pub fn run_connected_streaming_keyed<A: Analysis>(&self, n: usize, job: &A) -> Vec<A::Output> {
+        self.run_connected_streaming_keyed_with_stats(n, job).0
+    }
+
+    /// [`AnalysisEngine::run_connected_streaming_keyed`] plus the
+    /// producer's [`StreamStats`] — per-level sizes and the
+    /// canonical-construction pruning counters (candidates, orbit
+    /// skips, cheap/search rejections, duplicates) that the sweep
+    /// binaries surface in their `--streaming` diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (enumeration bound) and propagates panics from
+    /// the job or the producer.
+    pub fn run_connected_streaming_keyed_with_stats<A: Analysis>(
+        &self,
+        n: usize,
+        job: &A,
+    ) -> (Vec<A::Output>, StreamStats) {
         self.run_connected_streaming_with(n, job, |job, g, s| {
             job.classify_keyed(&g.to_graph6(), g, s)
         })
@@ -172,7 +191,12 @@ impl AnalysisEngine {
 
     /// Shared body of the streaming runners, generic over how a worker
     /// invokes the job (plain vs keyed).
-    fn run_connected_streaming_with<A, F>(&self, n: usize, job: &A, classify: F) -> Vec<A::Output>
+    fn run_connected_streaming_with<A, F>(
+        &self,
+        n: usize,
+        job: &A,
+        classify: F,
+    ) -> (Vec<A::Output>, StreamStats)
     where
         A: Analysis,
         F: Fn(&A, &Graph, &mut WorkerScratch) -> A::Output + Sync,
@@ -187,6 +211,7 @@ impl AnalysisEngine {
         // comparing it reproduces `CanonKey`'s lexicographic order
         // without keeping a heap-boxed key per record.
         let results: Mutex<Vec<(usize, u64, A::Output)>> = Mutex::new(Vec::new());
+        let mut stats = StreamStats::default();
         std::thread::scope(|scope| {
             for _ in 0..classifiers {
                 scope.spawn(|| {
@@ -215,11 +240,11 @@ impl AnalysisEngine {
             // returning false cancels the enumeration instead of
             // canonicalizing the rest of the graph space for nobody.
             let _guard = queue.close_guard();
-            stream_connected(n, producers, &|graph, key| queue.push((graph, key)));
+            stats = stream_connected(n, producers, &|graph, key| queue.push((graph, key)));
         });
         let mut tagged = lock_into(results);
         tagged.sort_by_key(|t| (t.0, t.1));
-        tagged.into_iter().map(|(_, _, out)| out).collect()
+        (tagged.into_iter().map(|(_, _, out)| out).collect(), stats)
     }
 
     /// Classifies an explicit graph list (gallery exhibits, counter-
@@ -330,6 +355,17 @@ mod tests {
             engine.run_connected_keyed(5, &EdgeCount),
             engine.run_connected(5, &EdgeCount)
         );
+    }
+
+    #[test]
+    fn streaming_stats_surface_pruning_counters() {
+        let engine = AnalysisEngine::new(2);
+        let (counts, stats) = engine.run_connected_streaming_keyed_with_stats(6, &EdgeCount);
+        assert_eq!(counts.len(), 112);
+        assert_eq!(stats.emitted(), 112);
+        assert_eq!(stats.prune.duplicates, 0);
+        assert!(stats.prune.accepted() >= 112);
+        assert!(stats.prune.candidates > 0);
     }
 
     #[test]

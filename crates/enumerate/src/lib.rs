@@ -23,17 +23,17 @@
 //! # Scaling
 //!
 //! The list-returning functions here materialize every graph of the
-//! final level *and* a global dedup set — fine through `n = 8`, but the
-//! memory spike is what caps exhaustive sweeps below the paper's
-//! `n = 10`. The `bnf-stream` crate removes both walls: its producer
-//! runs the same vertex augmentation level by level, emits each
-//! final-level graph the moment it is proven new, and splits the dedup
-//! set into independently locked shards addressed by a mix of the
-//! canonical key's leading word (see `bnf_stream::ShardedSeen`), so
-//! neither the graph list nor a single global `HashSet` ever holds the
-//! whole level behind one lock. [`for_each_connected_graph`] delegates
-//! to that producer; classification workloads should go one seam higher
-//! (`bnf_engine::AnalysisEngine::run_connected_streaming`).
+//! final level — fine through `n = 9`; the result list itself is what
+//! grows. The heavy lifting lives in the `bnf-stream` crate: its
+//! producer runs the vertex augmentation level by level with
+//! **canonical-construction pruning** (`bnf_stream::prune`) — one
+//! neighbour mask per `Aut(parent)`-orbit, cheap degree/connectivity
+//! rejection before any canonical search, and a McKay-style accept rule
+//! that makes every emission unique without any dedup set at all —
+//! and hands each final-level graph to the caller the moment it is
+//! accepted. [`connected_graphs`] and [`for_each_connected_graph`]
+//! delegate to that producer; classification workloads should go one
+//! seam higher (`bnf_engine::AnalysisEngine::run_connected_streaming`).
 //!
 //! # Examples
 //!
@@ -119,24 +119,35 @@ pub fn all_graphs(n: usize) -> Vec<Graph> {
 /// All non-isomorphic *connected* graphs on `n` vertices, in canonical
 /// form, sorted by edge count then canonical key.
 ///
+/// Since the canonical-construction pruning rewrite this collects from
+/// `bnf_stream::for_each_connected` (McKay-style accept rule, no dedup
+/// set, canonical search only on survivors); the output set and order
+/// are identical to the pre-pruning generate-all-and-dedup path, which
+/// survives as [`connected_graphs_unpruned`] for the equivalence tests.
+///
 /// # Panics
 ///
 /// Panics if `n > 10`.
 pub fn connected_graphs(n: usize) -> Vec<Graph> {
-    assert!(
-        n <= 10,
-        "exhaustive enumeration beyond n=10 is not supported"
-    );
-    if n == 0 {
-        return vec![Graph::empty(0)];
-    }
-    let mut cur = vec![Graph::empty(1)];
-    for k in 1..n {
-        // Non-empty neighbour sets keep every intermediate graph connected.
-        cur = augment(&cur, k, || 1..(1u64 << k));
-    }
-    debug_assert!(cur.iter().all(Graph::is_connected));
-    cur
+    let mut tagged: Vec<(Graph, CanonKey)> = Vec::new();
+    bnf_stream::for_each_connected(n, |g, key| tagged.push((g, key)));
+    let out = sort_deterministically(tagged);
+    debug_assert!(n == 0 || out.iter().all(Graph::is_connected));
+    out
+}
+
+/// The pre-pruning reference implementation of [`connected_graphs`]:
+/// canonicalizes every augmentation candidate and deduplicates in a
+/// hash set. Exists so tests can certify the pruned path produces the
+/// identical catalogue; new code should call [`connected_graphs`].
+///
+/// # Panics
+///
+/// Panics if `n > 10`.
+pub fn connected_graphs_unpruned(n: usize) -> Vec<Graph> {
+    let mut tagged: Vec<(Graph, CanonKey)> = Vec::new();
+    bnf_stream::for_each_connected_unpruned(n, |g, key| tagged.push((g, key)));
+    sort_deterministically(tagged)
 }
 
 /// All non-isomorphic free trees on `n` vertices, in canonical form.
@@ -257,6 +268,15 @@ mod tests {
         assert!(ts
             .iter()
             .any(|t| t.degree_sequence() == vec![2, 2, 2, 2, 2, 1, 1]));
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_catalogue() {
+        // Same graphs, same order — the canonical-construction pruning
+        // must be invisible to every consumer of the catalogue.
+        for n in 0..8 {
+            assert_eq!(connected_graphs(n), connected_graphs_unpruned(n), "n={n}");
+        }
     }
 
     #[test]

@@ -256,7 +256,106 @@ impl<'g> Search<'g> {
     }
 }
 
+/// The complete result of one individualization–refinement search:
+/// canonical form, canonical key, the relabelling that produced it, the
+/// orbit partition of the vertices under `Aut(G)`, and the discovered
+/// automorphism generators.
+///
+/// This is the fused entry point the enumeration crates build canonical-
+/// construction pruning on: one search yields everything the McKay-style
+/// accept test needs (orbits of the child) *and* everything mask-orbit
+/// pruning needs (generators of the parent), at the cost of
+/// [`Graph::canonical_form_and_key`] alone.
+#[derive(Debug, Clone)]
+pub struct CanonicalSearch {
+    /// The canonical form (a relabelled copy equal for all graphs of the
+    /// isomorphism class).
+    pub form: Graph,
+    /// The canonical key; equal iff isomorphic.
+    pub key: CanonKey,
+    /// `labels[v]` is the canonical label vertex `v` receives in
+    /// [`CanonicalSearch::form`].
+    pub labels: Vec<usize>,
+    /// `orbits[v]` is the smallest vertex in `v`'s orbit under `Aut(G)`:
+    /// `orbits[u] == orbits[v]` iff some automorphism maps `u` to `v`.
+    pub orbits: Vec<usize>,
+    /// Automorphism generators (vertex → vertex maps) discovered by the
+    /// search. They generate the full automorphism group — the property
+    /// the orbit partition (and the enumeration pruning built on it)
+    /// relies on, cross-checked against brute force in the test suite.
+    pub generators: Vec<Vec<usize>>,
+}
+
+impl CanonicalSearch {
+    /// Orbit representatives (one smallest vertex per orbit), ascending.
+    pub fn orbit_representatives(&self) -> Vec<usize> {
+        let mut reps: Vec<usize> = (0..self.orbits.len())
+            .filter(|&v| self.orbits[v] == v)
+            .collect();
+        reps.dedup();
+        reps
+    }
+}
+
+/// Collapses discovered generators into the orbit partition
+/// (union-find, path-halving; orbit id = smallest member).
+fn orbits_from_generators(n: usize, generators: &[Vec<usize>]) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for gen in generators {
+        for (v, &w) in gen.iter().enumerate() {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, w));
+            if a != b {
+                // Root the union at the smaller vertex so the final
+                // labels are canonical (smallest member of the orbit).
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v)).collect()
+}
+
 impl Graph {
+    /// Runs the individualization–refinement search once and returns the
+    /// canonical form, key, labelling, vertex orbits and automorphism
+    /// generators together — see [`CanonicalSearch`].
+    pub fn canonical_search(&self) -> CanonicalSearch {
+        let n = self.order();
+        if n == 0 {
+            return CanonicalSearch {
+                form: Graph::empty(0),
+                key: CanonKey {
+                    n: 0,
+                    bits: Box::new([]),
+                },
+                labels: Vec::new(),
+                orbits: Vec::new(),
+                generators: Vec::new(),
+            };
+        }
+        let mut search = Search::new(self, false);
+        search.run(vec![(0..n).collect()]);
+        let orbits = orbits_from_generators(n, &search.generators);
+        CanonicalSearch {
+            form: self.relabel(&search.best_perm),
+            key: CanonKey {
+                n,
+                bits: search
+                    .best_key
+                    .expect("search of nonempty graph yields a leaf"),
+            },
+            labels: search.best_perm,
+            orbits,
+            generators: search.generators,
+        }
+    }
+
     /// The canonical relabelling permutation: vertex `v` of `self` receives
     /// label `canonical_permutation()[v]` in the canonical form.
     pub fn canonical_permutation(&self) -> Vec<usize> {
@@ -527,5 +626,119 @@ mod tests {
         let a = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
         let b = Graph::from_edges(5, [(3, 4), (1, 2)]).unwrap();
         assert!(a.is_isomorphic(&b));
+    }
+
+    /// True orbits by brute force: try every permutation of `0..n`, keep
+    /// the automorphisms, union their orbits.
+    fn brute_force_orbits(g: &Graph) -> Vec<usize> {
+        let n = g.order();
+        let mut orbit: Vec<usize> = (0..n).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Heap's algorithm, iterative.
+        let mut c = vec![0usize; n];
+        let consider = |perm: &[usize], orbit: &mut Vec<usize>| {
+            if g.relabel(perm) == *g {
+                for (v, &w) in perm.iter().enumerate() {
+                    let (a, b) = (orbit[v].min(orbit[w]), orbit[v].max(orbit[w]));
+                    if a != b {
+                        for o in orbit.iter_mut() {
+                            if *o == b {
+                                *o = a;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        consider(&perm, &mut orbit);
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                consider(&perm, &mut orbit);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        orbit
+    }
+
+    #[test]
+    fn search_orbits_match_brute_force_on_small_graphs() {
+        // The enumeration pruning's soundness rests on the discovered
+        // generators generating the *full* automorphism group (finer
+        // orbits would split one true orbit across representatives).
+        // Cross-check every graph on <= 5 vertices plus assorted
+        // 6/7-vertex shapes against all n! permutations.
+        let mut graphs: Vec<Graph> = Vec::new();
+        for n in 0..=5usize {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+                .collect();
+            for mask in 0..(1u32 << pairs.len()) {
+                let edges = pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &e)| e);
+                graphs.push(Graph::from_edges(n, edges).unwrap());
+            }
+        }
+        graphs.push(cycle(6));
+        graphs.push(cycle(7));
+        graphs.push(Graph::complete(6));
+        graphs.push(
+            Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 3)]).unwrap(),
+        );
+        graphs.push(
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]).unwrap(),
+        );
+        for g in &graphs {
+            let s = g.canonical_search();
+            assert_eq!(s.orbits, brute_force_orbits(g), "orbits of {g:?}");
+            for gen in &s.generators {
+                assert_eq!(&g.relabel(gen), g, "non-automorphism generator for {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_search_agrees_with_existing_entry_points() {
+        for g in [
+            petersen(),
+            cycle(6),
+            Graph::complete(5),
+            Graph::empty(3),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap(),
+        ] {
+            let s = g.canonical_search();
+            assert_eq!(s.form, g.canonical_form());
+            assert_eq!(s.key, g.canonical_key());
+            assert_eq!(s.labels, g.canonical_permutation());
+            // Orbit labels are the smallest member of each orbit.
+            for (v, &o) in s.orbits.iter().enumerate() {
+                assert!(o <= v);
+                assert_eq!(s.orbits[o], o);
+            }
+        }
+        let s = Graph::empty(0).canonical_search();
+        assert!(s.orbits.is_empty() && s.generators.is_empty() && s.labels.is_empty());
+    }
+
+    #[test]
+    fn orbit_representatives_are_sorted_roots() {
+        let s = petersen().canonical_search();
+        // Petersen is vertex-transitive: one orbit.
+        assert_eq!(s.orbit_representatives(), vec![0]);
+        let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let s = star.canonical_search();
+        assert_eq!(s.orbit_representatives(), vec![0, 1]);
     }
 }

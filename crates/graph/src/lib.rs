@@ -41,7 +41,7 @@ mod props;
 
 pub use bfs::{BfsScratch, DistanceMatrix, DistanceSum, UNREACHABLE};
 pub use bitset::VertexSet;
-pub use canon::CanonKey;
+pub use canon::{CanonKey, CanonicalSearch};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use props::{cage_bound, moore_bound, SrgParams};

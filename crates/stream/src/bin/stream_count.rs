@@ -1,0 +1,76 @@
+//! Enumeration-only counter: streams every non-isomorphic connected
+//! graph on `n` vertices through the canonical-construction pruned
+//! producer and reports the count plus the [`bnf_stream::StreamStats`]
+//! pruning counters — the CI smoke that certifies the `n = 10` scale
+//! (OEIS A001349: 11 716 571 connected topologies) without paying any
+//! classification.
+//!
+//! Usage: `stream_count --n 10 [--threads T] [--expect 11716571]`
+//!
+//! With `--expect`, a count mismatch exits non-zero — the regression
+//! gate. The counter report goes to stdout in `key: value` lines so CI
+//! can upload it as an artifact.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bnf_stream::stream_connected;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a present flag value or panics — a malformed gate invocation
+/// must fail the CI step, never silently disable the check.
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    arg_value(args, name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name} wants a number, got {v:?}"))
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = parsed(&args, "--n").unwrap_or(8);
+    let threads: usize = parsed(&args, "--threads").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let expect: Option<u64> = parsed(&args, "--expect");
+    eprintln!("enumerating all connected topologies on n={n} vertices ({threads} threads)...");
+    let started = std::time::Instant::now();
+    let count = AtomicU64::new(0);
+    let stats = stream_connected(n, threads, &|_, _| {
+        count.fetch_add(1, Ordering::Relaxed);
+        true
+    });
+    let elapsed = started.elapsed();
+    let count = count.load(Ordering::Relaxed);
+    println!("n: {n}");
+    println!("threads: {threads}");
+    println!("connected_graphs: {count}");
+    println!("elapsed_ms: {}", elapsed.as_millis());
+    println!("level_sizes: {:?}", stats.level_sizes);
+    println!("candidates: {}", stats.prune.candidates);
+    println!("orbit_skipped: {}", stats.prune.orbit_skipped);
+    println!("cheap_rejected: {}", stats.prune.cheap_rejected);
+    println!("search_rejected: {}", stats.prune.search_rejected);
+    println!("duplicates: {}", stats.prune.duplicates);
+    println!("accepted: {}", stats.prune.accepted());
+    println!(
+        "candidates_per_survivor: {:.3}",
+        stats.prune.candidates_per_survivor()
+    );
+    if let Some(want) = expect {
+        if count != want {
+            eprintln!("count mismatch: expected {want}, got {count}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("count matches expected {want}");
+    }
+    ExitCode::SUCCESS
+}

@@ -12,18 +12,33 @@
 //! Three pieces compose the pipeline:
 //!
 //! * [`stream_connected`] — the parallel producer: workers pull parent
-//!   chunks off an atomic counter, augment, canonicalize once
-//!   ([`bnf_graph::Graph::canonical_form_and_key`]), and emit fresh
-//!   graphs straight into the caller's sink.
-//! * [`ShardedSeen`] — the per-level dedup set, sharded by
-//!   canonical-key prefix so concurrent inserts land on different locks
-//!   ("lock-free-ish" in the common case); shards are merged once per
-//!   level, never held together by one worker.
+//!   chunks off an atomic counter and run the **canonical-construction
+//!   pruned** augmentation ([`prune`]): one representative neighbour
+//!   mask per `Aut(parent)`-orbit, a degree-sequence / deleted-vertex
+//!   connectivity reject *before* any canonical search, and a
+//!   McKay-style accept rule that emits every isomorphism class from
+//!   exactly one `(parent, mask)` pair — so there is **no dedup set**
+//!   and the canonical search runs only on survivors and invariant
+//!   ties. [`StreamStats`] reports the per-level sizes plus the
+//!   candidate / orbit-skipped / rejected / duplicate counters
+//!   ([`PruneCounters`]), which the sweep binaries surface in their
+//!   `--streaming` diagnostics.
+//! * [`prune::augment_connected_parent`] — the per-parent augmentation
+//!   itself, exported so equivalence and property tests (and future
+//!   multi-process sharding) can drive single parents directly. The
+//!   pre-pruning generate-all-and-dedup path survives as
+//!   [`for_each_connected_unpruned`], the oracle the pruning is
+//!   certified against.
 //! * [`BoundedQueue`] — a small bounded MPMC channel for handing
 //!   emitted graphs to a separate pool of classification workers (used
 //!   by `bnf_engine::AnalysisEngine::run_connected_streaming`), with
 //!   [`BoundedQueue::close_guard`] so a panicking stage cancels the
 //!   pipeline instead of deadlocking it.
+//!
+//! ([`ShardedSeen`], the prefix-sharded canonical-key set the unpruned
+//! producer deduplicated with, remains available for consumers that
+//! need concurrent key-set inserts — e.g. sharded cross-process merges
+//! — but the producer itself no longer retains any key set.)
 //!
 //! # Quickstart
 //!
@@ -64,9 +79,14 @@
 
 mod channel;
 mod producer;
+pub mod prune;
 mod shard;
 pub mod sync;
 
 pub use channel::{BoundedQueue, CloseGuard};
-pub use producer::{for_each_connected, stream_connected, StreamStats};
+pub use producer::{
+    for_each_connected, for_each_connected_stats, for_each_connected_unpruned, stream_connected,
+    StreamStats,
+};
+pub use prune::PruneCounters;
 pub use shard::ShardedSeen;

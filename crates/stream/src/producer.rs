@@ -2,35 +2,47 @@
 //!
 //! Every connected graph on `k + 1` vertices is some connected graph on
 //! `k` vertices plus one new vertex with a non-empty neighbour set, so
-//! the enumeration walks levels `1, 2, …, n`, holding only
+//! the enumeration walks levels `1, 2, …, n`. Since the
+//! canonical-construction pruning rewrite ([`crate::prune`]) each level
+//! holds only
 //!
-//! * the previous level's frontier (the parents),
-//! * the current level's canonical-key dedup set ([`ShardedSeen`]), and
+//! * the previous level's frontier (the parents), and
 //! * — for intermediate levels only — the next frontier being built.
 //!
-//! Graphs of the final level are handed to the caller's sink the moment
-//! their key wins the dedup insert and are never collected, which is
-//! what keeps peak memory at `O(largest level)` instead of
-//! `O(final level list + dedup set + classification backlog)`.
+//! There is **no dedup set at any level**: the McKay-style accept rule
+//! emits every isomorphism class from exactly one `(parent, mask)`
+//! pair, so the per-level canonical-key set the unpruned path had to
+//! retain (11.7 M keys at `n = 10`) no longer exists, and the expensive
+//! canonical search runs only on survivors and invariant ties instead
+//! of on all `2^k - 1` masks per parent. Graphs of the final level are
+//! handed to the caller's sink the moment they are accepted and are
+//! never collected, which keeps peak memory at `O(largest level)`.
+//!
+//! The pre-pruning augmentation survives as
+//! [`for_each_connected_unpruned`], the independent reference
+//! implementation the equivalence tests (and A/B measurements) compare
+//! against.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use bnf_graph::{CanonKey, Graph, VertexSet};
 
-use crate::shard::ShardedSeen;
+use crate::prune::{augment_connected_parent, PruneCounters};
 use crate::sync::{lock, lock_into};
 
-/// Shards allocated per producer worker (see [`ShardedSeen`]).
-const SHARDS_PER_WORKER: usize = 8;
-
-/// Per-level sizes observed by one streaming enumeration run.
+/// Per-level sizes and pruning work counters observed by one streaming
+/// enumeration run.
 #[derive(Debug, Clone, Default)]
 pub struct StreamStats {
     /// `level_sizes[k]` is the number of distinct connected graphs on
     /// `k + 1` vertices produced at level `k` (the last entry is the
     /// number of graphs emitted to the sink).
     pub level_sizes: Vec<u64>,
+    /// Aggregate canonical-construction pruning counters across all
+    /// levels (candidates constructed, orbit-skipped masks, cheap and
+    /// search rejections, local duplicates).
+    pub prune: PruneCounters,
 }
 
 impl StreamStats {
@@ -59,14 +71,15 @@ impl StreamStats {
 /// (The engine uses this so a dead classification pipeline does not
 /// leave the producer canonicalizing millions of unwanted candidates.)
 ///
-/// Memory contract: `O(largest single level)` — the full final-level
-/// graph list is never materialized (its dedup *keys* are retained, as
-/// they must be, sharded by key prefix).
+/// Memory contract: `O(largest single level)` — neither the final-level
+/// graph list nor any canonical-key dedup set is ever materialized (the
+/// canonical-construction accept rule makes every emission unique by
+/// construction; see [`crate::prune`]).
 ///
 /// # Panics
 ///
-/// Panics if `n > 10` (the level-`n` dedup set would not fit in memory)
-/// and propagates panics from `sink`.
+/// Panics if `n > 10` (the enumeration bound) and propagates panics
+/// from `sink`.
 pub fn stream_connected<S>(n: usize, threads: usize, sink: &S) -> StreamStats
 where
     S: Fn(Graph, CanonKey) -> bool + Sync,
@@ -94,17 +107,17 @@ where
     let cancelled = AtomicBool::new(false);
     for k in 1..n {
         let last = k + 1 == n;
-        let seen = ShardedSeen::new(threads * SHARDS_PER_WORKER);
-        // The next frontier, built sharded so workers rarely contend;
-        // merged (and the shards dropped) at the end of the level.
-        let frontier: Vec<Mutex<Vec<(Graph, CanonKey)>>> = (0..seen.shard_count())
-            .map(|_| Mutex::new(Vec::new()))
-            .collect();
+        // The next frontier; workers append their chunk-local buffers,
+        // so the lock is taken once per chunk, not once per child.
+        let frontier: Mutex<Vec<(Graph, CanonKey)>> = Mutex::new(Vec::new());
+        let counters: Mutex<PruneCounters> = Mutex::new(stats.prune);
         let emitted = AtomicU64::new(0);
         let next = AtomicUsize::new(0);
         let chunk = (parents.len() / (threads * 8)).clamp(1, 64);
         let worker = || {
             let mut fresh = 0u64;
+            let mut local_counters = PruneCounters::default();
+            let mut local_frontier: Vec<(Graph, CanonKey)> = Vec::new();
             'chunks: loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= parents.len() || cancelled.load(Ordering::Relaxed) {
@@ -112,27 +125,36 @@ where
                 }
                 let end = (start + chunk).min(parents.len());
                 for parent in &parents[start..end] {
-                    // Non-empty neighbour sets keep every child connected.
-                    for mask in 1..(1u64 << k) {
-                        let child = parent.with_extra_vertex(&VertexSet::from_mask(k, mask));
-                        let (form, key) = child.canonical_form_and_key();
-                        if !seen.insert(&key) {
-                            continue;
+                    let mut stop = false;
+                    augment_connected_parent(parent, &mut local_counters, |form, key| {
+                        if stop {
+                            return; // cancelled mid-parent: drop the tail
                         }
+                        // Accepted children are unique by construction:
+                        // emit or push without any dedup lookup.
                         fresh += 1;
                         if last {
                             if !sink(form, key) {
                                 cancelled.store(true, Ordering::Relaxed);
-                                break 'chunks;
+                                stop = true;
                             }
                         } else {
-                            let shard = seen.shard_of(&key);
-                            lock(&frontier[shard]).push((form, key));
+                            local_frontier.push((form, key));
                         }
+                    });
+                    if stop {
+                        break 'chunks;
                     }
                 }
+                if !local_frontier.is_empty() {
+                    lock(&frontier).append(&mut local_frontier);
+                }
+            }
+            if !local_frontier.is_empty() {
+                lock(&frontier).append(&mut local_frontier);
             }
             emitted.fetch_add(fresh, Ordering::Relaxed);
+            lock(&counters).merge(&local_counters);
         };
         if threads == 1 {
             worker();
@@ -144,18 +166,15 @@ where
             });
         }
         stats.level_sizes.push(emitted.load(Ordering::Relaxed));
+        stats.prune = lock_into(counters);
         if cancelled.load(Ordering::Relaxed) {
             return stats;
         }
         if !last {
-            // Merge the frontier shards into the next parent list. The
-            // deterministic sort keeps chunk assignment (and therefore
-            // run-to-run thread behaviour) reproducible; the graph *set*
-            // is order-independent either way.
-            let mut merged: Vec<(Graph, CanonKey)> = Vec::new();
-            for shard in frontier {
-                merged.append(&mut lock_into(shard));
-            }
+            // The deterministic sort keeps chunk assignment (and
+            // therefore run-to-run thread behaviour) reproducible; the
+            // graph *set* is order-independent either way.
+            let mut merged = lock_into(frontier);
             merged.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
             parents = merged.into_iter().map(|(g, _)| g).collect();
         }
@@ -165,14 +184,84 @@ where
 
 /// Serial streaming enumeration: invokes `visit` once per non-isomorphic
 /// connected graph on `n` vertices (canonical form plus key), holding
-/// only the current frontier and one level's dedup keys — the
-/// single-threaded, lock-free twin of [`stream_connected`] for callers
-/// with `FnMut` state.
+/// only the current frontier — the single-threaded, lock-free twin of
+/// [`stream_connected`] for callers with `FnMut` state. Returns the
+/// per-level sizes and pruning counters.
 ///
 /// # Panics
 ///
 /// Panics if `n > 10` and propagates panics from `visit`.
-pub fn for_each_connected<V>(n: usize, mut visit: V)
+pub fn for_each_connected_stats<V>(n: usize, mut visit: V) -> StreamStats
+where
+    V: FnMut(Graph, CanonKey),
+{
+    assert!(
+        n <= 10,
+        "exhaustive enumeration beyond n=10 is not supported"
+    );
+    let mut stats = StreamStats::default();
+    if n == 0 {
+        let (g, key) = Graph::empty(0).canonical_form_and_key();
+        visit(g, key);
+        stats.level_sizes.push(1);
+        return stats;
+    }
+    let mut parents = vec![Graph::empty(1)];
+    stats.level_sizes.push(1);
+    if n == 1 {
+        let (g, key) = Graph::empty(1).canonical_form_and_key();
+        visit(g, key);
+        return stats;
+    }
+    for k in 1..n {
+        let last = k + 1 == n;
+        let mut next: Vec<(Graph, CanonKey)> = Vec::new();
+        let mut fresh = 0u64;
+        for parent in &parents {
+            augment_connected_parent(parent, &mut stats.prune, |form, key| {
+                fresh += 1;
+                if last {
+                    visit(form, key);
+                } else {
+                    next.push((form, key));
+                }
+            });
+        }
+        stats.level_sizes.push(fresh);
+        if !last {
+            next.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+            parents = next.into_iter().map(|(g, _)| g).collect();
+        }
+    }
+    stats
+}
+
+/// [`for_each_connected_stats`] for callers that do not need the stats.
+///
+/// # Panics
+///
+/// Panics if `n > 10` and propagates panics from `visit`.
+pub fn for_each_connected<V>(n: usize, visit: V)
+where
+    V: FnMut(Graph, CanonKey),
+{
+    let _ = for_each_connected_stats(n, visit);
+}
+
+/// The pre-pruning reference enumeration: generates **every** non-empty
+/// neighbour mask of every parent, canonicalizes each candidate, and
+/// deduplicates the canonical keys in a per-level hash set.
+///
+/// Kept as the independent oracle the canonical-construction pruning is
+/// certified against (exact counts and canonical-key multisets must
+/// match for every order — `tests/enumeration_counts.rs` and the
+/// streaming equivalence suite), and for A/B measurements of the
+/// candidate blowup. New workloads should use [`for_each_connected`].
+///
+/// # Panics
+///
+/// Panics if `n > 10` and propagates panics from `visit`.
+pub fn for_each_connected_unpruned<V>(n: usize, mut visit: V)
 where
     V: FnMut(Graph, CanonKey),
 {
@@ -264,6 +353,21 @@ mod tests {
     }
 
     #[test]
+    fn pruned_matches_unpruned_key_multiset() {
+        // The canonical-construction path must emit exactly the classes
+        // the generate-all-and-dedup oracle finds, each exactly once.
+        for n in 0..8 {
+            let mut pruned = Vec::new();
+            for_each_connected(n, |_, key| pruned.push(key));
+            let mut oracle = Vec::new();
+            for_each_connected_unpruned(n, |_, key| oracle.push(key));
+            pruned.sort();
+            oracle.sort();
+            assert_eq!(pruned, oracle, "n={n}");
+        }
+    }
+
+    #[test]
     fn emitted_graphs_are_canonical_forms() {
         for_each_connected(5, |g, key| {
             assert_eq!(g.canonical_key(), key);
@@ -277,6 +381,27 @@ mod tests {
         assert_eq!(stats.level_sizes, vec![1, 1, 2, 6, 21, 112]);
         assert_eq!(stats.peak_level(), 112);
         assert_eq!(stats.emitted(), 112);
+        // Pruning bookkeeping: accepted candidates are exactly the
+        // graphs of levels 1..: 1 + 2 + 6 + 21 + 112.
+        assert_eq!(stats.prune.accepted(), 142);
+        assert_eq!(stats.prune.duplicates, 0, "orbit pruning missed a dupe");
+        // The unpruned path would have constructed sum(parents * (2^k - 1))
+        // candidates; pruning must test strictly fewer.
+        let unpruned: u64 = [1u64, 3, 14, 90, 651].iter().sum(); // parents × (2^k − 1) per level
+        assert!(
+            stats.prune.candidates < unpruned,
+            "{} candidates vs {unpruned} unpruned",
+            stats.prune.candidates
+        );
+        assert_eq!(
+            stats.prune.candidates + stats.prune.orbit_skipped,
+            unpruned,
+            "every mask is either tested or orbit-skipped"
+        );
+        // Serial twin agrees on all counters.
+        let serial = for_each_connected_stats(6, |_, _| {});
+        assert_eq!(serial.level_sizes, stats.level_sizes);
+        assert_eq!(serial.prune, stats.prune);
     }
 
     #[test]

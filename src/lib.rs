@@ -8,8 +8,9 @@
 //! * [`atlas`] — named graphs and families (Figure 1 gallery, cages)
 //!   plus the persistent classification atlas (`--atlas` store)
 //! * [`enumerate`] — exhaustive non-isomorphic enumeration
-//! * [`stream`] — streaming sharded enumeration: level-by-level
-//!   augmentation feeding classification without materializing the list
+//! * [`stream`] — streaming enumeration: canonical-construction pruned
+//!   level-by-level augmentation feeding classification without
+//!   materializing the list (or any dedup set)
 //! * [`games`] — the UCG/BCG model: strategies, costs, efficiency, PoA
 //! * [`core`] — equilibrium analysis (stability windows, pairwise Nash,
 //!   link convexity, the UCG Nash solver)
