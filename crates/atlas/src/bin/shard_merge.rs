@@ -1,0 +1,94 @@
+//! Folds per-shard atlas segments into one coverage-complete
+//! classification atlas — the merge half of the multi-process sharded
+//! sweep (see `crates/atlas/README.md`, "Sharded sweeps").
+//!
+//! Usage: `shard_merge --out merged.bnfatlas seg0.bnfatlas seg1.bnfatlas …`
+//!
+//! Each segment's records and shard metadata fold into `--out` under
+//! the strict conflict semantics (identical duplicates dedup cleanly;
+//! divergent records, coverage counts or shard slots are hard errors —
+//! exit 1 with the offending file named). When the folded shard set
+//! completes a partition of some order, complete coverage is declared
+//! and warm `--atlas` runs replay the whole catalogue without
+//! enumerating. Merging is incremental: fold segments as they finish,
+//! in any order, across any number of invocations.
+//!
+//! The report — per-shard wall-clock and peak RSS (max and sum across
+//! the shard *processes*, which a single-process `VmHWM` read would
+//! understate ~m-fold), merged enumeration counters, coverage status —
+//! goes to stdout in plain lines so CI can upload it as an artifact.
+
+use std::process::ExitCode;
+
+use bnf_atlas::{merge_segments, render_shard_report, ClassificationAtlas, ShardCoverage};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("--out wants a path");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("usage: shard_merge --out merged.bnfatlas segment.bnfatlas ...");
+            return ExitCode::FAILURE;
+        }
+    };
+    let segments: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--out"))
+        .map(|(_, a)| a.clone())
+        .collect();
+    if segments.is_empty() {
+        eprintln!("no segment files given");
+        return ExitCode::FAILURE;
+    }
+    let mut out = match ClassificationAtlas::open(&out_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot open output atlas {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match merge_segments(&mut out, &segments) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("merge failed at {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "merged {} segments into {out_path}: {} records appended, {} identical duplicates \
+         skipped, {} shard slots added ({} stored records)",
+        report.segments,
+        report.appended,
+        report.duplicates,
+        report.metas_added,
+        out.len(),
+    );
+    print!("{}", render_shard_report(out.shard_metas()));
+    for (order, status) in &report.coverage {
+        match status {
+            ShardCoverage::Declared(count) => {
+                println!("coverage: order {order} complete with {count} topologies — warm runs replay from this store");
+            }
+            ShardCoverage::AlreadyDeclared(count) => {
+                println!("coverage: order {order} was already complete ({count} topologies)");
+            }
+            ShardCoverage::Incomplete { have, want } => {
+                println!("coverage: order {order} incomplete — {have}/{want} shards merged so far");
+            }
+            ShardCoverage::CountMismatch { emitted, stored } => {
+                println!(
+                    "coverage: order {order} NOT declared — shards emitted {emitted} records \
+                     but the store holds {stored} of that order (mixed provenance?)"
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -29,6 +29,7 @@
 
 pub mod families;
 pub mod lcf;
+pub mod merge;
 pub mod named;
 pub mod random;
 pub mod store;
@@ -38,4 +39,8 @@ pub use families::{
     star, wheel,
 };
 pub use lcf::{lcf, try_lcf};
-pub use store::{AtlasError, ClassificationAtlas, ATLAS_MAGIC, ATLAS_VERSION};
+pub use merge::{merge_segments, render_shard_report, MergeReport, SegmentError};
+pub use store::{
+    AtlasError, ClassificationAtlas, MergeOutcome, ShardCoverage, ShardMeta, ATLAS_MAGIC,
+    ATLAS_VERSION,
+};

@@ -1,0 +1,265 @@
+//! Folding per-shard atlas segments into one coverage-complete store.
+//!
+//! A sharded sweep leaves `m` segment files, each holding one
+//! contiguous parent-range's records plus a [`ShardMeta`] frame
+//! (`--shard i/m --atlas seg-i` on the sweep binaries). This module —
+//! and the `shard_merge` binary wrapping it — folds them into a single
+//! [`ClassificationAtlas`]: records and coverage frames merge under the
+//! conflict semantics of [`ClassificationAtlas::merge_from`] (identical
+//! duplicates dedup, divergence is a typed error, never
+//! last-write-wins), and complete partitions promote to coverage
+//! declarations so `--atlas`-warm runs replay the whole catalogue.
+//!
+//! Merging is incremental: fold segments as they finish, in any order,
+//! across any number of `shard_merge` invocations — coverage is
+//! declared on whichever merge completes a partition.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::store::{AtlasError, ClassificationAtlas, ShardCoverage, ShardMeta};
+
+/// What one [`merge_segments`] call did, plus the output store's
+/// per-order coverage status afterwards.
+#[derive(Debug, Clone)]
+pub struct MergeReport {
+    /// Segment files folded in.
+    pub segments: usize,
+    /// Records newly appended across all segments.
+    pub appended: usize,
+    /// Records skipped as identical duplicates.
+    pub duplicates: usize,
+    /// Shard-metadata entries newly appended.
+    pub metas_added: usize,
+    /// Per-order coverage outcome after the fold.
+    pub coverage: Vec<(usize, ShardCoverage)>,
+}
+
+/// A merge failure, carrying which segment file it surfaced in (the
+/// output store keeps every frame appended before the conflict — remove
+/// or fix the offending segment and re-run).
+#[derive(Debug)]
+pub struct SegmentError {
+    /// The segment being folded when the error occurred, or the output
+    /// path for coverage-declaration failures.
+    pub path: PathBuf,
+    /// The underlying store error.
+    pub error: AtlasError,
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Folds every segment file into `out` and declares coverage for each
+/// order whose shard set became a complete partition
+/// ([`ClassificationAtlas::declare_sharded_coverage`]).
+///
+/// # Errors
+///
+/// [`SegmentError`] wrapping the first conflict or I/O failure; frames
+/// merged before it stay merged (the fold is resumable).
+pub fn merge_segments(
+    out: &mut ClassificationAtlas,
+    segments: &[impl AsRef<Path>],
+) -> Result<MergeReport, SegmentError> {
+    let mut report = MergeReport {
+        segments: segments.len(),
+        appended: 0,
+        duplicates: 0,
+        metas_added: 0,
+        coverage: Vec::new(),
+    };
+    for path in segments {
+        let path = path.as_ref();
+        let wrap = |error| SegmentError {
+            path: path.to_path_buf(),
+            error,
+        };
+        // `open` creates missing stores — right for the output, wrong
+        // for an input: a typo'd segment path must fail, not fold an
+        // empty store it just invented.
+        if !path.exists() {
+            return Err(wrap(AtlasError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "segment file does not exist",
+            ))));
+        }
+        let segment = ClassificationAtlas::open(path).map_err(wrap)?;
+        let outcome = out.merge_from(&segment).map_err(wrap)?;
+        report.appended += outcome.appended;
+        report.duplicates += outcome.duplicates;
+        report.metas_added += outcome.metas_added;
+    }
+    report.coverage = out
+        .declare_sharded_coverage()
+        .map_err(|error| SegmentError {
+            path: out.path().to_path_buf(),
+            error,
+        })?;
+    Ok(report)
+}
+
+/// One human-readable line per shard slot, plus partition totals —
+/// shared by `shard_merge` and the sweep binaries' warm-replay
+/// diagnostics.
+pub fn render_shard_report(metas: &[ShardMeta]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut orders: Vec<u16> = metas.iter().map(|m| m.order).collect();
+    orders.sort_unstable();
+    orders.dedup();
+    for order in orders {
+        let group: Vec<ShardMeta> = metas.iter().filter(|m| m.order == order).cloned().collect();
+        for m in &group {
+            let rss = m.peak_rss_kb.map_or_else(
+                || "-".to_string(),
+                |kb| format!("{:.1}", kb as f64 / 1024.0),
+            );
+            let _ = writeln!(
+                out,
+                "  n={} shard {}/{}: parents {}..{} of {}, {} records, {} ms, peak RSS {} MiB",
+                m.order,
+                m.shard_index,
+                m.shard_count,
+                m.parent_lo,
+                m.parent_hi,
+                m.frontier_len,
+                m.emitted,
+                m.elapsed_ms,
+                rss,
+            );
+        }
+        if let Some(total) = ShardMeta::merged_counters(&group) {
+            let _ = writeln!(
+                out,
+                "  n={order} merged enumeration counters: {} candidates, {} orbit-skipped, \
+                 {} cheap-rejected, {} search-rejected, {} duplicates, {} accepted \
+                 ({:.2} candidates/survivor)",
+                total.candidates,
+                total.orbit_skipped,
+                total.cheap_rejected,
+                total.search_rejected,
+                total.duplicates,
+                total.accepted(),
+                total.candidates_per_survivor(),
+            );
+        }
+        if let Some((max, sum)) = ShardMeta::rss_summary(&group) {
+            let _ = writeln!(
+                out,
+                "  n={order} peak RSS across shard processes: max {:.1} MiB, sum {:.1} MiB",
+                max as f64 / 1024.0,
+                sum as f64 / 1024.0,
+            );
+        }
+        let wall: u64 = group.iter().map(|m| m.elapsed_ms).sum();
+        let _ = writeln!(
+            out,
+            "  n={order} total shard wall-clock: {wall} ms across {} invocations",
+            group.len(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardMeta;
+    use bnf_core::WindowRecord;
+    use bnf_graph::{BfsScratch, Graph};
+    use bnf_stream::PruneCounters;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let k = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "bnf-merge-test-{}-{k}-{tag}.bnfatlas",
+            std::process::id()
+        ))
+    }
+
+    /// Builds real order-4 records split across two segment files with
+    /// consistent shard metadata, merges them, and checks the merged
+    /// store replays the complete catalogue.
+    #[test]
+    fn segments_fold_into_coverage_complete_store() {
+        let edges: [&[(usize, usize)]; 6] = [
+            &[(0, 1), (1, 2), (2, 3)],
+            &[(0, 1), (0, 2), (0, 3)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+            &[(0, 1), (1, 2), (2, 0), (0, 3)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        ];
+        let mut scratch = BfsScratch::new();
+        let records: Vec<WindowRecord> = edges
+            .iter()
+            .map(|e| {
+                let g = Graph::from_edges(4, e.iter().copied()).unwrap();
+                WindowRecord::classify(&g, &mut scratch)
+            })
+            .collect();
+        let meta = |index: u32, emitted: u64| ShardMeta {
+            order: 4,
+            shard_index: index,
+            shard_count: 2,
+            frontier_len: 2,
+            parent_lo: u64::from(index),
+            parent_hi: u64::from(index) + 1,
+            emitted,
+            elapsed_ms: 5,
+            peak_rss_kb: Some(1024 * (1 + u64::from(index))),
+            frontier_prune: PruneCounters::default(),
+            final_prune: PruneCounters::default(),
+        };
+        let seg_paths = [scratch_path("seg0"), scratch_path("seg1")];
+        for (i, path) in seg_paths.iter().enumerate() {
+            let mut seg = ClassificationAtlas::open(path).unwrap();
+            let slice = if i == 0 { &records[..2] } else { &records[2..] };
+            seg.append_records(slice).unwrap();
+            seg.append_shard_meta(&meta(i as u32, slice.len() as u64))
+                .unwrap();
+        }
+        let out_path = scratch_path("out");
+        let mut out = ClassificationAtlas::open(&out_path).unwrap();
+        // First segment alone: incomplete.
+        let partial = merge_segments(&mut out, &seg_paths[..1]).unwrap();
+        assert_eq!(partial.appended, 2);
+        assert_eq!(
+            partial.coverage,
+            vec![(4, ShardCoverage::Incomplete { have: 1, want: 2 })]
+        );
+        // Second merge completes the partition and declares coverage.
+        let full = merge_segments(&mut out, &seg_paths).unwrap();
+        assert_eq!(full.appended, 4);
+        assert_eq!(full.duplicates, 2);
+        assert_eq!(full.coverage, vec![(4, ShardCoverage::Declared(6))]);
+        let replay = out.complete_sweep(4).expect("coverage declared");
+        assert_eq!(replay.len(), 6);
+        assert!(replay.windows(2).all(|w| w[0].edges <= w[1].edges));
+        // The report renderer mentions every shard and both RSS stats.
+        let text = render_shard_report(out.shard_metas());
+        assert!(text.contains("shard 0/2"));
+        assert!(text.contains("shard 1/2"));
+        assert!(text.contains("max 2.0 MiB, sum 3.0 MiB"));
+        // A missing segment path is a wrapped error naming the file.
+        let missing = scratch_path("missing");
+        let err = merge_segments(&mut out, std::slice::from_ref(&missing)).unwrap_err();
+        assert!(err.to_string().contains(missing.to_str().unwrap()));
+        for p in seg_paths.iter().chain([&out_path]) {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use bnf_core::{ClosedInterval, LowerBound, StabilityWindow, Threshold, WindowRecord};
 use bnf_games::Ratio;
 use bnf_graph::Graph;
+use bnf_stream::PruneCounters;
 
 /// Leading magic bytes of an atlas file.
 pub const ATLAS_MAGIC: [u8; 8] = *b"BNFATLAS";
@@ -25,7 +26,10 @@ pub const ATLAS_MAGIC: [u8; 8] = *b"BNFATLAS";
 /// **or the meaning of a stored record** changes (e.g. a classifier fix
 /// that alters windows) — version-mismatched files are rejected, never
 /// silently reinterpreted.
-pub const ATLAS_VERSION: u32 = 1;
+///
+/// Version 2 added the shard-segment metadata frame (tag 3) for
+/// multi-process sweeps; record and coverage frames are unchanged.
+pub const ATLAS_VERSION: u32 = 2;
 
 /// Why an atlas file could not be opened, read or appended to.
 #[derive(Debug)]
@@ -62,6 +66,17 @@ pub enum AtlasError {
         /// The order with conflicting coverage counts.
         order: usize,
     },
+    /// Two shard-metadata entries claim the same shard of the same
+    /// partition but disagree on its range or emission count — the
+    /// enumeration is deterministic per (order, partition, index), so
+    /// this indicates segments from incompatible builds or a corrupted
+    /// store.
+    ShardConflict {
+        /// The order whose shard metadata conflicts.
+        order: usize,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AtlasError {
@@ -83,6 +98,9 @@ impl fmt::Display for AtlasError {
             AtlasError::CoverageConflict { order } => {
                 write!(f, "conflicting complete-coverage counts for order {order}")
             }
+            AtlasError::ShardConflict { order, reason } => {
+                write!(f, "conflicting shard metadata for order {order}: {reason}")
+            }
         }
     }
 }
@@ -102,6 +120,99 @@ impl From<std::io::Error> for AtlasError {
     }
 }
 
+/// Metadata of one shard segment: which contiguous range of the sorted
+/// level-`n − 1` parent frontier one sweep invocation classified, what
+/// it cost, and its pruning-counter shares — written into the segment
+/// file by `--shard i/m` runs and folded by `shard_merge` into
+/// coverage declarations and the merged work/RSS report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Graph order of the sweep this shard belongs to.
+    pub order: u16,
+    /// Zero-based shard index within the partition.
+    pub shard_index: u32,
+    /// Total shards in the partition.
+    pub shard_count: u32,
+    /// Size of the full parent frontier the range was cut from — the
+    /// partition is a pure function of `(frontier_len, shard_count)`,
+    /// so equal values here mean compatible segments.
+    pub frontier_len: u64,
+    /// First owned parent index (inclusive).
+    pub parent_lo: u64,
+    /// One past the last owned parent index.
+    pub parent_hi: u64,
+    /// Final-level graphs this shard classified and stored.
+    pub emitted: u64,
+    /// Wall-clock of the shard invocation in milliseconds.
+    pub elapsed_ms: u64,
+    /// Peak RSS of the shard's *own process* in KiB (`None` where
+    /// unmeasurable, e.g. off Linux) — one entry per process is what
+    /// lets the merge report true multi-process peaks instead of the
+    /// single-process `VmHWM` understatement.
+    pub peak_rss_kb: Option<u64>,
+    /// Pruning counters of the frontier build (levels `1..n − 1`) —
+    /// identical across every shard of one partition; kept separate so
+    /// a merge counts this shared work once, not `m` times.
+    pub frontier_prune: PruneCounters,
+    /// Pruning counters of the final level restricted to this shard's
+    /// parent range — these sum across a partition.
+    pub final_prune: PruneCounters,
+}
+
+impl ShardMeta {
+    /// The fields that identify a shard slot: two metas with equal
+    /// identity describe the same range of the same deterministic
+    /// partition and must agree on everything but timings.
+    fn identity(&self) -> (u16, u32, u64, u32) {
+        (
+            self.order,
+            self.shard_count,
+            self.frontier_len,
+            self.shard_index,
+        )
+    }
+
+    /// Whether `other` is a legitimate re-run of the same shard slot:
+    /// same range and emission count (wall-clock and RSS may differ).
+    fn compatible(&self, other: &ShardMeta) -> bool {
+        self.parent_lo == other.parent_lo
+            && self.parent_hi == other.parent_hi
+            && self.emitted == other.emitted
+    }
+
+    /// Folds one partition's worth of metas into total enumeration
+    /// counters: the (shared, identical) frontier-build share once plus
+    /// every shard's final-level share. `None` when the metas span
+    /// mixed partitions or disagree on the frontier share — no single
+    /// total exists then.
+    pub fn merged_counters(metas: &[ShardMeta]) -> Option<PruneCounters> {
+        let first = metas.first()?;
+        let group = (first.order, first.shard_count, first.frontier_len);
+        let mut total = first.frontier_prune;
+        for m in metas {
+            if (m.order, m.shard_count, m.frontier_len) != group
+                || m.frontier_prune != first.frontier_prune
+            {
+                return None;
+            }
+            total.merge(&m.final_prune);
+        }
+        Some(total)
+    }
+
+    /// Max and sum of the per-shard peak RSS values, over the metas
+    /// that have one — `None` when none do (non-Linux shards stay
+    /// gracefully unreported rather than counting as zero).
+    pub fn rss_summary(metas: &[ShardMeta]) -> Option<(u64, u64)> {
+        let mut seen = None;
+        for kb in metas.iter().filter_map(|m| m.peak_rss_kb) {
+            let (max, sum) = seen.unwrap_or((0, 0));
+            seen = Some((max.max(kb), sum + kb));
+        }
+        seen
+    }
+}
+
 /// An open classification atlas: the whole store buffered into an
 /// in-memory key → record map (bufread on open; the n = 10 record
 /// population is ~12 M entries of ~100 bytes — RAM-sized by design),
@@ -113,6 +224,9 @@ pub struct ClassificationAtlas {
     /// Orders whose *complete* connected enumeration is stored, with
     /// the topology count recorded at completion time.
     coverage: HashMap<u16, u64>,
+    /// Shard-segment metadata, one entry per distinct shard slot (see
+    /// [`ShardMeta::identity`]).
+    shards: Vec<ShardMeta>,
 }
 
 /// Frame tag: the payload is one encoded [`WindowRecord`].
@@ -120,6 +234,8 @@ const FRAME_RECORD: u8 = 1;
 /// Frame tag: the payload declares complete sweep coverage for one
 /// order (`u16` order + `u64` topology count).
 const FRAME_COVERAGE: u8 = 2;
+/// Frame tag: the payload is one encoded [`ShardMeta`].
+const FRAME_SHARD_META: u8 = 3;
 
 impl ClassificationAtlas {
     /// Opens an atlas at `path`, creating an empty one (header only) if
@@ -139,6 +255,7 @@ impl ClassificationAtlas {
         };
         let mut map = HashMap::new();
         let mut coverage = HashMap::new();
+        let mut shards = Vec::new();
         match file {
             Some(file) if file.metadata()?.len() > 0 => {
                 let mut r = BufReader::new(file);
@@ -167,7 +284,7 @@ impl ClassificationAtlas {
                             offset,
                             reason: format!("record frame of {len} bytes truncated"),
                         })?;
-                    decode_frame(&payload, &mut map, &mut coverage)
+                    decode_frame(&payload, &mut map, &mut coverage, &mut shards)
                         .map_err(|reason| AtlasError::Corrupt { offset, reason })?;
                     offset += 4 + len as u64;
                 }
@@ -190,6 +307,7 @@ impl ClassificationAtlas {
             path,
             map,
             coverage,
+            shards,
         })
     }
 
@@ -345,6 +463,208 @@ impl ClassificationAtlas {
         tagged.sort_by_key(|t| (t.0, t.1));
         Some(tagged.into_iter().map(|(_, _, r)| r.clone()).collect())
     }
+
+    /// The shard-segment metadata stored in this file, one entry per
+    /// distinct shard slot.
+    pub fn shard_metas(&self) -> &[ShardMeta] {
+        &self.shards
+    }
+
+    /// Appends one shard's metadata; returns `false` (writing nothing)
+    /// when an entry for the same shard slot with the same range and
+    /// emission count is already stored — merging the same segment
+    /// twice is a no-op, and per-slot uniqueness is what the coverage
+    /// arithmetic in [`ClassificationAtlas::declare_sharded_coverage`]
+    /// rests on.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::ShardConflict`] when the stored entry for the slot
+    /// disagrees on range or emission count (the enumeration is
+    /// deterministic, so a disagreeing "re-run" means incompatible
+    /// builds), [`AtlasError::Io`] on write failure.
+    pub fn append_shard_meta(&mut self, meta: &ShardMeta) -> Result<bool, AtlasError> {
+        if let Some(stored) = self.shards.iter().find(|m| m.identity() == meta.identity()) {
+            if stored.compatible(meta) {
+                return Ok(false);
+            }
+            return Err(AtlasError::ShardConflict {
+                order: meta.order as usize,
+                reason: format!(
+                    "shard {}/{} stored as parents {}..{} ({} emitted) vs new {}..{} ({} emitted)",
+                    meta.shard_index,
+                    meta.shard_count,
+                    stored.parent_lo,
+                    stored.parent_hi,
+                    stored.emitted,
+                    meta.parent_lo,
+                    meta.parent_hi,
+                    meta.emitted,
+                ),
+            });
+        }
+        let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        let mut payload = vec![FRAME_SHARD_META];
+        encode_shard_meta(meta, &mut payload);
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.flush()?;
+        self.shards.push(meta.clone());
+        Ok(true)
+    }
+
+    /// Folds another (typically segment) atlas into this one: records,
+    /// coverage declarations, and shard metadata.
+    ///
+    /// Merge semantics — exercised by the conflict-matrix tests, never
+    /// last-write-wins:
+    ///
+    /// * records sharing a key with an **identical** stored record are
+    ///   deduplicated silently; a **divergent** record is a hard
+    ///   [`AtlasError::KeyConflict`];
+    /// * coverage frames for the same order with the **same** count are
+    ///   deduplicated; a **divergent** count is a hard
+    ///   [`AtlasError::CoverageConflict`];
+    /// * shard metadata for the same slot with the same range/count is
+    ///   deduplicated; a divergent slot is a hard
+    ///   [`AtlasError::ShardConflict`].
+    ///
+    /// Frames appended before a conflict was detected stay appended —
+    /// they are individually valid; the merge is resumable after the
+    /// offending segment is removed.
+    ///
+    /// # Errors
+    ///
+    /// The typed conflicts above, or [`AtlasError::Io`] on write
+    /// failure.
+    pub fn merge_from(&mut self, other: &ClassificationAtlas) -> Result<MergeOutcome, AtlasError> {
+        let appended = self.append_records(other.iter())?;
+        let mut outcome = MergeOutcome {
+            appended,
+            duplicates: other.len() - appended,
+            metas_added: 0,
+        };
+        for meta in &other.shards {
+            if self.append_shard_meta(meta)? {
+                outcome.metas_added += 1;
+            }
+        }
+        for (&order, &count) in &other.coverage {
+            self.mark_complete(order as usize, count as usize)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Declares complete coverage for every order whose stored shard
+    /// metadata contains a full partition — all indices `0..count` of
+    /// one `(shard_count, frontier_len)` group — whose summed emission
+    /// count equals the number of stored records of that order. Orders
+    /// already covered are reported as such; incomplete or
+    /// count-mismatched orders are reported, not errors (merge more
+    /// segments and call again — the sharded workflow is incremental).
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::CoverageConflict`] when a declaration contradicts
+    /// a stored coverage frame, [`AtlasError::Io`] on write failure.
+    pub fn declare_sharded_coverage(&mut self) -> Result<Vec<(usize, ShardCoverage)>, AtlasError> {
+        let mut orders: Vec<u16> = self.shards.iter().map(|m| m.order).collect();
+        orders.sort_unstable();
+        orders.dedup();
+        let mut out = Vec::new();
+        for order in orders {
+            if let Some(count) = self.coverage.get(&order) {
+                out.push((order as usize, ShardCoverage::AlreadyDeclared(*count)));
+                continue;
+            }
+            let stored = self
+                .map
+                .values()
+                .filter(|r| r.order == u32::from(order))
+                .count() as u64;
+            let mut groups: Vec<(u32, u64)> = self
+                .shards
+                .iter()
+                .filter(|m| m.order == order)
+                .map(|m| (m.shard_count, m.frontier_len))
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            let mut status = ShardCoverage::Incomplete { have: 0, want: 0 };
+            for (count, frontier_len) in groups {
+                let members: Vec<&ShardMeta> = self
+                    .shards
+                    .iter()
+                    .filter(|m| {
+                        m.order == order && m.shard_count == count && m.frontier_len == frontier_len
+                    })
+                    .collect();
+                // Per-slot uniqueness is enforced at append time, so
+                // membership count is the distinct-index count.
+                if members.len() < count as usize {
+                    // Keep the fullest incomplete group as the status
+                    // (a CountMismatch from an earlier group wins).
+                    if let ShardCoverage::Incomplete { have, want } = status {
+                        if members.len() > have || want == 0 {
+                            status = ShardCoverage::Incomplete {
+                                have: members.len(),
+                                want: count as usize,
+                            };
+                        }
+                    }
+                    continue;
+                }
+                let emitted: u64 = members.iter().map(|m| m.emitted).sum();
+                if emitted != stored {
+                    status = ShardCoverage::CountMismatch { emitted, stored };
+                    continue;
+                }
+                self.mark_complete(order as usize, emitted as usize)?;
+                status = ShardCoverage::Declared(emitted);
+                break;
+            }
+            out.push((order as usize, status));
+        }
+        Ok(out)
+    }
+}
+
+/// What [`ClassificationAtlas::merge_from`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Records newly appended.
+    pub appended: usize,
+    /// Records skipped as identical duplicates of stored ones.
+    pub duplicates: usize,
+    /// Shard-metadata entries newly appended (identical slots dedup).
+    pub metas_added: usize,
+}
+
+/// Per-order outcome of
+/// [`ClassificationAtlas::declare_sharded_coverage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCoverage {
+    /// Coverage was declared now, with the topology count.
+    Declared(u64),
+    /// A coverage frame already existed (warm store), with its count.
+    AlreadyDeclared(u64),
+    /// No partition group is complete yet: the best group has `have`
+    /// of `want` shards.
+    Incomplete {
+        /// Shard slots present in the fullest partition group.
+        have: usize,
+        /// Shard count that group needs.
+        want: usize,
+    },
+    /// A partition group is complete but its summed emissions disagree
+    /// with the stored record population of the order — mixed
+    /// provenance; coverage stays undeclared (the cache re-classifies).
+    CountMismatch {
+        /// Sum of the group's per-shard emission counts.
+        emitted: u64,
+        /// Stored records of this order.
+        stored: u64,
+    },
 }
 
 /// Parses one frame (tag byte + payload) into the maps.
@@ -352,6 +672,7 @@ fn decode_frame(
     payload: &[u8],
     map: &mut HashMap<String, WindowRecord>,
     coverage: &mut HashMap<u16, u64>,
+    shards: &mut Vec<ShardMeta>,
 ) -> Result<(), String> {
     let (&tag, body) = payload
         .split_first()
@@ -361,6 +682,20 @@ fn decode_frame(
             let record = decode_record(body)?;
             map.insert(record.key.clone(), record);
             Ok(())
+        }
+        FRAME_SHARD_META => {
+            let meta = decode_shard_meta(body)?;
+            match shards.iter().find(|m| m.identity() == meta.identity()) {
+                Some(stored) if !stored.compatible(&meta) => Err(format!(
+                    "conflicting metadata for shard {}/{} of order {}",
+                    meta.shard_index, meta.shard_count, meta.order
+                )),
+                Some(_) => Ok(()), // identical slot: dedup on read too
+                None => {
+                    shards.push(meta);
+                    Ok(())
+                }
+            }
         }
         FRAME_COVERAGE => {
             let mut c = Cursor { buf: body, pos: 0 };
@@ -381,6 +716,88 @@ fn decode_frame(
         }
         t => Err(format!("unknown frame tag {t}")),
     }
+}
+
+fn put_counters(out: &mut Vec<u8>, c: &PruneCounters) {
+    for v in [
+        c.candidates,
+        c.orbit_skipped,
+        c.cheap_rejected,
+        c.search_rejected,
+        c.duplicates,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn encode_shard_meta(meta: &ShardMeta, out: &mut Vec<u8>) {
+    out.extend_from_slice(&meta.order.to_le_bytes());
+    out.extend_from_slice(&meta.shard_index.to_le_bytes());
+    out.extend_from_slice(&meta.shard_count.to_le_bytes());
+    for v in [
+        meta.frontier_len,
+        meta.parent_lo,
+        meta.parent_hi,
+        meta.emitted,
+        meta.elapsed_ms,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    match meta.peak_rss_kb {
+        None => out.push(0),
+        Some(kb) => {
+            out.push(1);
+            out.extend_from_slice(&kb.to_le_bytes());
+        }
+    }
+    put_counters(out, &meta.frontier_prune);
+    put_counters(out, &meta.final_prune);
+}
+
+fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, String> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let order = c.u16()?;
+    let shard_index = c.u32()?;
+    let shard_count = c.u32()?;
+    if shard_count == 0 || shard_index >= shard_count {
+        return Err(format!(
+            "shard index {shard_index} out of range 0..{shard_count}"
+        ));
+    }
+    let frontier_len = c.u64()?;
+    let parent_lo = c.u64()?;
+    let parent_hi = c.u64()?;
+    let emitted = c.u64()?;
+    let elapsed_ms = c.u64()?;
+    let peak_rss_kb = match c.u8()? {
+        0 => None,
+        1 => Some(c.u64()?),
+        t => return Err(format!("unknown peak-RSS tag {t}")),
+    };
+    let frontier_prune = c.counters()?;
+    let final_prune = c.counters()?;
+    if c.pos != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after shard metadata",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(ShardMeta {
+        order,
+        shard_index,
+        shard_count,
+        frontier_len,
+        parent_lo,
+        parent_hi,
+        emitted,
+        elapsed_ms,
+        peak_rss_kb,
+        frontier_prune,
+        final_prune,
+    })
 }
 
 fn put_ratio(out: &mut Vec<u8>, r: Ratio) {
@@ -492,6 +909,16 @@ impl<'a> Cursor<'a> {
         Ok(ClosedInterval {
             lo: self.ratio()?,
             hi: self.threshold()?,
+        })
+    }
+
+    fn counters(&mut self) -> Result<PruneCounters, String> {
+        Ok(PruneCounters {
+            candidates: self.u64()?,
+            orbit_skipped: self.u64()?,
+            cheap_rejected: self.u64()?,
+            search_rejected: self.u64()?,
+            duplicates: self.u64()?,
         })
     }
 }
@@ -808,5 +1235,223 @@ mod tests {
         assert!(AtlasError::KeyConflict { key: "Bw".into() }
             .to_string()
             .contains("Bw"));
+        assert!(AtlasError::ShardConflict {
+            order: 8,
+            reason: "slot 1/4".into()
+        }
+        .to_string()
+        .contains("slot 1/4"));
+    }
+
+    /// A shard meta for order 5 over a 2-parent "frontier" of 6.
+    fn sample_meta(index: u32, count: u32) -> ShardMeta {
+        let frontier_len = 6u64;
+        let lo = frontier_len * u64::from(index) / u64::from(count);
+        let hi = frontier_len * u64::from(index + 1) / u64::from(count);
+        ShardMeta {
+            order: 5,
+            shard_index: index,
+            shard_count: count,
+            frontier_len,
+            parent_lo: lo,
+            parent_hi: hi,
+            emitted: 1,
+            elapsed_ms: 17 + u64::from(index),
+            peak_rss_kb: Some(2048 + u64::from(index) * 1024),
+            frontier_prune: PruneCounters {
+                candidates: 10,
+                orbit_skipped: 2,
+                cheap_rejected: 3,
+                search_rejected: 1,
+                duplicates: 0,
+            },
+            final_prune: PruneCounters {
+                candidates: 5 + u64::from(index),
+                cheap_rejected: 4,
+                ..PruneCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn shard_meta_round_trips_through_reopen() {
+        let path = scratch_path("shardmeta");
+        let metas = [sample_meta(0, 2), sample_meta(1, 2)];
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            assert!(atlas.append_shard_meta(&metas[0]).unwrap());
+            assert!(atlas.append_shard_meta(&metas[1]).unwrap());
+            // Same slot, same range/count (different timing): dedup.
+            let mut rerun = metas[0].clone();
+            rerun.elapsed_ms = 9999;
+            rerun.peak_rss_kb = None;
+            assert!(!atlas.append_shard_meta(&rerun).unwrap());
+            // Same slot, different emission count: typed conflict.
+            let mut bad = metas[0].clone();
+            bad.emitted += 1;
+            assert!(matches!(
+                atlas.append_shard_meta(&bad),
+                Err(AtlasError::ShardConflict { order: 5, .. })
+            ));
+        }
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.shard_metas(), &metas);
+        assert_eq!(
+            ShardMeta::rss_summary(atlas.shard_metas()),
+            Some((3072, 5120))
+        );
+        let total = ShardMeta::merged_counters(atlas.shard_metas()).unwrap();
+        // Frontier share once, final shares summed: 10 + 5 + 6.
+        assert_eq!(total.candidates, 21);
+        assert_eq!(total.cheap_rejected, 11);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merged_counters_and_rss_handle_edge_sets() {
+        assert_eq!(ShardMeta::merged_counters(&[]), None);
+        // Mixed partitions have no single total.
+        assert_eq!(
+            ShardMeta::merged_counters(&[sample_meta(0, 2), sample_meta(0, 3)]),
+            None
+        );
+        let mut no_rss = sample_meta(0, 1);
+        no_rss.peak_rss_kb = None;
+        assert_eq!(ShardMeta::rss_summary(&[no_rss]), None);
+    }
+
+    #[test]
+    fn merge_from_conflict_matrix() {
+        // Two segments sharing a key with identical records dedup
+        // cleanly; divergent records are a hard typed error; identical
+        // coverage frames dedup; divergent coverage counts are a hard
+        // typed error — never last-write-wins.
+        let records = sample_records();
+        let path_a = scratch_path("merge-a");
+        let path_b = scratch_path("merge-b");
+        let path_out = scratch_path("merge-out");
+
+        let mut seg_a = ClassificationAtlas::open(&path_a).unwrap();
+        seg_a.append_records(&records).unwrap();
+        seg_a.mark_complete(5, 21).unwrap();
+        // Overlapping segment: one shared identical record, one fresh.
+        let mut fresh = records[1].clone();
+        fresh.key = "Dhc".into();
+        let mut seg_b = ClassificationAtlas::open(&path_b).unwrap();
+        seg_b.append_records([&records[0], &fresh]).unwrap();
+        seg_b.mark_complete(5, 21).unwrap();
+
+        let mut out = ClassificationAtlas::open(&path_out).unwrap();
+        let a = out.merge_from(&seg_a).unwrap();
+        assert_eq!((a.appended, a.duplicates), (2, 0));
+        let b = out.merge_from(&seg_b).unwrap();
+        assert_eq!((b.appended, b.duplicates), (1, 1));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.coverage(5), Some(21));
+        // Identical re-merge is a no-op.
+        let again = out.merge_from(&seg_b).unwrap();
+        assert_eq!((again.appended, again.duplicates), (0, 2));
+
+        // Divergent record for a shared key: hard error, stored record
+        // untouched.
+        let path_c = scratch_path("merge-c");
+        let mut divergent = records[0].clone();
+        divergent.total_distance += 1;
+        let mut seg_c = ClassificationAtlas::open(&path_c).unwrap();
+        seg_c.append_records([&divergent]).unwrap();
+        match out.merge_from(&seg_c) {
+            Err(AtlasError::KeyConflict { key }) => assert_eq!(key, records[0].key),
+            other => panic!("expected KeyConflict, got {other:?}"),
+        }
+        assert_eq!(out.get(&records[0].key), Some(&records[0]));
+
+        // Divergent coverage count: hard error.
+        let path_d = scratch_path("merge-d");
+        let mut seg_d = ClassificationAtlas::open(&path_d).unwrap();
+        seg_d.mark_complete(5, 22).unwrap();
+        assert!(matches!(
+            out.merge_from(&seg_d),
+            Err(AtlasError::CoverageConflict { order: 5 })
+        ));
+
+        // Divergent shard slot: hard error.
+        let path_e = scratch_path("merge-e");
+        let mut seg_e = ClassificationAtlas::open(&path_e).unwrap();
+        seg_e.append_shard_meta(&sample_meta(0, 2)).unwrap();
+        out.append_shard_meta(&{
+            let mut m = sample_meta(0, 2);
+            m.emitted += 5;
+            m
+        })
+        .unwrap();
+        assert!(matches!(
+            out.merge_from(&seg_e),
+            Err(AtlasError::ShardConflict { order: 5, .. })
+        ));
+
+        for p in [&path_a, &path_b, &path_c, &path_d, &path_e, &path_out] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn sharded_coverage_declares_only_complete_matching_partitions() {
+        let path = scratch_path("shard-coverage");
+        let records = sample_records(); // two order-5 records
+        let mut atlas = ClassificationAtlas::open(&path).unwrap();
+        atlas.append_records(&records).unwrap();
+        // Half a partition: incomplete, nothing declared.
+        let mut m0 = sample_meta(0, 2);
+        m0.emitted = 1;
+        atlas.append_shard_meta(&m0).unwrap();
+        assert_eq!(
+            atlas.declare_sharded_coverage().unwrap(),
+            vec![(5, ShardCoverage::Incomplete { have: 1, want: 2 })]
+        );
+        assert_eq!(atlas.coverage(5), None);
+        // Complete partition whose emissions match the stored records:
+        // coverage declared and persisted.
+        let mut m1 = sample_meta(1, 2);
+        m1.emitted = 1;
+        atlas.append_shard_meta(&m1).unwrap();
+        assert_eq!(
+            atlas.declare_sharded_coverage().unwrap(),
+            vec![(5, ShardCoverage::Declared(2))]
+        );
+        assert_eq!(atlas.coverage(5), Some(2));
+        // Idempotent afterwards.
+        assert_eq!(
+            atlas.declare_sharded_coverage().unwrap(),
+            vec![(5, ShardCoverage::AlreadyDeclared(2))]
+        );
+        drop(atlas);
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.coverage(5), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_coverage_reports_count_mismatch() {
+        let path = scratch_path("shard-mismatch");
+        let records = sample_records();
+        let mut atlas = ClassificationAtlas::open(&path).unwrap();
+        atlas.append_records(&records[..1]).unwrap();
+        // A "complete" 1-shard partition claiming 2 emissions over a
+        // store holding 1 record of that order: not declared.
+        let mut m = sample_meta(0, 1);
+        m.emitted = 2;
+        atlas.append_shard_meta(&m).unwrap();
+        assert_eq!(
+            atlas.declare_sharded_coverage().unwrap(),
+            vec![(
+                5,
+                ShardCoverage::CountMismatch {
+                    emitted: 2,
+                    stored: 1
+                }
+            )]
+        );
+        assert_eq!(atlas.coverage(5), None);
+        std::fs::remove_file(&path).ok();
     }
 }

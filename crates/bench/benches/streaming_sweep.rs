@@ -16,7 +16,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use bnf_empirics::{SweepConfig, SweepResult};
+use bnf_empirics::{SweepConfig, SweepResult, WindowSweep};
+use bnf_stream::ShardSpec;
 
 fn bench_streaming_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("streaming_sweep");
@@ -31,6 +32,22 @@ fn bench_streaming_sweep(c: &mut Criterion) {
             b.iter(|| black_box(SweepResult::run_streaming(&config)))
         });
     }
+    // The multi-process driver's single-process cost model: all four
+    // shards of an n = 7 window sweep run back to back — what one CPU
+    // pays for a whole partition, including the 4× frontier rebuild
+    // (the sharding overhead the merge amortizes across processes).
+    group.bench_function("sharded_4x/7", |b| {
+        b.iter(|| {
+            for index in 0..4 {
+                black_box(WindowSweep::run_shard(
+                    7,
+                    bnf_empirics::default_threads(),
+                    ShardSpec::new(index, 4),
+                    None,
+                ));
+            }
+        })
+    });
     let stats = bnf_stream::stream_connected(8, 1, &|_, _| true);
     group.report_metric(
         "candidates_per_survivor/8",

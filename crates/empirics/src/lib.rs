@@ -34,6 +34,12 @@
 //! ([`bnf_atlas::ClassificationAtlas`]) so re-runs — finer grids,
 //! `--streaming`, follow-up workloads — skip classification for keys
 //! already seen.
+//!
+//! Paper-scale sweeps shard across **processes**: `--shard i/m` (with
+//! `--atlas` naming the per-shard segment file) classifies one
+//! contiguous range of the parent frontier and exits; the `shard_merge`
+//! binary in `bnf-atlas` folds segments into one coverage-complete
+//! store that every binary replays warm. See `crates/atlas/README.md`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -86,17 +92,9 @@ fn max_sweep_n_from(raw: Option<String>) -> usize {
         .min(10)
 }
 
-/// Peak resident set size of this process in kibibytes (`VmHWM` from
-/// `/proc/self/status`), `None` where unavailable.
-///
-/// The figure binaries report this so the streaming-vs-materializing
-/// memory comparison is a one-flag experiment instead of an external
-/// profiler session.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
+// Re-exported from bnf-core (where the shard-segment writers can reach
+// it too): each process of a multi-process sweep stamps its own VmHWM.
+pub use bnf_core::peak_rss_kb;
 
 /// Shared front-end of the sweep-driven binaries: honours
 /// `--streaming`, `--atlas <path>` and `--grid <spec>`, runs the
@@ -131,16 +129,27 @@ pub fn grid_from_args(args: &[String], default: impl FnOnce() -> Vec<Ratio>) -> 
 }
 
 /// The windows-first half of [`run_sweep_cli`], also used directly by
-/// `efficiency_scan`: parses `--streaming` / `--atlas`, classifies all
-/// connected topologies on `n` vertices into a [`WindowSweep`], appends
-/// fresh records back to the atlas, and reports the classification wall
-/// time in milliseconds (the number the CI cold/warm ≥ 10× gate reads)
-/// plus atlas hit counts and peak RSS to stderr.
+/// `efficiency_scan`: parses `--streaming` / `--atlas` / `--shard i/m`,
+/// classifies all connected topologies on `n` vertices into a
+/// [`WindowSweep`], appends fresh records back to the atlas, and
+/// reports the classification wall time in milliseconds (the number the
+/// CI cold/warm ≥ 10× gate reads) plus atlas hit counts and peak RSS to
+/// stderr.
+///
+/// With `--shard i/m` (requires `--atlas`, which names the **segment**
+/// file) the invocation classifies only shard `i` of the `m`-way
+/// partition of the parent frontier, persists the records plus a
+/// [`bnf_atlas::ShardMeta`] frame — range, emission count, wall-clock,
+/// this process's peak RSS, pruning-counter shares — into the segment,
+/// and **exits the process**: a partial sweep has no meaningful figure
+/// output. Fold the segments with `shard_merge` (bnf-atlas) and re-run
+/// with `--atlas merged` to replay the complete catalogue.
 ///
 /// # Panics
 ///
 /// Panics (with a diagnostic) when the atlas cannot be opened or
-/// appended to — a CLI front-end, not a library error path.
+/// appended to, or when `--shard` is malformed or lacks `--atlas` — a
+/// CLI front-end, not a library error path.
 pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> WindowSweep {
     let streaming = arg_flag(args, "--streaming");
     let path = if streaming {
@@ -148,10 +157,32 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     } else {
         "materializing"
     };
+    let shard = arg_value(args, "--shard")
+        .map(|s| bnf_stream::ShardSpec::parse(&s).unwrap_or_else(|e| panic!("bad --shard: {e}")));
     let mut atlas = arg_value(args, "--atlas").map(|p| {
         bnf_atlas::ClassificationAtlas::open(&p)
             .unwrap_or_else(|e| panic!("cannot open atlas {p}: {e}"))
     });
+    if let Some(shard) = shard {
+        let atlas = atlas
+            .as_mut()
+            .expect("--shard writes a segment store: pass --atlas <segment path>");
+        write_shard_segment(n, threads, shard, atlas);
+    }
+    if let Some(atlas) = &atlas {
+        // Merged-store provenance: a store assembled by shard_merge
+        // carries per-shard metadata; surface the multi-process memory
+        // truth a single-process VmHWM read would understate.
+        if let Some((max, sum)) = bnf_atlas::ShardMeta::rss_summary(atlas.shard_metas()) {
+            eprintln!(
+                "atlas provenance: {} shard segments merged; peak RSS across shard processes: \
+                 max {:.1} MiB, sum {:.1} MiB",
+                atlas.shard_metas().len(),
+                max as f64 / 1024.0,
+                sum as f64 / 1024.0,
+            );
+        }
+    }
     eprintln!(
         "classifying all connected topologies on n={n} vertices ({path} enumeration{})...",
         match &atlas {
@@ -204,6 +235,78 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     windows
 }
 
+/// The `--shard i/m` body: classifies one frontier shard, persists the
+/// records and metadata into the segment atlas, reports, and exits the
+/// process (0 on success) — partial sweeps never reach the figure
+/// renderers.
+fn write_shard_segment(
+    n: usize,
+    threads: usize,
+    shard: bnf_stream::ShardSpec,
+    atlas: &mut bnf_atlas::ClassificationAtlas,
+) -> ! {
+    eprintln!(
+        "classifying shard {}/{} of the n={n} parent frontier into segment {} \
+         ({} stored records)...",
+        shard.index,
+        shard.count,
+        atlas.path().display(),
+        atlas.len(),
+    );
+    let started = std::time::Instant::now();
+    let (windows, run) = WindowSweep::run_shard(n, threads, shard, Some(&*atlas));
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let appended = atlas
+        .append_records(&windows.records)
+        .unwrap_or_else(|e| panic!("segment append failed: {e}"));
+    let meta = bnf_atlas::ShardMeta {
+        order: n as u16,
+        shard_index: shard.index as u32,
+        shard_count: shard.count as u32,
+        frontier_len: run.frontier_len,
+        parent_lo: run.parent_lo,
+        parent_hi: run.parent_hi,
+        emitted: run.stats.emitted(),
+        elapsed_ms,
+        peak_rss_kb: peak_rss_kb(),
+        frontier_prune: run.frontier_prune(),
+        final_prune: run.final_prune,
+    };
+    atlas
+        .append_shard_meta(&meta)
+        .unwrap_or_else(|e| panic!("segment metadata append failed: {e}"));
+    let p = &run.final_prune;
+    eprintln!(
+        "shard {}/{}: parents {}..{} of {}, {} records in {elapsed_ms} ms \
+         ({appended} newly classified, {} atlas hits)",
+        shard.index,
+        shard.count,
+        run.parent_lo,
+        run.parent_hi,
+        run.frontier_len,
+        windows.records.len(),
+        windows.records.len() - appended,
+    );
+    eprintln!(
+        "shard enumeration (final level only): {} candidates ({} orbit-skipped), \
+         {} cheap-rejected, {} search-rejected, {} duplicates, {} accepted \
+         ({:.2} candidates/survivor)",
+        p.candidates,
+        p.orbit_skipped,
+        p.cheap_rejected,
+        p.search_rejected,
+        p.duplicates,
+        p.accepted(),
+        p.candidates_per_survivor(),
+    );
+    report_peak_rss("shard");
+    eprintln!(
+        "segment written; fold segments with `shard_merge --out merged.bnfatlas <segments>` \
+         and re-run with --atlas merged.bnfatlas"
+    );
+    std::process::exit(0);
+}
+
 /// Prints this process's peak RSS to stderr where measurable (no-op
 /// elsewhere); `path` labels which enumeration path produced it.
 pub fn report_peak_rss(path: &str) {
@@ -239,14 +342,6 @@ mod tests {
         // Garbage falls back to the default.
         assert_eq!(max_sweep_n_from(Some("many".into())), DEFAULT_MAX_SWEEP_N);
         assert_eq!(max_sweep_n_from(Some(String::new())), DEFAULT_MAX_SWEEP_N);
-    }
-
-    #[test]
-    fn peak_rss_reads_on_linux() {
-        // On Linux this must parse; elsewhere None is acceptable.
-        if std::path::Path::new("/proc/self/status").exists() {
-            assert!(peak_rss_kb().is_some_and(|kb| kb > 0));
-        }
     }
 
     #[test]

@@ -223,6 +223,36 @@ impl WindowSweep {
         };
         (WindowSweep { n, records }, stats)
     }
+
+    /// One shard of a multi-invocation sweep: classifies only the
+    /// final-level children of the parent-frontier range owned by
+    /// `shard` (`bnf_stream::stream_connected_shard` through the keyed
+    /// streaming engine path), returning the shard's records in engine
+    /// order *within the shard* plus the producer's
+    /// [`ShardStats`](bnf_stream::ShardStats). The caller persists the
+    /// records and shard metadata into a segment atlas; `shard_merge`
+    /// folds segments into the coverage-complete store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`crate::max_sweep_n`] or `n <= 1` (no
+    /// frontier to shard).
+    pub fn run_shard(
+        n: usize,
+        threads: usize,
+        shard: bnf_stream::ShardSpec,
+        atlas: Option<&ClassificationAtlas>,
+    ) -> (WindowSweep, bnf_stream::ShardStats) {
+        let cap = crate::max_sweep_n();
+        assert!(
+            n <= cap,
+            "sweeps beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
+        );
+        let engine = AnalysisEngine::new(threads);
+        let job = WindowJob { atlas };
+        let (records, stats) = engine.run_connected_streaming_keyed_shard(n, shard, &job);
+        (WindowSweep { n, records }, stats)
+    }
 }
 
 /// The legacy per-α classification job: equilibrium membership of one

@@ -5,7 +5,9 @@ use std::sync::Mutex;
 use bnf_enumerate::connected_graphs;
 use bnf_graph::{CanonKey, Graph};
 use bnf_stream::sync::{lock, lock_into};
-use bnf_stream::{stream_connected, BoundedQueue, StreamStats};
+use bnf_stream::{
+    stream_connected, stream_connected_shard, BoundedQueue, ShardSpec, ShardStats, StreamStats,
+};
 
 use crate::executor::{default_threads, parallel_map_with};
 use crate::scratch::WorkerScratch;
@@ -24,6 +26,25 @@ const STREAM_QUEUE_DEPTH_PER_WORKER: usize = 64;
 /// the lock, small enough that local buffers stay out of the memory
 /// high-water mark.
 const STREAM_FLUSH_EVERY: usize = 1024;
+
+/// Asserts the streaming sort tag is *exact* at order `n`: records are
+/// ordered by `(edge count, CanonKey::prefix_word)`, which reproduces
+/// the full `(edge count, canonical key)` lexicographic order only
+/// while the packed upper triangle — `n(n−1)/2` bits — fits the key's
+/// single leading 64-bit word. Every enumerable order (`n ≤ 10`,
+/// enforced by the producer) passes with room to spare; this assertion
+/// exists so a future raise of the enumeration bound or the `BNF_MAX_N`
+/// clamp cannot silently mis-order merged output — it must fail loudly
+/// at the sort site instead.
+fn assert_sort_tag_exact(n: usize) {
+    assert!(
+        n * n.saturating_sub(1) / 2 <= 64,
+        "(edges, leading-word) sort tag is exact only while n(n-1)/2 <= 64 bits; n={n} needs \
+         {} bits — switch the streaming sort to full CanonKey comparison before raising the \
+         enumeration bound",
+        n * n.saturating_sub(1) / 2,
+    );
+}
 
 /// One independent per-graph classification — the unit of work every
 /// empirical module defines.
@@ -189,6 +210,35 @@ impl AnalysisEngine {
         })
     }
 
+    /// Shard twin of
+    /// [`AnalysisEngine::run_connected_streaming_keyed_with_stats`]:
+    /// classifies only the final-level children of the contiguous
+    /// parent-frontier range owned by `shard`
+    /// ([`bnf_stream::stream_connected_shard`]), returning the shard's
+    /// outputs in the engine's deterministic `(edges, canonical key)`
+    /// order *within the shard* plus its [`ShardStats`]. Merging every
+    /// shard's output of a full partition and re-sorting by the same
+    /// tag reproduces [`AnalysisEngine::run_connected_keyed`] exactly —
+    /// the invariant the multi-process atlas merge rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` or `n <= 1` (no frontier to shard) and
+    /// propagates panics from the job or the producer.
+    pub fn run_connected_streaming_keyed_shard<A: Analysis>(
+        &self,
+        n: usize,
+        shard: ShardSpec,
+        job: &A,
+    ) -> (Vec<A::Output>, ShardStats) {
+        self.run_connected_streaming_producer(
+            n,
+            job,
+            |job, g, s| job.classify_keyed(&g.to_graph6(), g, s),
+            |producers, sink| stream_connected_shard(n, producers, shard, sink),
+        )
+    }
+
     /// Shared body of the streaming runners, generic over how a worker
     /// invokes the job (plain vs keyed).
     fn run_connected_streaming_with<A, F>(
@@ -201,17 +251,36 @@ impl AnalysisEngine {
         A: Analysis,
         F: Fn(&A, &Graph, &mut WorkerScratch) -> A::Output + Sync,
     {
+        self.run_connected_streaming_producer(n, job, classify, |producers, sink| {
+            stream_connected(n, producers, sink)
+        })
+    }
+
+    /// The streaming pipeline itself, generic over the producer (full
+    /// enumeration vs one frontier shard — both feed the same bounded
+    /// queue and classifier pool and return their own stats type).
+    fn run_connected_streaming_producer<A, F, P, R>(
+        &self,
+        n: usize,
+        job: &A,
+        classify: F,
+        produce: P,
+    ) -> (Vec<A::Output>, R)
+    where
+        A: Analysis,
+        F: Fn(&A, &Graph, &mut WorkerScratch) -> A::Output + Sync,
+        P: FnOnce(usize, &(dyn Fn(Graph, CanonKey) -> bool + Sync)) -> R,
+    {
+        // Sort tag: (edge count, canonical-adjacency word) — exact only
+        // while the whole packed upper triangle fits the key's leading
+        // word; asserted here at the sort site, not assumed.
+        assert_sort_tag_exact(n);
         let classifiers = self.threads.div_ceil(2);
         let producers = (self.threads - classifiers).max(1);
         let queue: BoundedQueue<(Graph, CanonKey)> =
             BoundedQueue::new(classifiers * STREAM_QUEUE_DEPTH_PER_WORKER);
-        // Sort tag: (edge count, canonical-adjacency word). For every
-        // enumerable order (n ≤ 10 — asserted by the producer) the whole
-        // packed upper triangle fits in the key's leading word, so
-        // comparing it reproduces `CanonKey`'s lexicographic order
-        // without keeping a heap-boxed key per record.
         let results: Mutex<Vec<(usize, u64, A::Output)>> = Mutex::new(Vec::new());
-        let mut stats = StreamStats::default();
+        let mut stats = None;
         std::thread::scope(|scope| {
             for _ in 0..classifiers {
                 scope.spawn(|| {
@@ -240,11 +309,14 @@ impl AnalysisEngine {
             // returning false cancels the enumeration instead of
             // canonicalizing the rest of the graph space for nobody.
             let _guard = queue.close_guard();
-            stats = stream_connected(n, producers, &|graph, key| queue.push((graph, key)));
+            stats = Some(produce(producers, &|graph, key| queue.push((graph, key))));
         });
         let mut tagged = lock_into(results);
         tagged.sort_by_key(|t| (t.0, t.1));
-        (tagged.into_iter().map(|(_, _, out)| out).collect(), stats)
+        (
+            tagged.into_iter().map(|(_, _, out)| out).collect(),
+            stats.expect("producer ran"),
+        )
     }
 
     /// Classifies an explicit graph list (gallery exhibits, counter-
@@ -366,6 +438,61 @@ mod tests {
         assert_eq!(stats.prune.duplicates, 0);
         assert!(stats.prune.accepted() >= 112);
         assert!(stats.prune.candidates > 0);
+    }
+
+    #[test]
+    fn sharded_outputs_merge_into_unsharded_keyed_run() {
+        // A full partition's outputs, concatenated and re-sorted by the
+        // engine tag, must equal run_connected_keyed exactly — and each
+        // shard must already be tag-sorted internally.
+        struct Tagged;
+        impl Analysis for Tagged {
+            type Output = (usize, String);
+            fn classify_keyed(&self, key: &str, g: &Graph, _s: &mut WorkerScratch) -> Self::Output {
+                (g.edge_count(), key.to_string())
+            }
+            fn classify(&self, g: &Graph, _s: &mut WorkerScratch) -> Self::Output {
+                (g.edge_count(), "unkeyed".into())
+            }
+        }
+        let engine = AnalysisEngine::new(3);
+        let whole = engine.run_connected_keyed(7, &Tagged);
+        for count in [1usize, 4] {
+            let mut merged = Vec::new();
+            let mut emitted = 0u64;
+            for index in 0..count {
+                let (out, run) = engine.run_connected_streaming_keyed_shard(
+                    7,
+                    ShardSpec::new(index, count),
+                    &Tagged,
+                );
+                // Engine tag order within the shard: edge counts are
+                // non-decreasing (the word tiebreak is not the graph6
+                // string's lexicographic order, so only the leading
+                // component is checkable here).
+                assert!(out.windows(2).all(|w| w[0].0 <= w[1].0), "shard not sorted");
+                emitted += run.stats.emitted();
+                merged.extend(out);
+            }
+            merged.sort();
+            let mut expect = whole.clone();
+            expect.sort();
+            assert_eq!(merged, expect, "count={count}");
+            assert_eq!(emitted, 853, "count={count}");
+        }
+    }
+
+    #[test]
+    fn sort_tag_exactness_is_asserted_not_assumed() {
+        // Every enumerable order passes (45 bits at n = 10), n = 11
+        // still fits the word (55 bits), and the first order whose
+        // packed triangle overflows the leading word must panic at the
+        // sort site — before any mis-ordered merge can happen.
+        for n in 0..=11 {
+            assert_sort_tag_exact(n);
+        }
+        let caught = std::panic::catch_unwind(|| assert_sort_tag_exact(12));
+        assert!(caught.is_err(), "n=12 (66 bits) must trip the sort bound");
     }
 
     #[test]

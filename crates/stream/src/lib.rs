@@ -23,12 +23,20 @@
 //!   candidate / orbit-skipped / rejected / duplicate counters
 //!   ([`PruneCounters`]), which the sweep binaries surface in their
 //!   `--streaming` diagnostics.
+//! * [`stream_connected_shard`] / [`stream_connected_range`] — the
+//!   multi-process sharding seam: the accept rule makes children of
+//!   distinct parents disjoint classes, so any partition of the
+//!   deterministically sorted level-`n − 1` frontier into contiguous
+//!   ranges ([`ShardSpec`]) partitions the emissions exactly; each
+//!   invocation rebuilds the (cheap) frontier, streams only its range,
+//!   and reports [`ShardStats`] — frontier-build vs final-level
+//!   pruning-counter shares plus the partition coordinates — for
+//!   cross-process merging.
 //! * [`prune::augment_connected_parent`] — the per-parent augmentation
-//!   itself, exported so equivalence and property tests (and future
-//!   multi-process sharding) can drive single parents directly. The
-//!   pre-pruning generate-all-and-dedup path survives as
-//!   [`for_each_connected_unpruned`], the oracle the pruning is
-//!   certified against.
+//!   itself, exported so equivalence and property tests can drive
+//!   single parents directly. The pre-pruning generate-all-and-dedup
+//!   path survives as [`for_each_connected_unpruned`], the oracle the
+//!   pruning is certified against.
 //! * [`BoundedQueue`] — a small bounded MPMC channel for handing
 //!   emitted graphs to a separate pool of classification workers (used
 //!   by `bnf_engine::AnalysisEngine::run_connected_streaming`), with
@@ -86,7 +94,7 @@ pub mod sync;
 pub use channel::{BoundedQueue, CloseGuard};
 pub use producer::{
     for_each_connected, for_each_connected_stats, for_each_connected_unpruned, stream_connected,
-    StreamStats,
+    stream_connected_range, stream_connected_shard, ShardSpec, ShardStats, StreamStats,
 };
 pub use prune::PruneCounters;
 pub use shard::ShardedSeen;

@@ -18,6 +18,16 @@
 //! handed to the caller's sink the moment they are accepted and are
 //! never collected, which keeps peak memory at `O(largest level)`.
 //!
+//! The same accept rule is what makes the final level *shardable by
+//! parent*: children of distinct parents are disjoint isomorphism
+//! classes, so any partition of the (deterministically sorted)
+//! level-`n − 1` frontier into contiguous ranges partitions the
+//! emissions — [`stream_connected_range`] /
+//! [`stream_connected_shard`] run one range per invocation and the
+//! union over a full [`ShardSpec`] partition is exactly the unsharded
+//! stream, with no cross-process coordination beyond the range
+//! arithmetic.
+//!
 //! The pre-pruning augmentation survives as
 //! [`for_each_connected_unpruned`], the independent reference
 //! implementation the equivalence tests (and A/B measurements) compare
@@ -57,6 +67,216 @@ impl StreamStats {
     }
 }
 
+/// One shard of a multi-invocation enumeration: shard `index` of
+/// `count` equal contiguous ranges of the sorted level-`n − 1` parent
+/// frontier (see [`stream_connected_shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards in the partition.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// A validated spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn new(index: usize, count: usize) -> ShardSpec {
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        ShardSpec { index, count }
+    }
+
+    /// Parses the CLI form `i/m` (e.g. `0/4`, zero-based).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable diagnosis for malformed specs or `index >=
+    /// count`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/m (e.g. 0/4), got {s:?}"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in {s:?}"))?;
+        let count: usize = m
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in {s:?}"))?;
+        if count == 0 {
+            return Err(format!("shard count must be >= 1, got {s:?}"));
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// The contiguous frontier range `[lo, hi)` this shard owns out of
+    /// `frontier_len` parents: the standard balanced split
+    /// `⌊i·L/m⌋ .. ⌊(i+1)·L/m⌋`, which tiles `[0, L)` exactly over the
+    /// full partition (deterministic — every invocation of every shard
+    /// computes the same split from `frontier_len` alone).
+    pub fn range(&self, frontier_len: usize) -> (usize, usize) {
+        // u128 intermediates: the products overflow usize for absurd
+        // but parseable shard counts, and a wrapped split would tile
+        // wrongly instead of failing.
+        let cut = |i: usize| (frontier_len as u128 * i as u128 / self.count as u128) as usize;
+        (cut(self.index), cut(self.index + 1))
+    }
+}
+
+/// What one sharded enumeration invocation did: the usual
+/// [`StreamStats`] for the whole run (frontier build plus the owned
+/// final-level range), the final-level-only pruning counters (the part
+/// that differs between shards — the frontier-build counters are
+/// identical across a partition and must not be double-counted by a
+/// merge), and the partition coordinates.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Full-run stats (the final entry of `stats.level_sizes` is this
+    /// shard's emission count, not the whole level).
+    pub stats: StreamStats,
+    /// Pruning counters of the final level restricted to this shard's
+    /// parent range. `stats.prune` minus these is the frontier-build
+    /// share, identical across all shards of one partition.
+    pub final_prune: PruneCounters,
+    /// Size of the full level-`n − 1` parent frontier the range was cut
+    /// from.
+    pub frontier_len: u64,
+    /// First owned parent index (inclusive).
+    pub parent_lo: u64,
+    /// One past the last owned parent index.
+    pub parent_hi: u64,
+}
+
+impl ShardStats {
+    /// The frontier-build share of the pruning counters (`stats.prune`
+    /// minus the final level) — identical across all shards of one
+    /// partition, which is what lets a merge count the shared frontier
+    /// work once instead of `m` times. Saturating, so partially
+    /// populated stats cannot wrap.
+    pub fn frontier_prune(&self) -> PruneCounters {
+        let t = &self.stats.prune;
+        let f = &self.final_prune;
+        PruneCounters {
+            candidates: t.candidates.saturating_sub(f.candidates),
+            orbit_skipped: t.orbit_skipped.saturating_sub(f.orbit_skipped),
+            cheap_rejected: t.cheap_rejected.saturating_sub(f.cheap_rejected),
+            search_rejected: t.search_rejected.saturating_sub(f.search_rejected),
+            duplicates: t.duplicates.saturating_sub(f.duplicates),
+        }
+    }
+}
+
+/// The sort that fixes each level's frontier order (edge count, then
+/// canonical key) — what makes parent indices, and therefore shard
+/// ranges, deterministic across invocations.
+fn sort_frontier(frontier: &mut [(Graph, CanonKey)]) {
+    frontier.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+}
+
+/// One level's outcome: how many children were accepted, the (unsorted)
+/// next frontier when the level was not the last, and the level's own
+/// pruning counters.
+struct LevelOutcome {
+    emitted: u64,
+    frontier: Vec<(Graph, CanonKey)>,
+    prune: PruneCounters,
+}
+
+/// Augments every parent in `parents` across up to `threads` workers:
+/// final-level children go to `sink` when `last` (whose `false` return
+/// sets `cancelled`), intermediate children are collected for the next
+/// frontier. Shared by the full and the sharded producers.
+fn advance_level<S>(
+    parents: &[Graph],
+    threads: usize,
+    last: bool,
+    sink: &S,
+    cancelled: &AtomicBool,
+) -> LevelOutcome
+where
+    S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
+{
+    // The next frontier; workers append their chunk-local buffers,
+    // so the lock is taken once per chunk, not once per child.
+    let frontier: Mutex<Vec<(Graph, CanonKey)>> = Mutex::new(Vec::new());
+    let counters: Mutex<PruneCounters> = Mutex::new(PruneCounters::default());
+    let emitted = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let chunk = (parents.len() / (threads * 8)).clamp(1, 64);
+    let worker = || {
+        let mut fresh = 0u64;
+        let mut local_counters = PruneCounters::default();
+        let mut local_frontier: Vec<(Graph, CanonKey)> = Vec::new();
+        'chunks: loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= parents.len() || cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            let end = (start + chunk).min(parents.len());
+            for parent in &parents[start..end] {
+                let mut stop = false;
+                augment_connected_parent(parent, &mut local_counters, |form, key| {
+                    if stop {
+                        return; // cancelled mid-parent: drop the tail
+                    }
+                    // Accepted children are unique by construction:
+                    // emit or push without any dedup lookup.
+                    fresh += 1;
+                    if last {
+                        if !sink(form, key) {
+                            cancelled.store(true, Ordering::Relaxed);
+                            stop = true;
+                        }
+                    } else {
+                        local_frontier.push((form, key));
+                    }
+                });
+                if stop {
+                    break 'chunks;
+                }
+            }
+            if !local_frontier.is_empty() {
+                lock(&frontier).append(&mut local_frontier);
+            }
+        }
+        if !local_frontier.is_empty() {
+            lock(&frontier).append(&mut local_frontier);
+        }
+        emitted.fetch_add(fresh, Ordering::Relaxed);
+        lock(&counters).merge(&local_counters);
+    };
+    if threads == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+    }
+    LevelOutcome {
+        emitted: emitted.load(Ordering::Relaxed),
+        frontier: lock_into(frontier),
+        prune: lock_into(counters),
+    }
+}
+
+/// Emits the single graph of a trivial order (`n <= 1`) to `sink`.
+fn emit_trivial<S>(n: usize, sink: &S)
+where
+    S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
+{
+    let (g, key) = Graph::empty(n).canonical_form_and_key();
+    sink(g, key);
+}
+
 /// Streams every non-isomorphic connected graph on `n` vertices into
 /// `sink`, which is invoked concurrently from up to `threads` producer
 /// workers (in no particular order), exactly once per isomorphism
@@ -82,7 +302,7 @@ impl StreamStats {
 /// from `sink`.
 pub fn stream_connected<S>(n: usize, threads: usize, sink: &S) -> StreamStats
 where
-    S: Fn(Graph, CanonKey) -> bool + Sync,
+    S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
 {
     assert!(
         n <= 10,
@@ -90,83 +310,20 @@ where
     );
     let threads = threads.max(1);
     let mut stats = StreamStats::default();
-    if n == 0 {
-        let (g, key) = Graph::empty(0).canonical_form_and_key();
-        sink(g, key);
+    if n <= 1 {
+        emit_trivial(n, sink);
         stats.level_sizes.push(1);
         return stats;
     }
     // Level 0: the single one-vertex graph.
     let mut parents = vec![Graph::empty(1)];
     stats.level_sizes.push(1);
-    if n == 1 {
-        let (g, key) = Graph::empty(1).canonical_form_and_key();
-        sink(g, key);
-        return stats;
-    }
     let cancelled = AtomicBool::new(false);
     for k in 1..n {
         let last = k + 1 == n;
-        // The next frontier; workers append their chunk-local buffers,
-        // so the lock is taken once per chunk, not once per child.
-        let frontier: Mutex<Vec<(Graph, CanonKey)>> = Mutex::new(Vec::new());
-        let counters: Mutex<PruneCounters> = Mutex::new(stats.prune);
-        let emitted = AtomicU64::new(0);
-        let next = AtomicUsize::new(0);
-        let chunk = (parents.len() / (threads * 8)).clamp(1, 64);
-        let worker = || {
-            let mut fresh = 0u64;
-            let mut local_counters = PruneCounters::default();
-            let mut local_frontier: Vec<(Graph, CanonKey)> = Vec::new();
-            'chunks: loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= parents.len() || cancelled.load(Ordering::Relaxed) {
-                    break;
-                }
-                let end = (start + chunk).min(parents.len());
-                for parent in &parents[start..end] {
-                    let mut stop = false;
-                    augment_connected_parent(parent, &mut local_counters, |form, key| {
-                        if stop {
-                            return; // cancelled mid-parent: drop the tail
-                        }
-                        // Accepted children are unique by construction:
-                        // emit or push without any dedup lookup.
-                        fresh += 1;
-                        if last {
-                            if !sink(form, key) {
-                                cancelled.store(true, Ordering::Relaxed);
-                                stop = true;
-                            }
-                        } else {
-                            local_frontier.push((form, key));
-                        }
-                    });
-                    if stop {
-                        break 'chunks;
-                    }
-                }
-                if !local_frontier.is_empty() {
-                    lock(&frontier).append(&mut local_frontier);
-                }
-            }
-            if !local_frontier.is_empty() {
-                lock(&frontier).append(&mut local_frontier);
-            }
-            emitted.fetch_add(fresh, Ordering::Relaxed);
-            lock(&counters).merge(&local_counters);
-        };
-        if threads == 1 {
-            worker();
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(worker);
-                }
-            });
-        }
-        stats.level_sizes.push(emitted.load(Ordering::Relaxed));
-        stats.prune = lock_into(counters);
+        let level = advance_level(&parents, threads, last, sink, &cancelled);
+        stats.level_sizes.push(level.emitted);
+        stats.prune.merge(&level.prune);
         if cancelled.load(Ordering::Relaxed) {
             return stats;
         }
@@ -174,12 +331,112 @@ where
             // The deterministic sort keeps chunk assignment (and
             // therefore run-to-run thread behaviour) reproducible; the
             // graph *set* is order-independent either way.
-            let mut merged = lock_into(frontier);
-            merged.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+            let mut merged = level.frontier;
+            sort_frontier(&mut merged);
             parents = merged.into_iter().map(|(g, _)| g).collect();
         }
     }
     stats
+}
+
+/// Streams the final-level children of one **contiguous parent range**
+/// `[lo, hi)` of the sorted level-`n − 1` frontier into `sink` — the
+/// building block of multi-process sharded enumeration.
+///
+/// The frontier is rebuilt deterministically (levels `1..n − 1`, each
+/// sorted by edge count then canonical key), so every invocation — in
+/// any process, with any thread count — agrees on which parent owns
+/// which index; the canonical-construction accept rule then guarantees
+/// that children of disjoint parent ranges are disjoint isomorphism
+/// classes. The union of the emissions over any partition of
+/// `[0, frontier_len)` is exactly the [`stream_connected`] stream.
+///
+/// Bounds are clamped to the frontier (`lo > hi` panics; an empty or
+/// out-of-range slice emits nothing), so callers can partition with
+/// round numbers without knowing `frontier_len` up front — the returned
+/// [`ShardStats`] reports the actual range used. Cancellation via a
+/// `false` sink return behaves as in [`stream_connected`].
+///
+/// # Panics
+///
+/// Panics if `n > 10`, if `n <= 1` (no parent frontier exists to
+/// shard — run [`stream_connected`]), or if `lo > hi`; propagates
+/// panics from `sink`.
+pub fn stream_connected_range<S>(
+    n: usize,
+    threads: usize,
+    lo: usize,
+    hi: usize,
+    sink: &S,
+) -> ShardStats
+where
+    S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
+{
+    assert!(lo <= hi, "parent range is reversed: {lo} > {hi}");
+    stream_connected_over_range(n, threads, move |len| (lo.min(len), hi.min(len)), sink)
+}
+
+/// [`stream_connected_range`] with the range computed from a
+/// [`ShardSpec`]: shard `index` of `count` equal contiguous ranges via
+/// [`ShardSpec::range`].
+///
+/// # Panics
+///
+/// As [`stream_connected_range`].
+pub fn stream_connected_shard<S>(n: usize, threads: usize, shard: ShardSpec, sink: &S) -> ShardStats
+where
+    S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
+{
+    stream_connected_over_range(n, threads, move |len| shard.range(len), sink)
+}
+
+/// Shared body of the sharded producers: builds the sorted parent
+/// frontier, asks `pick` for the owned range, and runs the final level
+/// over that slice only.
+fn stream_connected_over_range<S>(
+    n: usize,
+    threads: usize,
+    pick: impl FnOnce(usize) -> (usize, usize),
+    sink: &S,
+) -> ShardStats
+where
+    S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
+{
+    assert!(
+        n <= 10,
+        "exhaustive enumeration beyond n=10 is not supported"
+    );
+    assert!(
+        n >= 2,
+        "orders below 2 have no parent frontier to shard; use stream_connected"
+    );
+    let threads = threads.max(1);
+    let mut out = ShardStats::default();
+    let cancelled = AtomicBool::new(false);
+    let mut parents = vec![Graph::empty(1)];
+    out.stats.level_sizes.push(1);
+    for _ in 1..(n - 1) {
+        let level = advance_level(&parents, threads, false, sink, &cancelled);
+        out.stats.level_sizes.push(level.emitted);
+        out.stats.prune.merge(&level.prune);
+        let mut merged = level.frontier;
+        sort_frontier(&mut merged);
+        parents = merged.into_iter().map(|(g, _)| g).collect();
+    }
+    out.frontier_len = parents.len() as u64;
+    let (lo, hi) = pick(parents.len());
+    assert!(
+        lo <= hi && hi <= parents.len(),
+        "parent range {lo}..{hi} does not fit the frontier of {}",
+        parents.len()
+    );
+    out.parent_lo = lo as u64;
+    out.parent_hi = hi as u64;
+    let level = advance_level(&parents[lo..hi], threads, true, sink, &cancelled);
+    out.stats.level_sizes.push(level.emitted);
+    out.final_prune = level.prune;
+    out.stats.prune.merge(&level.prune);
+    out
 }
 
 /// Serial streaming enumeration: invokes `visit` once per non-isomorphic
@@ -229,7 +486,7 @@ where
         }
         stats.level_sizes.push(fresh);
         if !last {
-            next.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+            sort_frontier(&mut next);
             parents = next.into_iter().map(|(g, _)| g).collect();
         }
     }
@@ -301,7 +558,7 @@ where
             }
         }
         if !last {
-            next.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
+            sort_frontier(&mut next);
             parents = next.into_iter().map(|(g, _)| g).collect();
         }
     }
@@ -440,5 +697,152 @@ mod tests {
             true
         });
         assert_eq!(count.load(Ordering::Relaxed), 112);
+    }
+
+    #[test]
+    fn shard_spec_parse_and_range() {
+        assert_eq!(ShardSpec::parse("0/4"), Ok(ShardSpec::new(0, 4)));
+        assert_eq!(ShardSpec::parse(" 3 / 7 "), Ok(ShardSpec::new(3, 7)));
+        for bad in ["", "3", "4/4", "5/4", "-1/4", "0/0", "a/b", "1/2/3"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        // The balanced split tiles [0, L) exactly, in order, for any
+        // frontier length and shard count.
+        for len in [0usize, 1, 5, 21, 112, 1000] {
+            for count in [1usize, 2, 3, 7, 16] {
+                let mut expect_lo = 0;
+                for index in 0..count {
+                    let (lo, hi) = ShardSpec::new(index, count).range(len);
+                    assert_eq!(lo, expect_lo, "len={len} count={count} index={index}");
+                    assert!(hi >= lo);
+                    expect_lo = hi;
+                }
+                assert_eq!(expect_lo, len, "len={len} count={count}");
+            }
+        }
+        // Absurd-but-parseable shard counts must not wrap the split
+        // arithmetic: the last shard of a usize::MAX/2-way partition of
+        // a small frontier is empty at the frontier's end, not garbage.
+        let huge = ShardSpec::new(usize::MAX / 2 - 1, usize::MAX / 2);
+        assert_eq!(huge.range(1000), (999, 1000));
+    }
+
+    #[test]
+    fn shard_union_matches_unsharded_multiset() {
+        // Any full ShardSpec partition must emit exactly the unsharded
+        // stream, each class from exactly one shard, whatever the
+        // thread count.
+        for n in [2usize, 5, 7] {
+            let mut whole = Vec::new();
+            for_each_connected(n, |_, key| whole.push(key));
+            for count in [1usize, 3, 4, 9] {
+                let mut union = Vec::new();
+                let mut frontier_len = None;
+                for index in 0..count {
+                    let shard = ShardSpec::new(index, count);
+                    let collected = Mutex::new(Vec::new());
+                    let run = stream_connected_shard(n, 1 + index % 3, shard, &|_, key| {
+                        lock(&collected).push(key);
+                        true
+                    });
+                    let collected = lock_into(collected);
+                    assert_eq!(run.stats.emitted(), collected.len() as u64);
+                    assert_eq!(
+                        (run.parent_lo as usize, run.parent_hi as usize),
+                        shard.range(run.frontier_len as usize)
+                    );
+                    // Every shard rebuilds the same frontier.
+                    let len = *frontier_len.get_or_insert(run.frontier_len);
+                    assert_eq!(run.frontier_len, len, "n={n} count={count}");
+                    union.extend(collected);
+                }
+                let distinct: HashSet<_> = union.iter().cloned().collect();
+                assert_eq!(
+                    distinct.len(),
+                    union.len(),
+                    "n={n} count={count}: a class was emitted by two shards"
+                );
+
+                union.sort();
+                let mut whole_sorted = whole.clone();
+                whole_sorted.sort();
+                assert_eq!(union, whole_sorted, "n={n} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counters_split_frontier_from_final_level() {
+        // Across a full partition: the frontier-build counters are
+        // identical in every shard, and one frontier share plus the sum
+        // of the final-level shares reproduces the unsharded totals.
+        let n = 6;
+        let whole = stream_connected(n, 2, &|_, _| true);
+        let count = 4;
+        let mut finals = PruneCounters::default();
+        let mut frontier_share = None;
+        let mut emitted_sum = 0u64;
+        for index in 0..count {
+            let run = stream_connected_shard(n, 2, ShardSpec::new(index, count), &|_, _| true);
+            let share = run.frontier_prune();
+            let expect = *frontier_share.get_or_insert(share);
+            assert_eq!(share, expect, "frontier share differs at shard {index}");
+            finals.merge(&run.final_prune);
+            emitted_sum += run.stats.emitted();
+        }
+        let mut total = frontier_share.unwrap();
+        total.merge(&finals);
+        assert_eq!(total, whole.prune);
+        assert_eq!(emitted_sum, whole.emitted());
+    }
+
+    #[test]
+    fn explicit_ranges_clamp_and_cover() {
+        // Arbitrary (even out-of-range) contiguous cuts partition the
+        // stream as long as they tile [0, frontier_len).
+        let mut whole = Vec::new();
+        for_each_connected(6, |_, key| whole.push(key));
+        whole.sort();
+        let probe = stream_connected_range(6, 1, 0, 0, &|_, _| true);
+        assert_eq!(probe.stats.emitted(), 0);
+        let len = probe.frontier_len as usize;
+        assert_eq!(len, 21); // the connected graphs on 5 vertices
+        let cuts = [0usize, 5, 6, 21];
+        let mut union = Vec::new();
+        for w in cuts.windows(2) {
+            let collected = Mutex::new(Vec::new());
+            stream_connected_range(6, 2, w[0], w[1], &|_, key| {
+                lock(&collected).push(key);
+                true
+            });
+            union.extend(lock_into(collected));
+        }
+        // A range beyond the frontier clamps to empty.
+        let over = stream_connected_range(6, 1, len, len + 100, &|_, _| true);
+        assert_eq!(over.stats.emitted(), 0);
+        assert_eq!((over.parent_lo, over.parent_hi), (21, 21));
+        union.sort();
+        assert_eq!(union, whole);
+    }
+
+    #[test]
+    fn sharded_cancellation_stops_early() {
+        let emitted = AtomicU64::new(0);
+        let run = stream_connected_shard(7, 2, ShardSpec::new(0, 1), &|_, _| {
+            emitted.fetch_add(1, Ordering::Relaxed) < 9
+        });
+        let got = emitted.load(Ordering::Relaxed);
+        assert!((10..853).contains(&(got as usize)), "got {got}");
+        assert!(run.stats.emitted() < 853);
+    }
+
+    #[test]
+    fn sharding_trivial_orders_is_rejected() {
+        for n in [0usize, 1] {
+            let caught = std::panic::catch_unwind(|| {
+                stream_connected_shard(n, 1, ShardSpec::new(0, 1), &|_, _| true)
+            });
+            assert!(caught.is_err(), "n={n} has no frontier to shard");
+        }
     }
 }

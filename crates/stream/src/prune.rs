@@ -87,15 +87,28 @@ pub struct PruneCounters {
 
 impl PruneCounters {
     /// Candidates that survived every filter and were emitted.
+    ///
+    /// Saturating: a partially-merged counter set (one shard's rejection
+    /// counters folded in before its candidate counter, or a final-level
+    /// slice folded without its frontier) reports `0` instead of
+    /// wrapping the `u64` subtraction.
     pub fn accepted(&self) -> u64 {
-        self.candidates - self.cheap_rejected - self.search_rejected - self.duplicates
+        self.candidates
+            .saturating_sub(self.cheap_rejected)
+            .saturating_sub(self.search_rejected)
+            .saturating_sub(self.duplicates)
     }
 
     /// Constructed candidates per emitted survivor (the pruning-quality
     /// metric gated in CI; the unpruned path sits near 11× at the top
-    /// levels). `NaN` before anything was accepted.
+    /// levels). `0.0` before anything was accepted — a zero-survivor
+    /// shard (small parent ranges make this reachable) must report a
+    /// defined value, never `NaN`/`inf`, into the gated metric.
     pub fn candidates_per_survivor(&self) -> f64 {
-        self.candidates as f64 / self.accepted() as f64
+        match self.accepted() {
+            0 => 0.0,
+            survivors => self.candidates as f64 / survivors as f64,
+        }
     }
 
     /// Folds another counter set into this one (per-worker merge).
@@ -369,6 +382,49 @@ mod tests {
         merged.merge(&counters);
         assert_eq!(merged.candidates, 2 * counters.candidates);
         assert_eq!(merged.accepted(), 2 * counters.accepted());
+    }
+
+    #[test]
+    fn zero_survivor_counters_report_defined_ratio() {
+        // A fresh counter set and a shard whose every candidate was
+        // rejected both have zero survivors; the gated metric must be a
+        // defined finite value, not NaN/inf.
+        let empty = PruneCounters::default();
+        assert_eq!(empty.accepted(), 0);
+        assert_eq!(empty.candidates_per_survivor(), 0.0);
+        let all_rejected = PruneCounters {
+            candidates: 7,
+            cheap_rejected: 5,
+            search_rejected: 2,
+            ..PruneCounters::default()
+        };
+        assert_eq!(all_rejected.accepted(), 0);
+        assert_eq!(all_rejected.candidates_per_survivor(), 0.0);
+        assert!(all_rejected.candidates_per_survivor().is_finite());
+    }
+
+    #[test]
+    fn partially_merged_counters_saturate_instead_of_wrapping() {
+        // A merge order that folds a shard's rejection counters in
+        // before its candidates (or a final-level slice without its
+        // frontier) transiently has rejections > candidates; accepted()
+        // must clamp to 0, not wrap to ~u64::MAX.
+        let partial = PruneCounters {
+            candidates: 3,
+            cheap_rejected: 10,
+            search_rejected: 1,
+            duplicates: 1,
+            ..PruneCounters::default()
+        };
+        assert_eq!(partial.accepted(), 0);
+        assert_eq!(partial.candidates_per_survivor(), 0.0);
+        // Folding in the missing candidates restores the true count.
+        let mut whole = partial;
+        whole.merge(&PruneCounters {
+            candidates: 20,
+            ..PruneCounters::default()
+        });
+        assert_eq!(whole.accepted(), 11);
     }
 
     #[test]

@@ -62,6 +62,19 @@
 //!     --n 8 --atlas sweeps.bnfatlas --grid log2:1/4:64:32
 //! ```
 //!
+//! Big sweeps shard across processes (or machines): `--shard i/m`
+//! classifies one contiguous range of the parent frontier into its own
+//! atlas segment, and the `shard_merge` binary (bnf-atlas) folds the
+//! segments into one coverage-complete store — see
+//! `crates/atlas/README.md`, "Sharded sweeps", for the n = 10 recipe:
+//!
+//! ```text
+//! BNF_MAX_N=10 cargo run --release -p bnf-empirics --bin fig2_avg_poa -- \
+//!     --n 10 --shard 0/16 --atlas seg-0.bnfatlas
+//! cargo run --release -p bnf-atlas --bin shard_merge -- \
+//!     --out n10.bnfatlas seg-*.bnfatlas
+//! ```
+//!
 //! Benchmark the engine-backed pipeline (baseline numbers live in
 //! CHANGES.md):
 //!

@@ -1,0 +1,167 @@
+//! Shard-partition properties of the multi-process enumeration driver
+//! (PR 5): for *random* partitions of the level-`n − 1` parent frontier
+//! the union of per-shard emissions equals the unsharded enumeration
+//! multiset, and a merged segment atlas replays CSVs byte-identical to
+//! a single-process `--atlas` run.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use bilateral_formation::atlas::{merge_segments, ClassificationAtlas, ShardCoverage, ShardMeta};
+use bilateral_formation::empirics::{grid, render_csv, WindowSweep};
+use bilateral_formation::graph::CanonKey;
+use bilateral_formation::stream::{
+    for_each_connected, stream_connected_range, ShardSpec, ShardStats,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A unique throwaway path under the system temp dir.
+fn scratch_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let k = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bnf-shard-test-{}-{k}-{tag}.bnfatlas",
+        std::process::id()
+    ))
+}
+
+/// Random contiguous cut points over `[0, len]`, always a partition.
+fn random_cuts(rng: &mut StdRng, len: usize) -> Vec<usize> {
+    let pieces = rng.gen_range(1..7usize);
+    let mut cuts = vec![0usize, len];
+    for _ in 1..pieces {
+        cuts.push(rng.gen_range(0..len + 1));
+    }
+    cuts.sort_unstable();
+    cuts
+}
+
+/// For random partitions of the parent frontier at n ≤ 8 the union of
+/// per-shard emissions is exactly the unsharded enumeration multiset —
+/// no class lost, none emitted twice, whatever the cut points (empty
+/// and unbalanced ranges included).
+#[test]
+fn random_partitions_union_to_the_unsharded_multiset() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0001);
+    for (n, rounds) in [(3usize, 3), (5, 3), (7, 3), (8, 1)] {
+        let mut whole: BTreeMap<CanonKey, u32> = BTreeMap::new();
+        for_each_connected(n, |_, key| *whole.entry(key).or_insert(0) += 1);
+        assert!(whole.values().all(|&c| c == 1), "n={n}");
+        // Probe the frontier length with an empty range.
+        let probe = stream_connected_range(n, 1, 0, 0, &|_, _| true);
+        let len = probe.frontier_len as usize;
+        for round in 0..rounds {
+            let cuts = random_cuts(&mut rng, len);
+            let mut union: BTreeMap<CanonKey, u32> = BTreeMap::new();
+            let mut emitted_sum = 0u64;
+            for w in cuts.windows(2) {
+                let sink = Mutex::new(Vec::new());
+                let run: ShardStats =
+                    stream_connected_range(n, 1 + round % 2, w[0], w[1], &|_, key| {
+                        sink.lock().unwrap().push(key);
+                        true
+                    });
+                assert_eq!(run.frontier_len as usize, len, "n={n}");
+                emitted_sum += run.stats.emitted();
+                for key in sink.into_inner().unwrap() {
+                    *union.entry(key).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(
+                union, whole,
+                "n={n} cuts={cuts:?}: sharded union differs from the unsharded stream"
+            );
+            assert_eq!(emitted_sum, whole.len() as u64, "n={n} cuts={cuts:?}");
+        }
+    }
+}
+
+/// A random ShardSpec partition classified shard-by-shard into segment
+/// files, folded by the merge, replays CSVs byte-identical to a
+/// single-process `--atlas` sweep — the acceptance property the CI
+/// shard smoke checks at the binary level.
+#[test]
+fn merged_segments_replay_csv_byte_identical_to_single_process_run() {
+    let n = 7;
+    let threads = 2;
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0002);
+    let count = rng.gen_range(3..6usize);
+
+    // Single-process reference: classify, persist, replay — exactly the
+    // CLI's --atlas cold+warm sequence.
+    let solo_path = scratch_path("solo");
+    let mut solo_atlas = ClassificationAtlas::open(&solo_path).unwrap();
+    let solo = WindowSweep::run(n, threads, false, Some(&solo_atlas));
+    solo_atlas.append_records(&solo.records).unwrap();
+    solo_atlas.mark_complete(n, solo.records.len()).unwrap();
+
+    // Sharded run: one segment file per shard, as separate invocations
+    // would write them.
+    let mut seg_paths = Vec::new();
+    for index in 0..count {
+        let shard = ShardSpec::new(index, count);
+        let path = scratch_path(&format!("seg{index}"));
+        let mut segment = ClassificationAtlas::open(&path).unwrap();
+        let (windows, run) = WindowSweep::run_shard(n, threads, shard, Some(&segment));
+        segment.append_records(&windows.records).unwrap();
+        segment
+            .append_shard_meta(&ShardMeta {
+                order: n as u16,
+                shard_index: index as u32,
+                shard_count: count as u32,
+                frontier_len: run.frontier_len,
+                parent_lo: run.parent_lo,
+                parent_hi: run.parent_hi,
+                emitted: run.stats.emitted(),
+                elapsed_ms: 0,
+                peak_rss_kb: None,
+                frontier_prune: run.frontier_prune(),
+                final_prune: run.final_prune,
+            })
+            .unwrap();
+        seg_paths.push(path);
+    }
+    let merged_path = scratch_path("merged");
+    let mut merged = ClassificationAtlas::open(&merged_path).unwrap();
+    let report = merge_segments(&mut merged, &seg_paths).unwrap();
+    assert_eq!(report.appended, solo.records.len());
+    assert_eq!(
+        report.coverage,
+        vec![(n, ShardCoverage::Declared(solo.records.len() as u64))]
+    );
+
+    // Warm replay from the merged store must be record-identical...
+    let replay = WindowSweep::run(n, threads, false, Some(&merged));
+    assert_eq!(replay.records, solo.records);
+    // ...and CSV-byte-identical through the α-grid post-pass (identical
+    // record order means identical float-summation order).
+    let alphas = bilateral_formation::empirics::SweepConfig::standard(n).alphas;
+    let csv = |sweep: &WindowSweep| {
+        let result = grid::evaluate(sweep, &alphas);
+        let stats = result.stats(bilateral_formation::games::GameKind::Bilateral);
+        let rows: Vec<Vec<String>> = stats
+            .iter()
+            .map(|s| {
+                vec![
+                    s.alpha.to_string(),
+                    format!("{:.17e}", s.mean_poa),
+                    format!("{:.17e}", s.max_poa),
+                    format!("{:.17e}", s.mean_links),
+                    s.count.to_string(),
+                ]
+            })
+            .collect();
+        render_csv(
+            &["alpha", "mean_poa", "max_poa", "mean_links", "count"],
+            &rows,
+        )
+    };
+    assert_eq!(csv(&replay), csv(&solo), "merged-atlas CSV differs");
+
+    for p in seg_paths.iter().chain([&merged_path, &solo_path]) {
+        std::fs::remove_file(p).ok();
+    }
+}
