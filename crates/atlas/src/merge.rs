@@ -13,6 +13,13 @@
 //! Merging is incremental: fold segments as they finish, in any order,
 //! across any number of `shard_merge` invocations — coverage is
 //! declared on whichever merge completes a partition.
+//!
+//! The in-process orchestrator (`--shards auto` on the sweep binaries)
+//! reproduces these merge semantics without intermediate segment files:
+//! completed ranges append straight into one store and coverage is
+//! declared when the partition closes. This file-level fold remains the
+//! escape hatch for sweeps distributed across machines or runs too
+//! large for one process's lifetime.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -124,9 +131,18 @@ pub fn render_shard_report(metas: &[ShardMeta]) -> String {
                 || "-".to_string(),
                 |kb| format!("{:.1}", kb as f64 / 1024.0),
             );
+            // In-process orchestrated ranges share one process; their
+            // RSS values are snapshots of the same high-water mark, not
+            // independent per-process peaks.
+            let origin = if m.orchestrator_run.is_some() {
+                " (in-process range)"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
-                "  n={} shard {}/{}: parents {}..{} of {}, {} records, {} ms, peak RSS {} MiB",
+                "  n={} shard {}/{}: parents {}..{} of {}, {} records, {} ms, peak RSS {} \
+                 MiB{origin}",
                 m.order,
                 m.shard_index,
                 m.shard_count,
@@ -156,7 +172,8 @@ pub fn render_shard_report(metas: &[ShardMeta]) -> String {
         if let Some((max, sum)) = ShardMeta::rss_summary(&group) {
             let _ = writeln!(
                 out,
-                "  n={order} peak RSS across shard processes: max {:.1} MiB, sum {:.1} MiB",
+                "  n={order} peak RSS across {} process(es): max {:.1} MiB, sum {:.1} MiB",
+                ShardMeta::process_count(&group),
                 max as f64 / 1024.0,
                 sum as f64 / 1024.0,
             );
@@ -221,6 +238,7 @@ mod tests {
             emitted,
             elapsed_ms: 5,
             peak_rss_kb: Some(1024 * (1 + u64::from(index))),
+            orchestrator_run: None,
             frontier_prune: PruneCounters::default(),
             final_prune: PruneCounters::default(),
         };

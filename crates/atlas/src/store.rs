@@ -29,7 +29,13 @@ pub const ATLAS_MAGIC: [u8; 8] = *b"BNFATLAS";
 ///
 /// Version 2 added the shard-segment metadata frame (tag 3) for
 /// multi-process sweeps; record and coverage frames are unchanged.
-pub const ATLAS_VERSION: u32 = 2;
+///
+/// Version 3 extends the shard-metadata frame with the orchestrator-run
+/// tag ([`ShardMeta::orchestrator_run`]), distinguishing in-process
+/// work-stolen ranges (which share one process, hence one peak-RSS
+/// value) from standalone `--shard` processes; record and coverage
+/// frames are unchanged.
+pub const ATLAS_VERSION: u32 = 3;
 
 /// Why an atlas file could not be opened, read or appended to.
 #[derive(Debug)]
@@ -145,11 +151,20 @@ pub struct ShardMeta {
     pub emitted: u64,
     /// Wall-clock of the shard invocation in milliseconds.
     pub elapsed_ms: u64,
-    /// Peak RSS of the shard's *own process* in KiB (`None` where
-    /// unmeasurable, e.g. off Linux) — one entry per process is what
-    /// lets the merge report true multi-process peaks instead of the
-    /// single-process `VmHWM` understatement.
+    /// Peak RSS in KiB of the process that ran this shard, at the time
+    /// the shard completed (`None` where unmeasurable, e.g. off Linux).
+    /// For a standalone `--shard` process this is that process's own
+    /// `VmHWM`; for an in-process orchestrated range it is a snapshot
+    /// of the *shared* process's high-water mark — see
+    /// [`ShardMeta::orchestrator_run`] and [`ShardMeta::rss_summary`].
     pub peak_rss_kb: Option<u64>,
+    /// `None` for a standalone `--shard` process invocation; `Some(id)`
+    /// for a range executed inside an in-process orchestrator run,
+    /// where `id` identifies the run. All ranges of one run share one
+    /// process, so honest RSS accounting must count the run **once**
+    /// (its max snapshot), not sum 256 copies of the same high-water
+    /// mark — [`ShardMeta::rss_summary`] groups by this field.
+    pub orchestrator_run: Option<u64>,
     /// Pruning counters of the frontier build (levels `1..n − 1`) —
     /// identical across every shard of one partition; kept separate so
     /// a merge counts this shared work once, not `m` times.
@@ -200,16 +215,54 @@ impl ShardMeta {
         Some(total)
     }
 
-    /// Max and sum of the per-shard peak RSS values, over the metas
-    /// that have one — `None` when none do (non-Linux shards stay
+    /// Max and sum of peak RSS **per process**, over the metas that
+    /// report one — `None` when none do (non-Linux shards stay
     /// gracefully unreported rather than counting as zero).
+    ///
+    /// Each standalone shard meta (`orchestrator_run: None`) is its own
+    /// process and contributes its value directly; all metas sharing an
+    /// `orchestrator_run` id ran in one process and contribute a single
+    /// value — the max of their snapshots — so an orchestrated run's
+    /// `VmHWM` is counted once, not once per range.
     pub fn rss_summary(metas: &[ShardMeta]) -> Option<(u64, u64)> {
+        let mut runs: HashMap<u64, u64> = HashMap::new();
         let mut seen = None;
-        for kb in metas.iter().filter_map(|m| m.peak_rss_kb) {
+        for m in metas {
+            let Some(kb) = m.peak_rss_kb else { continue };
+            match m.orchestrator_run {
+                None => {
+                    let (max, sum) = seen.unwrap_or((0u64, 0u64));
+                    seen = Some((max.max(kb), sum + kb));
+                }
+                Some(id) => {
+                    let peak = runs.entry(id).or_insert(0);
+                    *peak = (*peak).max(kb);
+                }
+            }
+        }
+        for &kb in runs.values() {
             let (max, sum) = seen.unwrap_or((0, 0));
             seen = Some((max.max(kb), sum + kb));
         }
         seen
+    }
+
+    /// How many distinct OS processes produced these metas: one per
+    /// standalone shard plus one per distinct orchestrator run — the
+    /// denominator the merged provenance report labels its RSS line
+    /// with.
+    pub fn process_count(metas: &[ShardMeta]) -> usize {
+        let mut runs: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut standalone = 0usize;
+        for m in metas {
+            match m.orchestrator_run {
+                None => standalone += 1,
+                Some(id) => {
+                    runs.insert(id);
+                }
+            }
+        }
+        standalone + runs.len()
     }
 }
 
@@ -750,6 +803,13 @@ fn encode_shard_meta(meta: &ShardMeta, out: &mut Vec<u8>) {
             out.extend_from_slice(&kb.to_le_bytes());
         }
     }
+    match meta.orchestrator_run {
+        None => out.push(0),
+        Some(id) => {
+            out.push(1);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
     put_counters(out, &meta.frontier_prune);
     put_counters(out, &meta.final_prune);
 }
@@ -777,6 +837,11 @@ fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, String> {
         1 => Some(c.u64()?),
         t => return Err(format!("unknown peak-RSS tag {t}")),
     };
+    let orchestrator_run = match c.u8()? {
+        0 => None,
+        1 => Some(c.u64()?),
+        t => return Err(format!("unknown orchestrator-run tag {t}")),
+    };
     let frontier_prune = c.counters()?;
     let final_prune = c.counters()?;
     if c.pos != payload.len() {
@@ -795,6 +860,7 @@ fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, String> {
         emitted,
         elapsed_ms,
         peak_rss_kb,
+        orchestrator_run,
         frontier_prune,
         final_prune,
     })
@@ -1258,6 +1324,7 @@ mod tests {
             emitted: 1,
             elapsed_ms: 17 + u64::from(index),
             peak_rss_kb: Some(2048 + u64::from(index) * 1024),
+            orchestrator_run: None,
             frontier_prune: PruneCounters {
                 candidates: 10,
                 orbit_skipped: 2,
@@ -1318,6 +1385,41 @@ mod tests {
         let mut no_rss = sample_meta(0, 1);
         no_rss.peak_rss_kb = None;
         assert_eq!(ShardMeta::rss_summary(&[no_rss]), None);
+    }
+
+    #[test]
+    fn orchestrated_ranges_count_one_process_in_rss_summary() {
+        let path = scratch_path("orchmeta");
+        // Two in-process ranges of one orchestrator run plus one
+        // standalone shard process.
+        let mut a = sample_meta(0, 3);
+        a.orchestrator_run = Some(42);
+        a.peak_rss_kb = Some(4096);
+        let mut b = sample_meta(1, 3);
+        b.orchestrator_run = Some(42);
+        b.peak_rss_kb = Some(5120);
+        let mut c = sample_meta(2, 3);
+        c.peak_rss_kb = Some(1024);
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            for m in [&a, &b, &c] {
+                assert!(atlas.append_shard_meta(m).unwrap());
+            }
+        }
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        // The run tag round-trips through the v3 frame.
+        assert_eq!(atlas.shard_metas(), &[a, b, c]);
+        // The run contributes max(4096, 5120) once; the standalone
+        // process adds its own 1024 — never 4096 + 5120 + 1024.
+        assert_eq!(
+            ShardMeta::rss_summary(atlas.shard_metas()),
+            Some((5120, 6144))
+        );
+        assert_eq!(ShardMeta::process_count(atlas.shard_metas()), 2);
+        // The orchestrator stamps an identical frontier share per range,
+        // so the counter fold is unaffected by the run tag.
+        assert!(ShardMeta::merged_counters(atlas.shard_metas()).is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

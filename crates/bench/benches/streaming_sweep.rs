@@ -48,6 +48,21 @@ fn bench_streaming_sweep(c: &mut Criterion) {
             }
         })
     });
+    // The in-process orchestrator on the same sweep: one frontier
+    // build, 16 work-stolen ranges — the single-command path that
+    // replaces the 4× shard fleet above (and its redundant frontier
+    // rebuilds).
+    group.bench_function("orchestrated_16x/7", |b| {
+        b.iter(|| {
+            black_box(WindowSweep::run_orchestrated(
+                7,
+                bnf_empirics::default_threads(),
+                Some(16),
+                None,
+                |_| {},
+            ))
+        })
+    });
     let stats = bnf_stream::stream_connected(8, 1, &|_, _| true);
     group.report_metric(
         "candidates_per_survivor/8",

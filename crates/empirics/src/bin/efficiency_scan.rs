@@ -6,7 +6,8 @@
 //! cache as the figure binaries.
 //!
 //! Usage: efficiency_scan [--n 7] [--threads T] [--streaming]
-//!        [--atlas PATH] [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
+//!        [--shards auto|R] [--jobs N] [--atlas PATH]
+//!        [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
 
 use bnf_empirics::MinimizerShape;
 use bnf_empirics::{

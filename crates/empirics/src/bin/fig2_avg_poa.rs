@@ -3,7 +3,8 @@
 //! cost, over all connected non-isomorphic topologies on n vertices.
 //!
 //! Usage: fig2_avg_poa [--n 7] [--threads T] [--csv] [--streaming]
-//!        [--atlas PATH] [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
+//!        [--shards auto|R] [--jobs N] [--atlas PATH]
+//!        [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
 //!
 //! (The paper used n = 10; see DESIGN.md §4 for the n-substitution.
 //! `--streaming` classifies graphs as the enumeration generates them —

@@ -2,7 +2,8 @@
 //! of the BCG and UCG as a function of link cost.
 //!
 //! Usage: fig3_avg_links [--n 7] [--threads T] [--csv] [--streaming]
-//!        [--atlas PATH] [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
+//!        [--shards auto|R] [--jobs N] [--atlas PATH]
+//!        [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
 
 use bnf_empirics::{
     arg_flag, arg_value, fmt_stat, render_csv, render_table, run_sweep_cli, SweepConfig,

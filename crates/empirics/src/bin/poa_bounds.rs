@@ -4,7 +4,8 @@
 //! min(sqrt(a), n/sqrt(a)) envelope.
 //!
 //! Usage: poa_bounds [--n 7] [--threads T] [--streaming]
-//!        [--atlas PATH] [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
+//!        [--shards auto|R] [--jobs N] [--atlas PATH]
+//!        [--grid paper|linear:LO:HI:STEPS|log2:LO:HI:PER_OCT]
 //!
 //! The Prop 4 table reads the same shared window records as the figure
 //! sweeps (no inline window extraction of its own), so `--atlas` makes

@@ -35,11 +35,16 @@
 //! `--streaming`, follow-up workloads — skip classification for keys
 //! already seen.
 //!
-//! Paper-scale sweeps shard across **processes**: `--shard i/m` (with
-//! `--atlas` naming the per-shard segment file) classifies one
-//! contiguous range of the parent frontier and exits; the `shard_merge`
-//! binary in `bnf-atlas` folds segments into one coverage-complete
-//! store that every binary replays warm. See `crates/atlas/README.md`.
+//! Paper-scale sweeps run the **in-process orchestrator**: `--shards
+//! auto` (optionally `--jobs N` for the worker count) builds the parent
+//! frontier once, splits it into ≈ 16× threads work-stolen ranges, and
+//! streams completed ranges straight into the `--atlas` store with
+//! coverage declared when the partition closes — one command, one
+//! process, one VmHWM. The multi-process escape hatch remains: `--shard
+//! i/m` (with `--atlas` naming the per-shard segment file) classifies
+//! one contiguous range and exits; the `shard_merge` binary in
+//! `bnf-atlas` folds segments into one coverage-complete store that
+//! every binary replays warm. See `crates/atlas/README.md`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -129,12 +134,23 @@ pub fn grid_from_args(args: &[String], default: impl FnOnce() -> Vec<Ratio>) -> 
 }
 
 /// The windows-first half of [`run_sweep_cli`], also used directly by
-/// `efficiency_scan`: parses `--streaming` / `--atlas` / `--shard i/m`,
-/// classifies all connected topologies on `n` vertices into a
-/// [`WindowSweep`], appends fresh records back to the atlas, and
-/// reports the classification wall time in milliseconds (the number the
-/// CI cold/warm ≥ 10× gate reads) plus atlas hit counts and peak RSS to
-/// stderr.
+/// `efficiency_scan`: parses `--streaming` / `--atlas` / `--shards
+/// auto|R` / `--jobs N` / `--shard i/m`, classifies all connected
+/// topologies on `n` vertices into a [`WindowSweep`], appends fresh
+/// records back to the atlas, and reports the classification wall time
+/// in milliseconds (the number the CI cold/warm ≥ 10× gate reads) plus
+/// atlas hit counts and peak RSS to stderr.
+///
+/// With `--shards auto` (or an explicit range count) the sweep runs the
+/// **in-process orchestrator** ([`WindowSweep::run_orchestrated`]): the
+/// parent frontier is built once, worker threads (`--jobs N`, default
+/// `--threads`) steal ranges dynamically, and each completed range is
+/// appended to the `--atlas` store with its [`bnf_atlas::ShardMeta`]
+/// as it finishes — coverage is declared when the partition closes, so
+/// one command replaces the whole `--shard`×m + `shard_merge` cycle.
+/// `--jobs N` alone implies `--shards auto`. (A store already holding
+/// complete coverage for `n`, or a trivial order `n < 2`, falls back to
+/// the standard warm/streaming path.)
 ///
 /// With `--shard i/m` (requires `--atlas`, which names the **segment**
 /// file) the invocation classifies only shard `i` of the `m`-way
@@ -143,13 +159,16 @@ pub fn grid_from_args(args: &[String], default: impl FnOnce() -> Vec<Ratio>) -> 
 /// this process's peak RSS, pruning-counter shares — into the segment,
 /// and **exits the process**: a partial sweep has no meaningful figure
 /// output. Fold the segments with `shard_merge` (bnf-atlas) and re-run
-/// with `--atlas merged` to replay the complete catalogue.
+/// with `--atlas merged` to replay the complete catalogue. This is the
+/// distributed / out-of-core escape hatch; on one machine prefer
+/// `--shards auto`.
 ///
 /// # Panics
 ///
 /// Panics (with a diagnostic) when the atlas cannot be opened or
-/// appended to, or when `--shard` is malformed or lacks `--atlas` — a
-/// CLI front-end, not a library error path.
+/// appended to, when `--shard` is malformed or lacks `--atlas`, when
+/// `--shards` / `--jobs` are malformed, or when `--shard` and
+/// `--shards` are combined — a CLI front-end, not a library error path.
 pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> WindowSweep {
     let streaming = arg_flag(args, "--streaming");
     let path = if streaming {
@@ -157,6 +176,12 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     } else {
         "materializing"
     };
+    let jobs: Option<usize> = arg_value(args, "--jobs").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--jobs wants a worker-thread count, got {v:?}"))
+    });
+    let threads = jobs.unwrap_or(threads).max(1);
+    let shards = arg_value(args, "--shards");
     let shard = arg_value(args, "--shard")
         .map(|s| bnf_stream::ShardSpec::parse(&s).unwrap_or_else(|e| panic!("bad --shard: {e}")));
     let mut atlas = arg_value(args, "--atlas").map(|p| {
@@ -164,24 +189,47 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
             .unwrap_or_else(|e| panic!("cannot open atlas {p}: {e}"))
     });
     if let Some(shard) = shard {
+        assert!(
+            shards.is_none(),
+            "--shard (one process of a multi-process partition) and --shards (in-process \
+             orchestrator) are mutually exclusive"
+        );
         let atlas = atlas
             .as_mut()
             .expect("--shard writes a segment store: pass --atlas <segment path>");
         write_shard_segment(n, threads, shard, atlas);
     }
     if let Some(atlas) = &atlas {
-        // Merged-store provenance: a store assembled by shard_merge
-        // carries per-shard metadata; surface the multi-process memory
-        // truth a single-process VmHWM read would understate.
+        // Merged-store provenance: a store assembled by shard_merge or
+        // the orchestrator carries per-shard metadata; the RSS summary
+        // counts each *process* once (in-process ranges share one), so
+        // multi-process truth is neither understated nor double-counted.
         if let Some((max, sum)) = bnf_atlas::ShardMeta::rss_summary(atlas.shard_metas()) {
             eprintln!(
-                "atlas provenance: {} shard segments merged; peak RSS across shard processes: \
-                 max {:.1} MiB, sum {:.1} MiB",
+                "atlas provenance: {} shard segments merged across {} process(es); \
+                 peak RSS: max {:.1} MiB, sum {:.1} MiB",
                 atlas.shard_metas().len(),
+                bnf_atlas::ShardMeta::process_count(atlas.shard_metas()),
                 max as f64 / 1024.0,
                 sum as f64 / 1024.0,
             );
         }
+    }
+    // `--shards`/`--jobs` opt into the orchestrated path wherever it
+    // applies: a frontier exists (n ≥ 2) and the store cannot already
+    // replay the order warm.
+    if (shards.is_some() || jobs.is_some())
+        && n >= 2
+        && atlas.as_ref().is_none_or(|a| a.coverage(n).is_none())
+    {
+        let ranges =
+            match shards.as_deref() {
+                None | Some("auto") => None,
+                Some(v) => Some(v.parse().unwrap_or_else(|_| {
+                    panic!("--shards wants `auto` or a range count, got {v:?}")
+                })),
+            };
+        return run_orchestrated_cli(n, threads, ranges, atlas);
     }
     eprintln!(
         "classifying all connected topologies on n={n} vertices ({path} enumeration{})...",
@@ -235,6 +283,132 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     windows
 }
 
+/// The `--shards auto|R` body: one in-process orchestrated sweep —
+/// frontier built once, ranges work-stolen across `threads` workers,
+/// each completed range streamed into the `--atlas` store (when given)
+/// with its [`bnf_atlas::ShardMeta`] provenance, coverage declared when
+/// the partition closes.
+fn run_orchestrated_cli(
+    n: usize,
+    threads: usize,
+    ranges: Option<usize>,
+    mut atlas: Option<bnf_atlas::ClassificationAtlas>,
+) -> WindowSweep {
+    let range_count = ranges.unwrap_or_else(|| bnf_engine::auto_range_count(threads));
+    // Two handles on the same store: the orchestrator's workers read
+    // classifications through a second read-only handle while the
+    // writer callback appends through the original — `open` reads the
+    // file fully up front, so the snapshot is stable.
+    let lookup = match &atlas {
+        Some(a) if !a.is_empty() => Some(
+            bnf_atlas::ClassificationAtlas::open(a.path())
+                .unwrap_or_else(|e| panic!("cannot reopen atlas for lookups: {e}")),
+        ),
+        _ => None,
+    };
+    let run_id = orchestrator_run_id();
+    eprintln!(
+        "orchestrating the n={n} sweep in-process: {threads} worker thread(s) stealing \
+         {range_count} frontier ranges{}...",
+        match &lookup {
+            Some(a) => format!(", atlas-backed: {} stored records", a.len()),
+            None => String::new(),
+        }
+    );
+    let started = std::time::Instant::now();
+    let mut appended_total = 0usize;
+    let mut hits_total = 0usize;
+    let (windows, stats) =
+        WindowSweep::run_orchestrated(n, threads, ranges, lookup.as_ref(), |seg| {
+            if let Some(atlas) = atlas.as_mut() {
+                let appended = atlas
+                    .append_records(seg.records)
+                    .unwrap_or_else(|e| panic!("atlas append failed: {e}"));
+                appended_total += appended;
+                hits_total += seg.records.len() - appended;
+                let meta = bnf_atlas::ShardMeta {
+                    order: n as u16,
+                    shard_index: seg.index as u32,
+                    shard_count: seg.ranges as u32,
+                    frontier_len: seg.frontier_len,
+                    parent_lo: seg.parent_lo,
+                    parent_hi: seg.parent_hi,
+                    emitted: seg.emitted,
+                    elapsed_ms: seg.elapsed_ms,
+                    peak_rss_kb: peak_rss_kb(),
+                    orchestrator_run: Some(run_id),
+                    frontier_prune: seg.frontier_prune,
+                    final_prune: seg.final_prune,
+                };
+                atlas
+                    .append_shard_meta(&meta)
+                    .unwrap_or_else(|e| panic!("atlas metadata append failed: {e}"));
+            }
+        });
+    let elapsed_ms = started.elapsed().as_millis();
+    eprintln!(
+        "classified {} topologies: classification took {elapsed_ms} ms (orchestrated path, \
+         {} ranges on {} threads, frontier of {} parents built once)",
+        windows.records.len(),
+        stats.ranges,
+        stats.threads,
+        stats.frontier_len,
+    );
+    let p = &stats.stats.prune;
+    eprintln!(
+        "enumeration: {} candidates ({} orbit-skipped masks), {} cheap-rejected, \
+         {} search-rejected, {} duplicates, {} accepted ({:.2} candidates/survivor)",
+        p.candidates,
+        p.orbit_skipped,
+        p.cheap_rejected,
+        p.search_rejected,
+        p.duplicates,
+        p.accepted(),
+        p.candidates_per_survivor()
+    );
+    if let Some(atlas) = atlas.as_mut() {
+        let coverage = atlas
+            .declare_sharded_coverage()
+            .unwrap_or_else(|e| panic!("atlas coverage declaration failed: {e}"));
+        for (order, outcome) in coverage {
+            if order != n {
+                continue;
+            }
+            match outcome {
+                bnf_atlas::ShardCoverage::Declared(count)
+                | bnf_atlas::ShardCoverage::AlreadyDeclared(count) => eprintln!(
+                    "orchestrated sweep: coverage complete for order {order} ({count} topologies)"
+                ),
+                other => eprintln!(
+                    "orchestrated sweep: coverage NOT declared for order {order} — {other:?}"
+                ),
+            }
+        }
+        eprintln!(
+            "atlas {}: {hits_total} hits, {appended_total} new records appended ({} stored)",
+            atlas.path().display(),
+            atlas.len()
+        );
+    }
+    // One process, one VmHWM: the honest memory number, versus the
+    // max + sum ambiguity of a 16-process shard fleet.
+    report_peak_rss("orchestrated");
+    windows
+}
+
+/// A per-invocation tag linking the `ShardMeta` frames of one
+/// orchestrated run, so provenance readers can tell in-process ranges
+/// (one process, one RSS peak) from a fleet of shard processes. Unique
+/// per run on one machine; collisions across machines merge two runs'
+/// RSS groups, which only ever *under*-reports the process count.
+fn orchestrator_run_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) ^ d.as_secs())
+        .unwrap_or(0);
+    (u64::from(std::process::id()) << 32) ^ nanos
+}
+
 /// The `--shard i/m` body: classifies one frontier shard, persists the
 /// records and metadata into the segment atlas, reports, and exits the
 /// process (0 on success) — partial sweeps never reach the figure
@@ -269,6 +443,7 @@ fn write_shard_segment(
         emitted: run.stats.emitted(),
         elapsed_ms,
         peak_rss_kb: peak_rss_kb(),
+        orchestrator_run: None,
         frontier_prune: run.frontier_prune(),
         final_prune: run.final_prune,
     };

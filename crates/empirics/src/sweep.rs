@@ -24,7 +24,9 @@ use bnf_core::{
     stability_window_with, transfer_stability_window_with, ucg_necessary_window_with, UcgAnalyzer,
     WindowRecord,
 };
-use bnf_engine::{default_threads, Analysis, AnalysisEngine, WorkerScratch};
+use bnf_engine::{
+    default_threads, Analysis, AnalysisEngine, OrchestratorStats, RangeSegment, WorkerScratch,
+};
 use bnf_enumerate::connected_graphs;
 use bnf_games::{poa_of_summary, CostSummary, GameKind, Ratio};
 use bnf_graph::Graph;
@@ -251,6 +253,44 @@ impl WindowSweep {
         let engine = AnalysisEngine::new(threads);
         let job = WindowJob { atlas };
         let (records, stats) = engine.run_connected_streaming_keyed_shard(n, shard, &job);
+        (WindowSweep { n, records }, stats)
+    }
+
+    /// The one-command in-process replacement for the whole
+    /// shard/merge cycle: builds the parent frontier **once**, splits
+    /// it into `ranges` work-stolen ranges (`None` → ≈ 16× the thread
+    /// count) and classifies them on `threads` workers
+    /// ([`AnalysisEngine::run_connected_streaming_keyed_orchestrated`]),
+    /// invoking `on_segment` with each completed range — where the CLI
+    /// appends records and per-range [`bnf_atlas::ShardMeta`] into one
+    /// store — before returning the full catalogue in engine order,
+    /// byte-identical to [`WindowSweep::run`], plus the run's
+    /// [`OrchestratorStats`] (whose totals equal the unsharded
+    /// streaming stats exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`crate::max_sweep_n`] or `n <= 1` (no
+    /// frontier to orchestrate); propagates panics from `on_segment`.
+    pub fn run_orchestrated<W>(
+        n: usize,
+        threads: usize,
+        ranges: Option<usize>,
+        atlas: Option<&ClassificationAtlas>,
+        on_segment: W,
+    ) -> (WindowSweep, OrchestratorStats)
+    where
+        W: FnMut(RangeSegment<'_, WindowRecord>),
+    {
+        let cap = crate::max_sweep_n();
+        assert!(
+            n <= cap,
+            "sweeps beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
+        );
+        let engine = AnalysisEngine::new(threads);
+        let job = WindowJob { atlas };
+        let (records, stats) =
+            engine.run_connected_streaming_keyed_orchestrated(n, ranges, &job, on_segment);
         (WindowSweep { n, records }, stats)
     }
 }

@@ -22,7 +22,16 @@
 //!   `n = 9/10` sweeps in CI-class memory and CPU.
 //! * **Work-stealing execution** — a chunked atomic-counter scheduler
 //!   over [`std::thread::scope`] workers (no external thread-pool
-//!   dependency), promoted out of the old `empirics::parallel`.
+//!   dependency), promoted out of the old `empirics::parallel`. At
+//!   paper scale the same idea moves up a level: the in-process
+//!   **orchestrator**
+//!   ([`AnalysisEngine::run_connected_streaming_keyed_orchestrated`])
+//!   builds the level-`n − 1` parent frontier once, oversplits it into
+//!   ≈ [`DEFAULT_OVERSPLIT`]× more ranges than threads, and lets
+//!   workers steal whole ranges while a single writer streams
+//!   completed [`RangeSegment`]s to the caller — replacing the
+//!   16-invocation multi-process shard workflow with one command and
+//!   no skew cliff.
 //! * **Per-worker scratch reuse** — each worker owns one
 //!   [`WorkerScratch`] for its whole lifetime, so the BFS/distance hot
 //!   path runs allocation-free instead of re-allocating frontier
@@ -55,9 +64,11 @@
 #![warn(missing_debug_implementations)]
 
 mod executor;
+mod orchestrator;
 mod pipeline;
 mod scratch;
 
 pub use executor::{default_threads, parallel_map, parallel_map_with};
+pub use orchestrator::{auto_range_count, OrchestratorStats, RangeSegment, DEFAULT_OVERSPLIT};
 pub use pipeline::{Analysis, AnalysisEngine};
 pub use scratch::WorkerScratch;

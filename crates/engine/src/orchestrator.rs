@@ -1,0 +1,420 @@
+//! The in-process parallel shard orchestrator: one frontier build,
+//! work-stolen parent ranges, one streaming merge.
+//!
+//! The multi-process sharding workflow (PR 5) runs `m` shell
+//! invocations of `--shard i/m`, each rebuilding the level-`n − 1`
+//! parent frontier (`m`× redundant work) and each stuck with its static
+//! range however skewed the emission mass is — at `n = 10`, shard 0/16
+//! holds 2.24 M of the 11.7 M records. This module runs the same
+//! partition *inside one process*: [`bnf_stream::ParentFrontier`] is
+//! built **once**, oversplit into many more ranges than worker threads
+//! (default [`DEFAULT_OVERSPLIT`]× — e.g. 256 ranges on 16 threads at
+//! `n = 10`), and workers steal ranges off an atomic counter, so a
+//! heavy sparse-parent range simply occupies one worker while the rest
+//! drain the tail — no skew cliff, no operator-tuned split.
+//!
+//! Each worker fuses producer and classifier: it streams its stolen
+//! range serially ([`bnf_stream::ParentFrontier::stream_range`]),
+//! classifies inline with its own [`WorkerScratch`], tag-sorts the
+//! segment, and hands it to a single writer — the calling thread —
+//! through a [`BoundedQueue`]. The writer surfaces every completed
+//! segment to the caller's `on_segment` callback (where `bnf-empirics`
+//! appends records and per-range shard provenance into one
+//! `ClassificationAtlas`, the in-process analogue of
+//! `merge_segments`), then merges all segments and re-sorts by the
+//! engine's `(edge count, leading canonical word)` tag, so the final
+//! output order — and therefore every downstream float summation — is
+//! byte-identical to the unsharded runners.
+//!
+//! Failure behaves like the streaming pipeline: a panic in any range
+//! (or in the writer callback) closes the queue, which unblocks every
+//! other participant, and propagates to the caller once the scope
+//! joins — segments already written stay (the atlas is append-only and
+//! resumable), but control never reaches coverage declaration, so a
+//! poisoned run is visibly incomplete rather than silently short.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use bnf_stream::{BoundedQueue, ParentFrontier, PruneCounters, ShardSpec, StreamStats};
+
+use crate::pipeline::{assert_sort_tag_exact, Analysis};
+use crate::scratch::WorkerScratch;
+
+/// Ranges cut per worker thread when the caller asks for the automatic
+/// split (`--shards auto`): enough oversplit that one emission-heavy
+/// range costs at most ≈ 1/16 of a thread's share of the sweep, while
+/// keeping per-range overhead (segment hand-off, shard provenance)
+/// negligible.
+pub const DEFAULT_OVERSPLIT: usize = 16;
+
+/// The automatic range count for a worker-thread budget:
+/// `threads × `[`DEFAULT_OVERSPLIT`] (at least 1).
+pub fn auto_range_count(threads: usize) -> usize {
+    threads.max(1).saturating_mul(DEFAULT_OVERSPLIT)
+}
+
+/// One completed parent range, surfaced to the orchestrator's writer
+/// callback in completion order (not index order — ranges finish when
+/// they finish).
+///
+/// `records` is already tag-sorted into the engine's deterministic
+/// `(edge count, canonical key)` order *within the range*, exactly as a
+/// `--shard` process would have written its segment file, so appending
+/// segments as they arrive reproduces `merge_segments` semantics
+/// in-process.
+#[derive(Debug)]
+pub struct RangeSegment<'a, T> {
+    /// Which range of the partition this is (`0..ranges`).
+    pub index: usize,
+    /// Total ranges in the partition.
+    pub ranges: usize,
+    /// Parents in the shared frontier (identical for every segment).
+    pub frontier_len: u64,
+    /// Pruning counters of the single frontier build — identical for
+    /// every segment of the run; provenance writers stamp it per range
+    /// so `ShardMeta::merged_counters` can count it exactly once.
+    pub frontier_prune: PruneCounters,
+    /// First parent index owned by this range.
+    pub parent_lo: u64,
+    /// One past the last parent index owned by this range.
+    pub parent_hi: u64,
+    /// Final-level graphs emitted (= `records.len()`).
+    pub emitted: u64,
+    /// Wall-clock the worker spent producing + classifying this range.
+    pub elapsed_ms: u64,
+    /// Final-level pruning counters restricted to this range.
+    pub final_prune: PruneCounters,
+    /// The range's classified records, tag-sorted.
+    pub records: &'a [T],
+}
+
+/// What an orchestrated run did: the unsharded-equivalent
+/// [`StreamStats`] totals plus the orchestration shape.
+///
+/// `stats` is constructed to equal the [`StreamStats`] of an unsharded
+/// `stream_connected` run *exactly* — frontier level sizes from the
+/// single build, final level summed over ranges, and pruning counters
+/// as the one frontier share plus the summed per-range final shares —
+/// which is what makes `candidates_per_survivor` and the counter
+/// diagnostics comparable across the unsharded, multi-process, and
+/// orchestrated paths.
+#[derive(Debug, Clone)]
+pub struct OrchestratorStats {
+    /// Unsharded-equivalent per-level sizes and pruning counters.
+    pub stats: StreamStats,
+    /// Parents in the shared level-`n − 1` frontier.
+    pub frontier_len: u64,
+    /// Pruning counters of the frontier build (counted once).
+    pub frontier_prune: PruneCounters,
+    /// Summed final-level pruning counters across all ranges.
+    pub final_prune: PruneCounters,
+    /// How many ranges the frontier was split into.
+    pub ranges: usize,
+    /// Worker threads that stole those ranges.
+    pub threads: usize,
+}
+
+impl OrchestratorStats {
+    /// Final-level graphs emitted across the whole partition.
+    pub fn emitted(&self) -> u64 {
+        self.stats.emitted()
+    }
+}
+
+/// One completed range in flight from a worker to the writer. Tags
+/// (`(edge count, leading canonical word)`) travel alongside the
+/// records so the writer can fold every segment into the global
+/// tag-sorted output without re-deriving keys.
+struct Segment<T> {
+    index: usize,
+    lo: usize,
+    hi: usize,
+    emitted: u64,
+    elapsed_ms: u64,
+    final_prune: PruneCounters,
+    /// Sort tags aligned index-for-index with `records`.
+    tags: Vec<(usize, u64)>,
+    records: Vec<T>,
+}
+
+/// Closes the segment queue when a worker leaves: immediately if the
+/// worker is unwinding (cancelling the run so neither the writer nor a
+/// sibling blocked on a full queue can deadlock), otherwise only when
+/// this was the last live worker (a per-worker unconditional close
+/// would starve the siblings still producing).
+struct WorkerExit<'q, T> {
+    queue: &'q BoundedQueue<Segment<T>>,
+    live: &'q AtomicUsize,
+    clean: bool,
+}
+
+impl<T> Drop for WorkerExit<'_, T> {
+    fn drop(&mut self) {
+        if !self.clean || self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.queue.close();
+        }
+    }
+}
+
+/// The orchestrated run body behind
+/// [`crate::AnalysisEngine::run_connected_streaming_keyed_orchestrated`].
+pub(crate) fn run_orchestrated<A, W>(
+    threads: usize,
+    n: usize,
+    ranges: Option<usize>,
+    job: &A,
+    mut on_segment: W,
+) -> (Vec<A::Output>, OrchestratorStats)
+where
+    A: Analysis,
+    W: FnMut(RangeSegment<'_, A::Output>),
+{
+    assert_sort_tag_exact(n);
+    let threads = threads.max(1);
+    let ranges = ranges.unwrap_or_else(|| auto_range_count(threads)).max(1);
+    // The one frontier build of the whole run (ParentFrontier::build
+    // rejects n < 2 — trivial orders have no frontier to orchestrate).
+    let frontier = ParentFrontier::build(n, threads);
+    let frontier_len = frontier.len() as u64;
+    let frontier_prune = frontier.frontier_prune();
+
+    let queue: BoundedQueue<Segment<A::Output>> = BoundedQueue::new(threads * 2);
+    let next = AtomicUsize::new(0);
+    let live = AtomicUsize::new(threads);
+
+    let mut merged: Vec<((usize, u64), A::Output)> = Vec::new();
+    let mut emitted_total = 0u64;
+    let mut final_prune = PruneCounters::default();
+    let mut segments = 0usize;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut exit = WorkerExit {
+                    queue: &queue,
+                    live: &live,
+                    clean: false,
+                };
+                let mut scratch = WorkerScratch::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= ranges {
+                        break;
+                    }
+                    let (lo, hi) = ShardSpec::new(index, ranges).range(frontier.len());
+                    let started = Instant::now();
+                    let mut tagged: Vec<((usize, u64), A::Output)> = Vec::new();
+                    let range = frontier.stream_range(lo, hi, |graph, key| {
+                        let out = job.classify_keyed(&graph.to_graph6(), &graph, &mut scratch);
+                        tagged.push(((graph.edge_count(), key.prefix_word()), out));
+                    });
+                    tagged.sort_by_key(|t| t.0);
+                    let (tags, records): (Vec<_>, Vec<_>) = tagged.into_iter().unzip();
+                    let segment = Segment {
+                        index,
+                        lo,
+                        hi,
+                        emitted: range.emitted,
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                        final_prune: range.prune,
+                        tags,
+                        records,
+                    };
+                    // A failed push means some participant panicked and
+                    // closed the queue — stop stealing instead of
+                    // enumerating for nobody.
+                    if !queue.push(segment) {
+                        break;
+                    }
+                }
+                exit.clean = true;
+            });
+        }
+        // The calling thread is the single writer. Its guard closes the
+        // queue if `on_segment` panics, so no worker can stay blocked on
+        // a full queue while the scope waits to join it.
+        let _guard = queue.close_guard();
+        while let Some(segment) = queue.pop() {
+            on_segment(RangeSegment {
+                index: segment.index,
+                ranges,
+                frontier_len,
+                frontier_prune,
+                parent_lo: segment.lo as u64,
+                parent_hi: segment.hi as u64,
+                emitted: segment.emitted,
+                elapsed_ms: segment.elapsed_ms,
+                final_prune: segment.final_prune,
+                records: &segment.records,
+            });
+            emitted_total += segment.emitted;
+            final_prune.merge(&segment.final_prune);
+            segments += 1;
+            merged.extend(segment.tags.into_iter().zip(segment.records));
+        }
+    });
+
+    debug_assert_eq!(segments, ranges, "partition did not close");
+    let _ = segments;
+    merged.sort_by_key(|t| t.0);
+    let mut stats = StreamStats {
+        level_sizes: frontier.level_sizes().to_vec(),
+        prune: frontier_prune,
+    };
+    stats.level_sizes.push(emitted_total);
+    stats.prune.merge(&final_prune);
+    (
+        merged.into_iter().map(|(_, out)| out).collect(),
+        OrchestratorStats {
+            stats,
+            frontier_len,
+            frontier_prune,
+            final_prune,
+            ranges,
+            threads,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnalysisEngine;
+    use bnf_graph::Graph;
+
+    struct Tagged;
+    impl Analysis for Tagged {
+        type Output = (usize, String);
+        fn classify(&self, g: &Graph, _s: &mut WorkerScratch) -> Self::Output {
+            (g.edge_count(), "unkeyed".into())
+        }
+        fn classify_keyed(&self, key: &str, g: &Graph, _s: &mut WorkerScratch) -> Self::Output {
+            (g.edge_count(), key.to_string())
+        }
+    }
+
+    #[test]
+    fn orchestrated_output_is_byte_identical_to_streaming_keyed() {
+        // Any thread budget, any oversplit — including one range total
+        // and far more ranges than parents — must reproduce the
+        // unsharded keyed streaming run exactly, order included.
+        for (threads, ranges) in [
+            (1usize, None),
+            (3, None),
+            (2, Some(1)),
+            (3, Some(7)),
+            (2, Some(1000)),
+        ] {
+            let engine = AnalysisEngine::new(threads);
+            let (out, stats) =
+                engine.run_connected_streaming_keyed_orchestrated(7, ranges, &Tagged, |_| {});
+            let whole = engine.run_connected_streaming_keyed(7, &Tagged);
+            assert_eq!(out, whole, "threads={threads} ranges={ranges:?}");
+            assert_eq!(stats.emitted(), 853, "threads={threads} ranges={ranges:?}");
+            assert_eq!(
+                stats.ranges,
+                ranges.unwrap_or_else(|| auto_range_count(threads))
+            );
+        }
+    }
+
+    #[test]
+    fn orchestrated_counters_equal_unsharded_exactly() {
+        // The satellite regression: frontier share counted once plus
+        // summed range shares == the unsharded StreamStats, exactly.
+        let engine = AnalysisEngine::new(3);
+        let (_, unsharded) = engine.run_connected_streaming_keyed_with_stats(7, &Tagged);
+        let (_, orch) =
+            engine.run_connected_streaming_keyed_orchestrated(7, Some(11), &Tagged, |_| {});
+        assert_eq!(orch.stats.level_sizes, unsharded.level_sizes);
+        assert_eq!(orch.stats.prune, unsharded.prune);
+        assert_eq!(
+            orch.frontier_len,
+            *unsharded.level_sizes.iter().rev().nth(1).unwrap()
+        );
+        let mut recombined = orch.frontier_prune;
+        recombined.merge(&orch.final_prune);
+        assert_eq!(recombined, unsharded.prune);
+    }
+
+    #[test]
+    fn segments_partition_the_frontier_and_carry_sorted_records() {
+        let engine = AnalysisEngine::new(2);
+        let mut segs: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let mut shares: Vec<PruneCounters> = Vec::new();
+        let mut frontier_len = 0u64;
+        let (out, stats) =
+            engine.run_connected_streaming_keyed_orchestrated(6, Some(5), &Tagged, |seg| {
+                assert_eq!(seg.ranges, 5);
+                assert_eq!(seg.emitted as usize, seg.records.len());
+                assert!(
+                    seg.records.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "segment {} not tag-sorted",
+                    seg.index
+                );
+                frontier_len = seg.frontier_len;
+                shares.push(seg.frontier_prune);
+                segs.push((seg.index, seg.parent_lo, seg.parent_hi, seg.emitted));
+            });
+        assert_eq!(out.len(), 112); // A001349(6)
+        assert_eq!(segs.len(), 5);
+        // One frontier build: every segment carries the identical share.
+        assert!(shares.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(shares[0], stats.frontier_prune);
+        // The ranges tile [0, frontier_len) exactly.
+        segs.sort_unstable();
+        assert_eq!(segs[0].1, 0);
+        assert!(segs.windows(2).all(|w| w[0].2 == w[1].1));
+        assert_eq!(segs.last().unwrap().2, frontier_len);
+        assert_eq!(segs.iter().map(|s| s.3).sum::<u64>(), stats.emitted());
+    }
+
+    #[test]
+    fn panic_in_one_range_propagates_without_deadlock() {
+        struct Boom;
+        impl Analysis for Boom {
+            type Output = ();
+            fn classify(&self, g: &Graph, _s: &mut WorkerScratch) {
+                assert!(g.edge_count() < 9, "boom"); // K5 trips this
+            }
+        }
+        let caught = std::panic::catch_unwind(|| {
+            AnalysisEngine::new(2).run_connected_streaming_keyed_orchestrated(
+                5,
+                Some(8),
+                &Boom,
+                |_| {},
+            );
+        });
+        assert!(caught.is_err(), "range panic must reach the caller");
+    }
+
+    #[test]
+    fn panic_in_writer_callback_propagates_without_deadlock() {
+        let caught = std::panic::catch_unwind(|| {
+            AnalysisEngine::new(2).run_connected_streaming_keyed_orchestrated(
+                6,
+                Some(4),
+                &Tagged,
+                |seg| assert_ne!(seg.index, 0, "writer boom"),
+            );
+        });
+        assert!(caught.is_err(), "writer panic must reach the caller");
+    }
+
+    #[test]
+    fn trivial_orders_are_rejected() {
+        for n in [0usize, 1] {
+            let caught = std::panic::catch_unwind(|| {
+                AnalysisEngine::new(1).run_connected_streaming_keyed_orchestrated(
+                    n,
+                    None,
+                    &Tagged,
+                    |_| {},
+                )
+            });
+            assert!(caught.is_err(), "n={n} has no frontier to orchestrate");
+        }
+    }
+}

@@ -10,6 +10,7 @@ use bnf_stream::{
 };
 
 use crate::executor::{default_threads, parallel_map_with};
+use crate::orchestrator::{OrchestratorStats, RangeSegment};
 use crate::scratch::WorkerScratch;
 
 /// Capacity of the producer→classifier hand-off queue used by
@@ -36,7 +37,7 @@ const STREAM_FLUSH_EVERY: usize = 1024;
 /// exists so a future raise of the enumeration bound or the `BNF_MAX_N`
 /// clamp cannot silently mis-order merged output — it must fail loudly
 /// at the sort site instead.
-fn assert_sort_tag_exact(n: usize) {
+pub(crate) fn assert_sort_tag_exact(n: usize) {
     assert!(
         n * n.saturating_sub(1) / 2 <= 64,
         "(edges, leading-word) sort tag is exact only while n(n-1)/2 <= 64 bits; n={n} needs \
@@ -237,6 +238,43 @@ impl AnalysisEngine {
             |job, g, s| job.classify_keyed(&g.to_graph6(), g, s),
             |producers, sink| stream_connected_shard(n, producers, shard, sink),
         )
+    }
+
+    /// Orchestrated twin of
+    /// [`AnalysisEngine::run_connected_streaming_keyed_with_stats`]:
+    /// builds the level-`n − 1` parent frontier **once**, oversplits it
+    /// into `ranges` contiguous parent ranges (`None` →
+    /// [`crate::auto_range_count`], ≈ 16× the thread count), and has
+    /// this engine's worker threads steal ranges dynamically — each
+    /// fusing the pruned range producer with the keyed classifier on
+    /// its own [`WorkerScratch`] — while the calling thread drains
+    /// completed segments into `on_segment` in completion order (the
+    /// in-process analogue of merging `--shard` segment files).
+    ///
+    /// Returns all outputs re-sorted into the engine's deterministic
+    /// `(edge count, canonical key)` order — byte-identical to
+    /// [`AnalysisEngine::run_connected_streaming_keyed`] — plus
+    /// [`OrchestratorStats`] whose totals equal the unsharded
+    /// [`StreamStats`] exactly, with the frontier built (and its
+    /// counter share counted) exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` or `n <= 1` (no parent frontier to
+    /// orchestrate — use the plain streaming runner); propagates panics
+    /// from the job, the producer, and `on_segment`.
+    pub fn run_connected_streaming_keyed_orchestrated<A, W>(
+        &self,
+        n: usize,
+        ranges: Option<usize>,
+        job: &A,
+        on_segment: W,
+    ) -> (Vec<A::Output>, OrchestratorStats)
+    where
+        A: Analysis,
+        W: FnMut(RangeSegment<'_, A::Output>),
+    {
+        crate::orchestrator::run_orchestrated(self.threads, n, ranges, job, on_segment)
     }
 
     /// Shared body of the streaming runners, generic over how a worker

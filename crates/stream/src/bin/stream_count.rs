@@ -5,16 +5,25 @@
 //! (OEIS A001349: 11 716 571 connected topologies) without paying any
 //! classification.
 //!
-//! Usage: `stream_count --n 10 [--threads T] [--expect 11716571]`
+//! Usage: `stream_count --n 10 [--threads T] [--jobs N] [--shards auto|R]
+//! [--expect 11716571]`
+//!
+//! `--shards auto` (or an explicit range count; `--jobs N` alone implies
+//! `auto`) switches to the in-process orchestrated path: the parent
+//! frontier is built **once**, oversplit into ranges, and worker threads
+//! steal ranges off an atomic counter — the enumeration-only twin of the
+//! sweep binaries' orchestrator, and the cheapest way to verify the
+//! work-stolen partition reproduces the whole count. Trivial orders
+//! (`n < 2`) have no frontier and fall back to the plain path.
 //!
 //! With `--expect`, a count mismatch exits non-zero — the regression
 //! gate. The counter report goes to stdout in `key: value` lines so CI
 //! can upload it as an artifact.
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use bnf_stream::stream_connected;
+use bnf_stream::{stream_connected, ParentFrontier, PruneCounters, ShardSpec, StreamStats};
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -32,28 +41,108 @@ fn parsed<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     })
 }
 
+/// Ranges cut per worker thread on `--shards auto` — mirrors the
+/// engine orchestrator's oversplit so both paths exercise the same
+/// partition shape.
+const OVERSPLIT: usize = 16;
+
+/// The orchestrated count: one frontier build, work-stolen ranges, no
+/// classification — returns the final-level count and the
+/// unsharded-equivalent [`StreamStats`], plus the range count used.
+fn count_orchestrated(
+    n: usize,
+    threads: usize,
+    ranges: Option<usize>,
+) -> (u64, StreamStats, usize) {
+    let ranges = ranges
+        .unwrap_or_else(|| threads.max(1).saturating_mul(OVERSPLIT))
+        .max(1);
+    let frontier = ParentFrontier::build(n, threads);
+    let next = AtomicUsize::new(0);
+    let count = AtomicU64::new(0);
+    let final_prune = std::sync::Mutex::new(PruneCounters::default());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| {
+                let mut local = 0u64;
+                let mut prune = PruneCounters::default();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= ranges {
+                        break;
+                    }
+                    let (lo, hi) = ShardSpec::new(index, ranges).range(frontier.len());
+                    let range = frontier.stream_range(lo, hi, |_, _| {});
+                    local += range.emitted;
+                    prune.merge(&range.prune);
+                }
+                count.fetch_add(local, Ordering::Relaxed);
+                final_prune.lock().unwrap().merge(&prune);
+            });
+        }
+    });
+    let mut stats = StreamStats {
+        level_sizes: frontier.level_sizes().to_vec(),
+        prune: frontier.frontier_prune(),
+    };
+    let count = count.load(Ordering::Relaxed);
+    stats.level_sizes.push(count);
+    stats.prune.merge(&final_prune.into_inner().unwrap());
+    (count, stats, ranges)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = parsed(&args, "--n").unwrap_or(8);
-    let threads: usize = parsed(&args, "--threads").unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
+    let jobs: Option<usize> = parsed(&args, "--jobs");
+    let threads: usize = jobs
+        .or_else(|| parsed(&args, "--threads"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let shards = arg_value(&args, "--shards");
     let expect: Option<u64> = parsed(&args, "--expect");
-    eprintln!("enumerating all connected topologies on n={n} vertices ({threads} threads)...");
-    let started = std::time::Instant::now();
-    let count = AtomicU64::new(0);
-    let stats = stream_connected(n, threads, &|_, _| {
-        count.fetch_add(1, Ordering::Relaxed);
-        true
-    });
-    let elapsed = started.elapsed();
-    let count = count.load(Ordering::Relaxed);
-    println!("n: {n}");
-    println!("threads: {threads}");
-    println!("connected_graphs: {count}");
-    println!("elapsed_ms: {}", elapsed.as_millis());
+    let orchestrated = (shards.is_some() || jobs.is_some()) && n >= 2;
+    let (count, stats) = if orchestrated {
+        let ranges =
+            match shards.as_deref() {
+                None | Some("auto") => None,
+                Some(v) => Some(v.parse().unwrap_or_else(|_| {
+                    panic!("--shards wants `auto` or a range count, got {v:?}")
+                })),
+            };
+        eprintln!(
+            "orchestrating the n={n} enumeration in-process ({threads} worker threads \
+             stealing frontier ranges)..."
+        );
+        let started = std::time::Instant::now();
+        let (count, stats, ranges) = count_orchestrated(n, threads, ranges);
+        let elapsed = started.elapsed();
+        println!("n: {n}");
+        println!("threads: {threads}");
+        println!("ranges: {ranges}");
+        println!("frontier_builds: 1");
+        println!("connected_graphs: {count}");
+        println!("elapsed_ms: {}", elapsed.as_millis());
+        (count, stats)
+    } else {
+        eprintln!("enumerating all connected topologies on n={n} vertices ({threads} threads)...");
+        let started = std::time::Instant::now();
+        let count = AtomicU64::new(0);
+        let stats = stream_connected(n, threads, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        let elapsed = started.elapsed();
+        let count = count.load(Ordering::Relaxed);
+        println!("n: {n}");
+        println!("threads: {threads}");
+        println!("connected_graphs: {count}");
+        println!("elapsed_ms: {}", elapsed.as_millis());
+        (count, stats)
+    };
     println!("level_sizes: {:?}", stats.level_sizes);
     println!("candidates: {}", stats.prune.candidates);
     println!("orbit_skipped: {}", stats.prune.orbit_skipped);

@@ -23,13 +23,19 @@
 //!   candidate / orbit-skipped / rejected / duplicate counters
 //!   ([`PruneCounters`]), which the sweep binaries surface in their
 //!   `--streaming` diagnostics.
-//! * [`stream_connected_shard`] / [`stream_connected_range`] — the
-//!   multi-process sharding seam: the accept rule makes children of
-//!   distinct parents disjoint classes, so any partition of the
-//!   deterministically sorted level-`n − 1` frontier into contiguous
-//!   ranges ([`ShardSpec`]) partitions the emissions exactly; each
-//!   invocation rebuilds the (cheap) frontier, streams only its range,
-//!   and reports [`ShardStats`] — frontier-build vs final-level
+//! * [`ParentFrontier`] — the sharding seam: the accept rule makes
+//!   children of distinct parents disjoint classes, so any partition of
+//!   the deterministically sorted level-`n − 1` frontier into
+//!   contiguous ranges ([`ShardSpec`]) partitions the emissions
+//!   exactly. [`ParentFrontier::build`] constructs that frontier
+//!   **once**; [`ParentFrontier::stream_range`] then streams any
+//!   `[lo, hi)` parent slice serially and reports per-range
+//!   [`RangeStats`], which is what the in-process orchestrator
+//!   (`bnf_engine`) work-steals over — one frontier build per run
+//!   instead of one per range. The multi-process escape hatch,
+//!   [`stream_connected_shard`] / [`stream_connected_range`], wraps the
+//!   same build per invocation (paying one rebuild per process) and
+//!   reports [`ShardStats`] — frontier-build vs final-level
 //!   pruning-counter shares plus the partition coordinates — for
 //!   cross-process merging.
 //! * [`prune::augment_connected_parent`] — the per-parent augmentation
@@ -94,7 +100,8 @@ pub mod sync;
 pub use channel::{BoundedQueue, CloseGuard};
 pub use producer::{
     for_each_connected, for_each_connected_stats, for_each_connected_unpruned, stream_connected,
-    stream_connected_range, stream_connected_shard, ShardSpec, ShardStats, StreamStats,
+    stream_connected_range, stream_connected_shard, ParentFrontier, RangeStats, ShardSpec,
+    ShardStats, StreamStats,
 };
 pub use prune::PruneCounters;
 pub use shard::ShardedSeen;

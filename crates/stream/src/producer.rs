@@ -180,6 +180,139 @@ fn sort_frontier(frontier: &mut [(Graph, CanonKey)]) {
     frontier.sort_by(|a, b| (a.0.edge_count(), &a.1).cmp(&(b.0.edge_count(), &b.1)));
 }
 
+/// The sorted level-`n − 1` parent frontier, built **once** and shared
+/// by any number of final-level range runs — the seam the in-process
+/// orchestrator (`bnf-engine`) parallelizes over.
+///
+/// The multi-process sharding path ([`stream_connected_range`] /
+/// [`stream_connected_shard`]) rebuilds this frontier on every
+/// invocation — cheap relative to one shard's final level, but 16×
+/// redundant across a 16-shard partition run on one machine. Building a
+/// `ParentFrontier` once and calling [`ParentFrontier::stream_range`]
+/// per range pays the build exactly once, and the frontier-build
+/// pruning counters ([`ParentFrontier::frontier_prune`]) exist as a
+/// single share instead of `m` identical copies.
+#[derive(Debug)]
+pub struct ParentFrontier {
+    n: usize,
+    parents: Vec<Graph>,
+    /// Level sizes of the build: `[1, |level 1|, …, |level n − 2|]`
+    /// (the last entry is the frontier itself).
+    level_sizes: Vec<u64>,
+    /// Pruning counters of levels `1..n − 1` — the frontier-build share.
+    prune: PruneCounters,
+}
+
+/// What one [`ParentFrontier::stream_range`] call did: emission count
+/// and the range's final-level pruning counters. Per-range stats sum
+/// across any partition of the frontier; adding the (single)
+/// [`ParentFrontier::frontier_prune`] share reproduces the unsharded
+/// [`StreamStats`] totals exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeStats {
+    /// Final-level graphs emitted from this parent range.
+    pub emitted: u64,
+    /// Pruning counters of the final level restricted to this range.
+    pub prune: PruneCounters,
+}
+
+impl ParentFrontier {
+    /// Builds the sorted level-`n − 1` frontier (levels `1..n − 1` of
+    /// the augmentation, each sorted by edge count then canonical key)
+    /// across up to `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (the enumeration bound) or `n <= 1` (no
+    /// parent frontier exists — run [`stream_connected`]).
+    pub fn build(n: usize, threads: usize) -> ParentFrontier {
+        assert!(
+            n <= 10,
+            "exhaustive enumeration beyond n=10 is not supported"
+        );
+        assert!(
+            n >= 2,
+            "orders below 2 have no parent frontier; use stream_connected"
+        );
+        let threads = threads.max(1);
+        let mut level_sizes = vec![1u64];
+        let mut prune = PruneCounters::default();
+        let mut parents = vec![Graph::empty(1)];
+        // Intermediate levels never invoke the sink, so the build needs
+        // neither a real sink nor a cancellation path.
+        let cancelled = AtomicBool::new(false);
+        let no_sink = |_: Graph, _: CanonKey| true;
+        for _ in 1..(n - 1) {
+            let level = advance_level(&parents, threads, false, &no_sink, &cancelled);
+            level_sizes.push(level.emitted);
+            prune.merge(&level.prune);
+            let mut merged = level.frontier;
+            sort_frontier(&mut merged);
+            parents = merged.into_iter().map(|(g, _)| g).collect();
+        }
+        ParentFrontier {
+            n,
+            parents,
+            level_sizes,
+            prune,
+        }
+    }
+
+    /// The order `n` whose final level this frontier parents.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parents in the frontier.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Whether the frontier is empty (never true for `2 <= n <= 10`).
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Level sizes of the build, `[1, …, frontier size]`.
+    pub fn level_sizes(&self) -> &[u64] {
+        &self.level_sizes
+    }
+
+    /// Pruning counters of the frontier build (levels `1..n − 1`) —
+    /// identical for every range cut from this frontier; count it once
+    /// per partition, never per range.
+    pub fn frontier_prune(&self) -> PruneCounters {
+        self.prune
+    }
+
+    /// Streams the final-level children of parents `[lo, hi)` into
+    /// `visit`, serially on the calling thread — the per-range unit of
+    /// work the orchestrator's workers steal. Bounds are clamped to the
+    /// frontier; children of disjoint ranges are disjoint isomorphism
+    /// classes (the canonical-construction accept rule), so any
+    /// partition of `[0, len)` partitions the emissions exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`; propagates panics from `visit`.
+    pub fn stream_range<V>(&self, lo: usize, hi: usize, mut visit: V) -> RangeStats
+    where
+        V: FnMut(Graph, CanonKey),
+    {
+        assert!(lo <= hi, "parent range is reversed: {lo} > {hi}");
+        let lo = lo.min(self.parents.len());
+        let hi = hi.min(self.parents.len());
+        let mut stats = RangeStats::default();
+        for parent in &self.parents[lo..hi] {
+            augment_connected_parent(parent, &mut stats.prune, |form, key| {
+                stats.emitted += 1;
+                visit(form, key);
+            });
+        }
+        stats
+    }
+}
+
 /// One level's outcome: how many children were accepted, the (unsorted)
 /// next frontier when the level was not the last, and the level's own
 /// pruning counters.
@@ -402,37 +535,22 @@ fn stream_connected_over_range<S>(
 where
     S: Fn(Graph, CanonKey) -> bool + Sync + ?Sized,
 {
-    assert!(
-        n <= 10,
-        "exhaustive enumeration beyond n=10 is not supported"
-    );
-    assert!(
-        n >= 2,
-        "orders below 2 have no parent frontier to shard; use stream_connected"
-    );
     let threads = threads.max(1);
+    let frontier = ParentFrontier::build(n, threads);
     let mut out = ShardStats::default();
-    let cancelled = AtomicBool::new(false);
-    let mut parents = vec![Graph::empty(1)];
-    out.stats.level_sizes.push(1);
-    for _ in 1..(n - 1) {
-        let level = advance_level(&parents, threads, false, sink, &cancelled);
-        out.stats.level_sizes.push(level.emitted);
-        out.stats.prune.merge(&level.prune);
-        let mut merged = level.frontier;
-        sort_frontier(&mut merged);
-        parents = merged.into_iter().map(|(g, _)| g).collect();
-    }
-    out.frontier_len = parents.len() as u64;
-    let (lo, hi) = pick(parents.len());
+    out.stats.level_sizes = frontier.level_sizes.clone();
+    out.stats.prune = frontier.prune;
+    out.frontier_len = frontier.len() as u64;
+    let (lo, hi) = pick(frontier.len());
     assert!(
-        lo <= hi && hi <= parents.len(),
+        lo <= hi && hi <= frontier.len(),
         "parent range {lo}..{hi} does not fit the frontier of {}",
-        parents.len()
+        frontier.len()
     );
     out.parent_lo = lo as u64;
     out.parent_hi = hi as u64;
-    let level = advance_level(&parents[lo..hi], threads, true, sink, &cancelled);
+    let cancelled = AtomicBool::new(false);
+    let level = advance_level(&frontier.parents[lo..hi], threads, true, sink, &cancelled);
     out.stats.level_sizes.push(level.emitted);
     out.final_prune = level.prune;
     out.stats.prune.merge(&level.prune);
@@ -843,6 +961,52 @@ mod tests {
                 stream_connected_shard(n, 1, ShardSpec::new(0, 1), &|_, _| true)
             });
             assert!(caught.is_err(), "n={n} has no frontier to shard");
+        }
+        for n in [0usize, 1] {
+            let caught = std::panic::catch_unwind(|| ParentFrontier::build(n, 1));
+            assert!(caught.is_err(), "n={n} has no parent frontier to build");
+        }
+    }
+
+    /// One prebuilt frontier, any partition of its parents: the ranges
+    /// union to the unsharded multiset, and the single frontier-build
+    /// counter share plus the summed per-range shares reproduce the
+    /// unsharded [`StreamStats`] exactly — the invariant the in-process
+    /// orchestrator's "frontier built exactly once" claim rests on.
+    #[test]
+    fn parent_frontier_ranges_reproduce_the_unsharded_stream_exactly() {
+        for n in [2usize, 5, 7] {
+            let mut whole = Vec::new();
+            let whole_stats = for_each_connected_stats(n, |_, key| whole.push(key));
+            whole.sort();
+            let frontier = ParentFrontier::build(n, 2);
+            assert_eq!(frontier.order(), n);
+            assert!(!frontier.is_empty());
+            assert_eq!(frontier.level_sizes().len(), n - 1);
+            assert_eq!(
+                frontier.level_sizes().last().copied(),
+                Some(frontier.len() as u64)
+            );
+            // Uneven cuts, an empty range, and a clamped overshoot.
+            let len = frontier.len();
+            let cuts = [0, len / 3, len / 3, len / 2, len + 7];
+            let mut union = Vec::new();
+            let mut emitted = 0u64;
+            let mut final_prune = PruneCounters::default();
+            for w in cuts.windows(2) {
+                let run = frontier.stream_range(w[0], w[1], |_, key| union.push(key));
+                emitted += run.emitted;
+                final_prune.merge(&run.prune);
+            }
+            union.sort();
+            assert_eq!(union, whole, "n={n}");
+            assert_eq!(emitted, whole.len() as u64, "n={n}");
+            let mut total = frontier.frontier_prune();
+            total.merge(&final_prune);
+            assert_eq!(total, whole_stats.prune, "n={n}");
+            let mut levels = frontier.level_sizes().to_vec();
+            levels.push(emitted);
+            assert_eq!(levels, whole_stats.level_sizes, "n={n}");
         }
     }
 }

@@ -118,6 +118,7 @@ fn merged_segments_replay_csv_byte_identical_to_single_process_run() {
                 emitted: run.stats.emitted(),
                 elapsed_ms: 0,
                 peak_rss_kb: None,
+                orchestrator_run: None,
                 frontier_prune: run.frontier_prune(),
                 final_prune: run.final_prune,
             })
