@@ -2,7 +2,8 @@
 //! classification atlas — the merge half of the multi-process sharded
 //! sweep (see `crates/atlas/README.md`, "Sharded sweeps").
 //!
-//! Usage: `shard_merge --out merged.bnfatlas seg0.bnfatlas seg1.bnfatlas …`
+//! Usage: `shard_merge --out merged.bnfatlas [--report-json report.json]
+//! seg0.bnfatlas seg1.bnfatlas …`
 //!
 //! Each segment's records and shard metadata fold into `--out` under
 //! the strict conflict semantics (identical duplicates dedup cleanly;
@@ -16,7 +17,10 @@
 //! The report — per-shard wall-clock and peak RSS (max and sum across
 //! the shard *processes*, which a single-process `VmHWM` read would
 //! understate ~m-fold), merged enumeration counters, coverage status —
-//! goes to stdout in plain lines so CI can upload it as an artifact.
+//! goes to stdout in plain lines so CI can upload it as an artifact;
+//! `--report-json` writes the same numbers as a versioned
+//! [`bnf_obs::RunManifest`] with one shard-provenance entry per stored
+//! shard slot.
 
 use std::process::ExitCode;
 
@@ -37,16 +41,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let report_json = args
+        .iter()
+        .position(|a| a == "--report-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let segments: Vec<String> = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--out"))
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && (i == 0 || (args[i - 1] != "--out" && args[i - 1] != "--report-json"))
+        })
         .map(|(_, a)| a.clone())
         .collect();
     if segments.is_empty() {
         eprintln!("no segment files given");
         return ExitCode::FAILURE;
     }
+    // Scope the global recorder to this invocation so the manifest's
+    // `merge` span covers exactly this fold.
+    bnf_obs::Recorder::global().take();
+    let merge_started = std::time::Instant::now();
     let mut out = match ClassificationAtlas::open(&out_path) {
         Ok(a) => a,
         Err(e) => {
@@ -89,6 +105,34 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    if let Some(path) = report_json {
+        let mut manifest = bnf_obs::RunManifest::new("shard_merge", 0, "merge");
+        manifest.emitted = out.len() as u64;
+        manifest.elapsed_ms = merge_started.elapsed().as_millis() as u64;
+        manifest.peak_rss_kb = bnf_obs::peak_rss_kb();
+        manifest.set_counter("shard_slots", out.shard_metas().len() as u64);
+        manifest.shards = out
+            .shard_metas()
+            .iter()
+            .map(|m| bnf_obs::ShardProvenance {
+                order: u32::from(m.order),
+                index: m.shard_index,
+                count: m.shard_count,
+                parent_lo: m.parent_lo,
+                parent_hi: m.parent_hi,
+                emitted: m.emitted,
+                elapsed_ms: m.elapsed_ms,
+                peak_rss_kb: m.peak_rss_kb,
+                orchestrator_run: m.orchestrator_run,
+            })
+            .collect();
+        manifest.absorb(bnf_obs::Recorder::global().take());
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write run manifest to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("run manifest written to {path}");
     }
     ExitCode::SUCCESS
 }

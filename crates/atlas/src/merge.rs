@@ -78,6 +78,15 @@ pub fn merge_segments(
     out: &mut ClassificationAtlas,
     segments: &[impl AsRef<Path>],
 ) -> Result<MergeReport, SegmentError> {
+    bnf_obs::Recorder::global().time("merge", || merge_segments_inner(out, segments))
+}
+
+/// The [`merge_segments`] body, split out so the `merge` telemetry span
+/// covers the whole fold including the coverage declaration.
+fn merge_segments_inner(
+    out: &mut ClassificationAtlas,
+    segments: &[impl AsRef<Path>],
+) -> Result<MergeReport, SegmentError> {
     let mut report = MergeReport {
         segments: segments.len(),
         appended: 0,
@@ -112,6 +121,10 @@ pub fn merge_segments(
             path: out.path().to_path_buf(),
             error,
         })?;
+    let recorder = bnf_obs::Recorder::global();
+    recorder.add("merge_segments", report.segments as u64);
+    recorder.add("merge_appended", report.appended as u64);
+    recorder.add("merge_duplicates", report.duplicates as u64);
     Ok(report)
 }
 
@@ -127,9 +140,12 @@ pub fn render_shard_report(metas: &[ShardMeta]) -> String {
     for order in orders {
         let group: Vec<ShardMeta> = metas.iter().filter(|m| m.order == order).cloned().collect();
         for m in &group {
+            // `unavailable` is an explicit outcome (non-Linux shard, no
+            // /proc): a dash read as a placeholder someone forgot to
+            // fill in.
             let rss = m.peak_rss_kb.map_or_else(
-                || "-".to_string(),
-                |kb| format!("{:.1}", kb as f64 / 1024.0),
+                || "unavailable".to_string(),
+                |kb| format!("{:.1} MiB", kb as f64 / 1024.0),
             );
             // In-process orchestrated ranges share one process; their
             // RSS values are snapshots of the same high-water mark, not
@@ -141,8 +157,8 @@ pub fn render_shard_report(metas: &[ShardMeta]) -> String {
             };
             let _ = writeln!(
                 out,
-                "  n={} shard {}/{}: parents {}..{} of {}, {} records, {} ms, peak RSS {} \
-                 MiB{origin}",
+                "  n={} shard {}/{}: parents {}..{} of {}, {} records, {} ms, peak RSS \
+                 {}{origin}",
                 m.order,
                 m.shard_index,
                 m.shard_count,
@@ -271,6 +287,7 @@ mod tests {
         let text = render_shard_report(out.shard_metas());
         assert!(text.contains("shard 0/2"));
         assert!(text.contains("shard 1/2"));
+        assert!(text.contains("peak RSS 1.0 MiB"));
         assert!(text.contains("max 2.0 MiB, sum 3.0 MiB"));
         // A missing segment path is a wrapped error naming the file.
         let missing = scratch_path("missing");
@@ -279,5 +296,47 @@ mod tests {
         for p in seg_paths.iter().chain([&out_path]) {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    /// A shard that could not measure its RSS (non-Linux producer) must
+    /// say so explicitly; the per-order RSS summary over a group with
+    /// no measurements is omitted entirely, not rendered as zero.
+    #[test]
+    fn report_renders_unavailable_rss_explicitly() {
+        let meta = ShardMeta {
+            order: 5,
+            shard_index: 0,
+            shard_count: 1,
+            frontier_len: 3,
+            parent_lo: 0,
+            parent_hi: 3,
+            emitted: 21,
+            elapsed_ms: 2,
+            peak_rss_kb: None,
+            orchestrator_run: None,
+            frontier_prune: PruneCounters::default(),
+            final_prune: PruneCounters::default(),
+        };
+        let text = render_shard_report(std::slice::from_ref(&meta));
+        assert!(text.contains("peak RSS unavailable"), "{text}");
+        assert!(!text.contains("peak RSS -"), "{text}");
+        assert!(!text.contains("max"), "{text}");
+        // A mixed group still summarizes over the processes that did
+        // measure, while the unmeasured shard keeps its explicit line.
+        let measured = ShardMeta {
+            shard_index: 1,
+            shard_count: 2,
+            peak_rss_kb: Some(3072),
+            ..meta.clone()
+        };
+        let both = render_shard_report(&[
+            ShardMeta {
+                shard_count: 2,
+                ..meta
+            },
+            measured,
+        ]);
+        assert!(both.contains("peak RSS unavailable"), "{both}");
+        assert!(both.contains("peak RSS 3.0 MiB"), "{both}");
     }
 }

@@ -423,6 +423,7 @@ impl ClassificationAtlas {
         if fresh.is_empty() {
             return Ok(0);
         }
+        let write_started = std::time::Instant::now();
         let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         let mut payload = Vec::new();
         // The enumeration can only yield distinct keys within one
@@ -449,6 +450,9 @@ impl ClassificationAtlas {
             appended += 1;
         }
         w.flush()?;
+        let recorder = bnf_obs::Recorder::global();
+        recorder.add_span_ms("atlas_write", write_started.elapsed().as_millis() as u64);
+        recorder.add("atlas_records_appended", appended as u64);
         Ok(appended)
     }
 
@@ -501,6 +505,12 @@ impl ClassificationAtlas {
     /// fits the key's leading word).
     pub fn complete_sweep(&self, order: usize) -> Option<Vec<WindowRecord>> {
         let declared = self.coverage(order)?;
+        bnf_obs::Recorder::global().time("warm_replay", || self.replay_sweep(order, declared))
+    }
+
+    /// The [`ClassificationAtlas::complete_sweep`] body, split out so
+    /// the telemetry span covers exactly the replay work.
+    fn replay_sweep(&self, order: usize, declared: u64) -> Option<Vec<WindowRecord>> {
         let mut tagged: Vec<(u64, u64, &WindowRecord)> = self
             .map
             .values()

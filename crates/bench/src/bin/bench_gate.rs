@@ -12,19 +12,28 @@
 //! land in the CI filter set without a baseline mean in the same
 //! commit. Without `--strict`, extra estimates are reported as
 //! `(not gated)` but pass.
-//! Both files use the shim's `{"benchmarks":[{"id":…,"mean_ns":…,…}]}`
-//! shape (`BNF_CRITERION_JSON`); see `crates/bench/README.md` for the
+//!
+//! Two estimate shapes are understood, keyed off what follows each
+//! `"id"`: the criterion shim's `{"benchmarks":[{"id":…,"mean_ns":…}]}`
+//! (`BNF_CRITERION_JSON`) and the `bnf-obs` run manifest's `metrics`
+//! array (`{"id":…,"value":…}`, e.g. `manifest/candidates_per_survivor/8`
+//! from `--report-json`) — so one gate covers wall-clock means and
+//! counter-derived work metrics alike. `manifest/...` ids print raw
+//! values instead of milliseconds. See `crates/bench/README.md` for the
 //! baseline-refresh procedure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Extracts `id → mean_ns` pairs from one shim-format JSON document.
+/// Extracts `id → value` pairs from one JSON document: the shim's
+/// `"mean_ns"` estimates or a run manifest's `"value"` metrics —
+/// whichever key follows each `"id"` first.
 ///
-/// Not a general JSON parser: the shim (and the committed baseline)
-/// emit one flat object per benchmark with `"id"` preceding
-/// `"mean_ns"`, which is all this scanner assumes. Malformed input
-/// yields an error rather than silently passing the gate.
+/// Not a general JSON parser: both producers emit one flat object per
+/// entry with `"id"` preceding its number, which is all this scanner
+/// assumes (a manifest's counters/spans use `"name"` keys, so only its
+/// metrics array matches). Malformed input yields an error rather than
+/// silently passing the gate.
 fn parse_estimates(doc: &str) -> Result<BTreeMap<String, f64>, String> {
     let mut out = BTreeMap::new();
     let mut rest = doc;
@@ -38,18 +47,22 @@ fn parse_estimates(doc: &str) -> Result<BTreeMap<String, f64>, String> {
             return Err(format!("id {id:?} contains escapes the gate cannot parse"));
         }
         rest = &rest[end + 1..];
-        let mkey = "\"mean_ns\":";
-        let midx = rest
-            .find(mkey)
-            .ok_or_else(|| format!("no mean_ns after id {id:?}"))?;
-        let after = &rest[midx + mkey.len()..];
+        // The number key nearest this id wins, so a shim entry's
+        // mean_ns cannot be satisfied by some later metric's value (or
+        // vice versa).
+        let (midx, key) = ["\"mean_ns\":", "\"value\":"]
+            .into_iter()
+            .filter_map(|k| rest.find(k).map(|i| (i, k)))
+            .min_by_key(|&(i, _)| i)
+            .ok_or_else(|| format!("no mean_ns or value after id {id:?}"))?;
+        let after = &rest[midx + key.len()..];
         let num: String = after
             .chars()
             .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
             .collect();
         let mean: f64 = num
             .parse()
-            .map_err(|_| format!("bad mean_ns {num:?} for id {id:?}"))?;
+            .map_err(|_| format!("bad {key} number {num:?} for id {id:?}"))?;
         if out.insert(id.clone(), mean).is_some() {
             return Err(format!("duplicate id {id:?}"));
         }
@@ -63,8 +76,14 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     parse_estimates(&doc).map_err(|e| format!("{path}: {e}"))
 }
 
-fn fmt_ms(ns: f64) -> String {
-    format!("{:.3} ms", ns / 1e6)
+/// Shim estimates are nanosecond means; `manifest/...` metrics are
+/// dimensionless (ratios, shares) and print raw.
+fn fmt_value(id: &str, v: f64) -> String {
+    if id.starts_with("manifest/") {
+        format!("{v:.3}")
+    } else {
+        format!("{:.3} ms", v / 1e6)
+    }
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -107,7 +126,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                 ok = false;
                 println!(
                     "{id:<44} {:>12} {:>12} {:>8}  MISSING",
-                    fmt_ms(*base),
+                    fmt_value(id, *base),
                     "-",
                     "-"
                 );
@@ -118,8 +137,8 @@ fn run(args: &[String]) -> Result<bool, String> {
                 ok &= pass;
                 println!(
                     "{id:<44} {:>12} {:>12} {ratio:>8.2}  {}",
-                    fmt_ms(*base),
-                    fmt_ms(mean),
+                    fmt_value(id, *base),
+                    fmt_value(id, mean),
                     if pass { "ok" } else { "REGRESSED" }
                 );
             }
@@ -134,7 +153,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             println!(
                 "{id:<44} {:>12} {:>12} {:>8}  {}",
                 "-",
-                fmt_ms(*mean),
+                fmt_value(id, *mean),
                 "-",
                 if strict {
                     "UNGATED (missing baseline id)"
@@ -177,6 +196,37 @@ mod tests {
         assert_eq!(map.len(), 2);
         assert_eq!(map["fig2_fig3/sweep/7"], 123456789.0);
         assert_eq!(map["streaming_sweep/streaming/7"], 98765432.1);
+    }
+
+    #[test]
+    fn parses_manifest_metrics() {
+        // The relevant slice of a bnf-obs run manifest: counters/spans
+        // key on "name" (invisible to the scanner); metrics on "id"
+        // with "value".
+        let manifest = r#"{
+"bnf_manifest_version":1,
+"counters":[{"name":"candidates","value":65431},{"name":"accepted","value":11117}],
+"metrics":[{"id":"manifest/candidates_per_survivor/8","value":5.886},
+           {"id":"manifest/heaviest_range_share/8","value":0.141}],
+"shards":[]
+}"#;
+        let map = parse_estimates(manifest).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["manifest/candidates_per_survivor/8"], 5.886);
+        assert_eq!(map["manifest/heaviest_range_share/8"], 0.141);
+        // A mixed load (shim estimates + manifest metrics) keys each id
+        // off its nearest number, never a later entry's.
+        let mixed = format!("{SAMPLE}{manifest}");
+        let map = parse_estimates(&mixed).unwrap();
+        assert_eq!(map.len(), 4);
+        assert_eq!(map["streaming_sweep/streaming/7"], 98765432.1);
+        assert_eq!(map["manifest/candidates_per_survivor/8"], 5.886);
+        // Manifest metrics render raw; shim means render as ms.
+        assert_eq!(fmt_value("manifest/x/8", 5.886), "5.886");
+        assert_eq!(
+            fmt_value("streaming_sweep/streaming/7", 46.5e6),
+            "46.500 ms"
+        );
     }
 
     #[test]

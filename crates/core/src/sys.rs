@@ -1,19 +1,10 @@
 //! Small process-introspection helpers shared by the reporting CLIs.
+//!
+//! The implementation lives in [`bnf_obs::sys`] next to the rest of the
+//! telemetry stack; this module re-exports it so existing
+//! `bnf_core::peak_rss_kb` callers keep working.
 
-/// Peak resident set size of **this process** in kibibytes (`VmHWM`
-/// from `/proc/self/status`), `None` where unavailable (non-Linux).
-///
-/// The figure binaries report this so the streaming-vs-materializing
-/// memory comparison is a one-flag experiment instead of an external
-/// profiler session. Note the scope: a multi-process sharded sweep must
-/// record one value *per shard process* (each stamps its own into the
-/// segment's shard metadata) — reading it once from a driver process
-/// would understate the fleet's memory roughly `m`-fold.
-pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
+pub use bnf_obs::sys::peak_rss_kb;
 
 #[cfg(test)]
 mod tests {

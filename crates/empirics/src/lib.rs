@@ -135,11 +135,20 @@ pub fn grid_from_args(args: &[String], default: impl FnOnce() -> Vec<Ratio>) -> 
 
 /// The windows-first half of [`run_sweep_cli`], also used directly by
 /// `efficiency_scan`: parses `--streaming` / `--atlas` / `--shards
-/// auto|R` / `--jobs N` / `--shard i/m`, classifies all connected
-/// topologies on `n` vertices into a [`WindowSweep`], appends fresh
-/// records back to the atlas, and reports the classification wall time
-/// in milliseconds (the number the CI cold/warm ≥ 10× gate reads) plus
-/// atlas hit counts and peak RSS to stderr.
+/// auto|R` / `--jobs N` / `--shard i/m` / `--report-json <path>`,
+/// classifies all connected topologies on `n` vertices into a
+/// [`WindowSweep`], appends fresh records back to the atlas, and
+/// reports the classification wall time in milliseconds (the number
+/// the CI cold/warm ≥ 10× gate reads) plus atlas hit counts and peak
+/// RSS to stderr.
+///
+/// Every stderr diagnostic line is rendered from a
+/// [`bnf_obs::RunManifest`] ([`build_sweep_manifest`]); with
+/// `--report-json <path>` the same manifest — plus the spans, counters
+/// and histograms drained from [`bnf_obs::Recorder::global`] — is
+/// written as a versioned JSON document. A rate-limited heartbeat
+/// (`BNF_PROGRESS`, default every 10 s) reports emitted/expected with
+/// an ETA while the enumeration runs.
 ///
 /// With `--shards auto` (or an explicit range count) the sweep runs the
 /// **in-process orchestrator** ([`WindowSweep::run_orchestrated`]): the
@@ -184,10 +193,19 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     let shards = arg_value(args, "--shards");
     let shard = arg_value(args, "--shard")
         .map(|s| bnf_stream::ShardSpec::parse(&s).unwrap_or_else(|e| panic!("bad --shard: {e}")));
+    let report_json = arg_value(args, "--report-json");
     let mut atlas = arg_value(args, "--atlas").map(|p| {
         bnf_atlas::ClassificationAtlas::open(&p)
             .unwrap_or_else(|e| panic!("cannot open atlas {p}: {e}"))
     });
+    // Scope the process-wide recorder to this run, then let the
+    // enumeration layers heartbeat progress against the known connected
+    // count for this order.
+    bnf_obs::Recorder::global().take();
+    bnf_obs::heartbeat::install(
+        &format!("n={n} sweep"),
+        bnf_obs::heartbeat::expected_connected(n),
+    );
     if let Some(shard) = shard {
         assert!(
             shards.is_none(),
@@ -197,7 +215,7 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
         let atlas = atlas
             .as_mut()
             .expect("--shard writes a segment store: pass --atlas <segment path>");
-        write_shard_segment(n, threads, shard, atlas);
+        write_shard_segment(n, threads, shard, atlas, report_json);
     }
     if let Some(atlas) = &atlas {
         // Merged-store provenance: a store assembled by shard_merge or
@@ -229,7 +247,7 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
                     panic!("--shards wants `auto` or a range count, got {v:?}")
                 })),
             };
-        return run_orchestrated_cli(n, threads, ranges, atlas);
+        return run_orchestrated_cli(n, threads, ranges, atlas, report_json);
     }
     eprintln!(
         "classifying all connected topologies on n={n} vertices ({path} enumeration{})...",
@@ -240,28 +258,14 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     );
     let started = std::time::Instant::now();
     let (windows, stats) = WindowSweep::run_with_stats(n, threads, streaming, atlas.as_ref());
-    let elapsed_ms = started.elapsed().as_millis();
-    eprintln!(
-        "classified {} topologies: classification took {elapsed_ms} ms ({path} path)",
-        windows.records.len()
-    );
-    if let Some(stats) = stats {
-        // The canonical-construction pruning counters: how many
-        // children the enumeration actually constructed, what the
-        // cheap pre-filters disposed of, and the candidates-per-
-        // survivor ratio CI gates.
-        let p = &stats.prune;
-        eprintln!(
-            "enumeration: {} candidates ({} orbit-skipped masks), {} cheap-rejected, \
-             {} search-rejected, {} duplicates, {} accepted ({:.2} candidates/survivor)",
-            p.candidates,
-            p.orbit_skipped,
-            p.cheap_rejected,
-            p.search_rejected,
-            p.duplicates,
-            p.accepted(),
-            p.candidates_per_survivor()
-        );
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    bnf_obs::heartbeat::finish();
+    // The report is rendered *from the manifest* (bnf-obs), so the
+    // stderr lines and the --report-json numbers cannot disagree.
+    let mut manifest = build_sweep_manifest(n, path, elapsed_ms, &windows, stats.as_ref());
+    eprintln!("{}", bnf_obs::render_classified_line(&manifest));
+    if let Some(line) = bnf_obs::render_enumeration_line(&manifest) {
+        eprintln!("{line}");
     }
     if let Some(atlas) = atlas.as_mut() {
         let appended = atlas
@@ -272,6 +276,8 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
         atlas
             .mark_complete(n, windows.records.len())
             .unwrap_or_else(|e| panic!("atlas coverage update failed: {e}"));
+        manifest.set_counter("atlas_hits", (windows.records.len() - appended) as u64);
+        manifest.set_counter("atlas_appended", appended as u64);
         eprintln!(
             "atlas {}: {} hits, {appended} new records appended ({} stored)",
             atlas.path().display(),
@@ -279,8 +285,67 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
             atlas.len()
         );
     }
-    report_peak_rss(path);
+    manifest.peak_rss_kb = peak_rss_kb();
+    eprintln!("{}", bnf_obs::format_peak_rss(manifest.peak_rss_kb, path));
+    finish_manifest(manifest, report_json);
     windows
+}
+
+/// The run-manifest skeleton every sweep CLI path shares: identity
+/// (tool, order, path, exact argv), outcome (emitted, wall-clock) and —
+/// when the run enumerated — the exact [`bnf_stream::StreamStats`]
+/// level sizes and pruning counters, plus the gated
+/// `manifest/candidates_per_survivor/{n}` metric.
+///
+/// Counters are seeded from `stats` (deterministic, exactly what the
+/// run computed), never from the global recorder — recorder values are
+/// [`bnf_obs::RunManifest::absorb`]ed separately at write time so
+/// auxiliary telemetry cannot perturb the gated numbers.
+pub fn build_sweep_manifest(
+    n: usize,
+    path: &str,
+    elapsed_ms: u64,
+    windows: &WindowSweep,
+    stats: Option<&bnf_stream::StreamStats>,
+) -> bnf_obs::RunManifest {
+    let tool = std::env::args()
+        .next()
+        .as_deref()
+        .map(|arg0| {
+            std::path::Path::new(arg0)
+                .file_stem()
+                .map_or_else(|| arg0.to_owned(), |s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "sweep".to_owned());
+    let mut manifest = bnf_obs::RunManifest::new(&tool, n as u32, path);
+    manifest.emitted = windows.records.len() as u64;
+    manifest.elapsed_ms = elapsed_ms;
+    manifest.peak_rss_kb = peak_rss_kb();
+    if let Some(stats) = stats {
+        manifest.level_sizes = stats.level_sizes.clone();
+        for (name, value) in stats.prune.named() {
+            manifest.set_counter(name, value);
+        }
+        manifest.push_metric(
+            &format!("manifest/candidates_per_survivor/{n}"),
+            stats.prune.candidates_per_survivor(),
+        );
+    }
+    manifest
+}
+
+/// Folds the global recorder's spans / counters / histograms into the
+/// manifest and writes it to `report_json` when given. Draining the
+/// recorder even when no report was requested keeps consecutive runs in
+/// one process (tests, warm replays after a cold run) from leaking
+/// telemetry into each other.
+fn finish_manifest(mut manifest: bnf_obs::RunManifest, report_json: Option<String>) {
+    manifest.absorb(bnf_obs::Recorder::global().take());
+    if let Some(path) = report_json {
+        std::fs::write(&path, manifest.to_json())
+            .unwrap_or_else(|e| panic!("cannot write run manifest to {path}: {e}"));
+        eprintln!("run manifest written to {path}");
+    }
 }
 
 /// The `--shards auto|R` body: one in-process orchestrated sweep —
@@ -293,6 +358,7 @@ fn run_orchestrated_cli(
     threads: usize,
     ranges: Option<usize>,
     mut atlas: Option<bnf_atlas::ClassificationAtlas>,
+    report_json: Option<String>,
 ) -> WindowSweep {
     let range_count = ranges.unwrap_or_else(|| bnf_engine::auto_range_count(threads));
     // Two handles on the same store: the orchestrator's workers read
@@ -318,8 +384,20 @@ fn run_orchestrated_cli(
     let started = std::time::Instant::now();
     let mut appended_total = 0usize;
     let mut hits_total = 0usize;
+    let mut provenance: Vec<bnf_obs::ShardProvenance> = Vec::new();
     let (windows, stats) =
         WindowSweep::run_orchestrated(n, threads, ranges, lookup.as_ref(), |seg| {
+            provenance.push(bnf_obs::ShardProvenance {
+                order: n as u32,
+                index: seg.index as u32,
+                count: seg.ranges as u32,
+                parent_lo: seg.parent_lo,
+                parent_hi: seg.parent_hi,
+                emitted: seg.emitted,
+                elapsed_ms: seg.elapsed_ms,
+                peak_rss_kb: peak_rss_kb(),
+                orchestrator_run: Some(run_id),
+            });
             if let Some(atlas) = atlas.as_mut() {
                 let appended = atlas
                     .append_records(seg.records)
@@ -345,27 +423,28 @@ fn run_orchestrated_cli(
                     .unwrap_or_else(|e| panic!("atlas metadata append failed: {e}"));
             }
         });
-    let elapsed_ms = started.elapsed().as_millis();
-    eprintln!(
-        "classified {} topologies: classification took {elapsed_ms} ms (orchestrated path, \
-         {} ranges on {} threads, frontier of {} parents built once)",
-        windows.records.len(),
-        stats.ranges,
-        stats.threads,
-        stats.frontier_len,
-    );
-    let p = &stats.stats.prune;
-    eprintln!(
-        "enumeration: {} candidates ({} orbit-skipped masks), {} cheap-rejected, \
-         {} search-rejected, {} duplicates, {} accepted ({:.2} candidates/survivor)",
-        p.candidates,
-        p.orbit_skipped,
-        p.cheap_rejected,
-        p.search_rejected,
-        p.duplicates,
-        p.accepted(),
-        p.candidates_per_survivor()
-    );
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    bnf_obs::heartbeat::finish();
+    let mut manifest =
+        build_sweep_manifest(n, "orchestrated", elapsed_ms, &windows, Some(&stats.stats));
+    manifest.set_counter("ranges", stats.ranges as u64);
+    manifest.set_counter("threads", stats.threads as u64);
+    manifest.set_counter("frontier_len", stats.frontier_len);
+    // Steal-balance quality: the heaviest range's share of the emitted
+    // total. 1/ranges is perfect balance; near 1.0 means one range
+    // dominated the run and the oversplit is too coarse.
+    if manifest.emitted > 0 {
+        let heaviest = provenance.iter().map(|s| s.emitted).max().unwrap_or(0);
+        manifest.push_metric(
+            &format!("manifest/heaviest_range_share/{n}"),
+            heaviest as f64 / manifest.emitted as f64,
+        );
+    }
+    manifest.shards = provenance;
+    eprintln!("{}", bnf_obs::render_classified_line(&manifest));
+    if let Some(line) = bnf_obs::render_enumeration_line(&manifest) {
+        eprintln!("{line}");
+    }
     if let Some(atlas) = atlas.as_mut() {
         let coverage = atlas
             .declare_sharded_coverage()
@@ -384,6 +463,8 @@ fn run_orchestrated_cli(
                 ),
             }
         }
+        manifest.set_counter("atlas_hits", hits_total as u64);
+        manifest.set_counter("atlas_appended", appended_total as u64);
         eprintln!(
             "atlas {}: {hits_total} hits, {appended_total} new records appended ({} stored)",
             atlas.path().display(),
@@ -392,7 +473,12 @@ fn run_orchestrated_cli(
     }
     // One process, one VmHWM: the honest memory number, versus the
     // max + sum ambiguity of a 16-process shard fleet.
-    report_peak_rss("orchestrated");
+    manifest.peak_rss_kb = peak_rss_kb();
+    eprintln!(
+        "{}",
+        bnf_obs::format_peak_rss(manifest.peak_rss_kb, "orchestrated")
+    );
+    finish_manifest(manifest, report_json);
     windows
 }
 
@@ -418,6 +504,7 @@ fn write_shard_segment(
     threads: usize,
     shard: bnf_stream::ShardSpec,
     atlas: &mut bnf_atlas::ClassificationAtlas,
+    report_json: Option<String>,
 ) -> ! {
     eprintln!(
         "classifying shard {}/{} of the n={n} parent frontier into segment {} \
@@ -450,7 +537,7 @@ fn write_shard_segment(
     atlas
         .append_shard_meta(&meta)
         .unwrap_or_else(|e| panic!("segment metadata append failed: {e}"));
-    let p = &run.final_prune;
+    bnf_obs::heartbeat::finish();
     eprintln!(
         "shard {}/{}: parents {}..{} of {}, {} records in {elapsed_ms} ms \
          ({appended} newly classified, {} atlas hits)",
@@ -462,19 +549,39 @@ fn write_shard_segment(
         windows.records.len(),
         windows.records.len() - appended,
     );
-    eprintln!(
-        "shard enumeration (final level only): {} candidates ({} orbit-skipped), \
-         {} cheap-rejected, {} search-rejected, {} duplicates, {} accepted \
-         ({:.2} candidates/survivor)",
-        p.candidates,
-        p.orbit_skipped,
-        p.cheap_rejected,
-        p.search_rejected,
-        p.duplicates,
-        p.accepted(),
-        p.candidates_per_survivor(),
+    // The shard path has no whole-run StreamStats — its counters cover
+    // the final level only — so the manifest is seeded by hand and the
+    // shard-flavoured enumeration line rendered from it.
+    let mut manifest = build_sweep_manifest(n, "shard", elapsed_ms, &windows, None);
+    for (name, value) in run.final_prune.named() {
+        manifest.set_counter(name, value);
+    }
+    manifest.set_counter("atlas_hits", (windows.records.len() - appended) as u64);
+    manifest.set_counter("atlas_appended", appended as u64);
+    manifest.push_metric(
+        &format!("manifest/candidates_per_survivor/{n}"),
+        run.final_prune.candidates_per_survivor(),
     );
-    report_peak_rss("shard");
+    manifest.shards = vec![bnf_obs::ShardProvenance {
+        order: n as u32,
+        index: shard.index as u32,
+        count: shard.count as u32,
+        parent_lo: run.parent_lo,
+        parent_hi: run.parent_hi,
+        emitted: run.stats.emitted(),
+        elapsed_ms,
+        peak_rss_kb: meta.peak_rss_kb,
+        orchestrator_run: None,
+    }];
+    if let Some(line) = bnf_obs::render_enumeration_line(&manifest) {
+        eprintln!("{line}");
+    }
+    manifest.peak_rss_kb = peak_rss_kb();
+    eprintln!(
+        "{}",
+        bnf_obs::format_peak_rss(manifest.peak_rss_kb, "shard")
+    );
+    finish_manifest(manifest, report_json);
     eprintln!(
         "segment written; fold segments with `shard_merge --out merged.bnfatlas <segments>` \
          and re-run with --atlas merged.bnfatlas"
@@ -482,12 +589,12 @@ fn write_shard_segment(
     std::process::exit(0);
 }
 
-/// Prints this process's peak RSS to stderr where measurable (no-op
-/// elsewhere); `path` labels which enumeration path produced it.
+/// Prints this process's peak RSS to stderr; `path` labels which
+/// enumeration path produced it. Where the value is unmeasurable
+/// (non-Linux: [`peak_rss_kb`] is `None`) the line says `unavailable`
+/// explicitly — silently omitting it made those reports look truncated.
 pub fn report_peak_rss(path: &str) {
-    if let Some(kb) = peak_rss_kb() {
-        eprintln!("peak RSS: {:.1} MiB ({path} path)", kb as f64 / 1024.0);
-    }
+    eprintln!("{}", bnf_obs::format_peak_rss(peak_rss_kb(), path));
 }
 
 /// Parses `--name value` from a raw argument list (first occurrence).

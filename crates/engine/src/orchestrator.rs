@@ -197,11 +197,13 @@ where
                     clean: false,
                 };
                 let mut scratch = WorkerScratch::new();
+                let mut stolen = 0u64;
                 loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= ranges {
                         break;
                     }
+                    stolen += 1;
                     let (lo, hi) = ShardSpec::new(index, ranges).range(frontier.len());
                     let started = Instant::now();
                     let mut tagged: Vec<((usize, u64), A::Output)> = Vec::new();
@@ -228,6 +230,9 @@ where
                         break;
                     }
                 }
+                // The steal-balance histogram: a lopsided distribution
+                // means the oversplit is too coarse for this frontier.
+                bnf_obs::Recorder::global().record_hist("ranges_per_worker", stolen);
                 exit.clean = true;
             });
         }
@@ -248,6 +253,9 @@ where
                 final_prune: segment.final_prune,
                 records: &segment.records,
             });
+            let recorder = bnf_obs::Recorder::global();
+            recorder.record_hist("range_wall_ms", segment.elapsed_ms);
+            recorder.record_hist("range_emitted", segment.emitted);
             emitted_total += segment.emitted;
             final_prune.merge(&segment.final_prune);
             segments += 1;
@@ -257,7 +265,8 @@ where
 
     debug_assert_eq!(segments, ranges, "partition did not close");
     let _ = segments;
-    merged.sort_by_key(|t| t.0);
+    bnf_obs::Recorder::global().record_max("writer_backlog_high_water", queue.high_water() as u64);
+    bnf_obs::Recorder::global().time("sort", || merged.sort_by_key(|t| t.0));
     let mut stats = StreamStats {
         level_sizes: frontier.level_sizes().to_vec(),
         prune: frontier_prune,

@@ -349,8 +349,12 @@ impl AnalysisEngine {
             let _guard = queue.close_guard();
             stats = Some(produce(producers, &|graph, key| queue.push((graph, key))));
         });
+        // A high-water mark at queue capacity means the classifiers were
+        // the bottleneck and the bound actually throttled the producer.
+        bnf_obs::Recorder::global()
+            .record_max("stream_queue_high_water", queue.high_water() as u64);
         let mut tagged = lock_into(results);
-        tagged.sort_by_key(|t| (t.0, t.1));
+        bnf_obs::Recorder::global().time("sort", || tagged.sort_by_key(|t| (t.0, t.1)));
         (
             tagged.into_iter().map(|(_, _, out)| out).collect(),
             stats.expect("producer ran"),

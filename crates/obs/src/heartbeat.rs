@@ -1,0 +1,294 @@
+//! The rate-limited progress heartbeat: a stderr line every few
+//! seconds during long enumerations, with an ETA from the known
+//! connected-graph counts.
+//!
+//! Contract (`BNF_PROGRESS`):
+//!
+//! * unset → one line every [`DEFAULT_PERIOD_SECS`] seconds,
+//! * `BNF_PROGRESS=N` → every `N` seconds,
+//! * `BNF_PROGRESS=off` (or `0`) → silent.
+//!
+//! When stderr is a TTY the line redraws in place (carriage return +
+//! erase-to-EOL); otherwise — CI logs, redirections — each heartbeat is
+//! a plain newline-terminated line so logs stay line-oriented and
+//! greppable. Unparsable values fall back to the default rather than
+//! disabling the signal.
+//!
+//! [`tick`] is the only hot-path entry point: producers call it once
+//! per emitted graph. When no heartbeat is installed it is a single
+//! atomic load; when one is, it is an atomic add plus a clock read —
+//! both invisible next to the canonical-form search that produced the
+//! graph.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Connected graphs on `n` unlabelled vertices (OEIS A001349) for
+/// `n = 0..=10` — the enumeration's final level size, hence the
+/// heartbeat's expected total, is known before the run starts.
+pub const CONNECTED_COUNTS: [u64; 11] = [1, 1, 1, 2, 6, 21, 112, 853, 11_117, 261_080, 11_716_571];
+
+/// The expected number of emitted graphs for order `n`, where known
+/// (the table covers every order the enumerator supports).
+pub fn expected_connected(n: usize) -> Option<u64> {
+    CONNECTED_COUNTS.get(n).copied()
+}
+
+/// Heartbeat period when `BNF_PROGRESS` is unset.
+pub const DEFAULT_PERIOD_SECS: u64 = 10;
+
+/// The parsed `BNF_PROGRESS` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// No heartbeat output at all.
+    Off,
+    /// One line at most every this-many seconds.
+    Every(u64),
+}
+
+/// Parses a raw `BNF_PROGRESS` value: `off`/`0` silence the heartbeat,
+/// a number sets the period in seconds, anything else (including
+/// unset) falls back to `default_secs`.
+pub fn progress_from(raw: Option<&str>, default_secs: u64) -> Progress {
+    match raw.map(str::trim) {
+        Some("off") | Some("OFF") | Some("Off") => Progress::Off,
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => Progress::Off,
+            Ok(secs) => Progress::Every(secs),
+            Err(_) => Progress::Every(default_secs),
+        },
+        None => Progress::Every(default_secs),
+    }
+}
+
+/// [`progress_from`] over the `BNF_PROGRESS` environment variable with
+/// the default period.
+pub fn progress_from_env() -> Progress {
+    progress_from(
+        std::env::var("BNF_PROGRESS").ok().as_deref(),
+        DEFAULT_PERIOD_SECS,
+    )
+}
+
+/// One progress line: done/expected with percentage and an ETA
+/// extrapolated from the observed rate, or a plain count when the
+/// expected total is unknown.
+pub fn format_progress(label: &str, done: u64, expected: Option<u64>, elapsed_ms: u64) -> String {
+    let elapsed_s = elapsed_ms as f64 / 1000.0;
+    match expected {
+        Some(total) if total > 0 && done > 0 => {
+            let pct = 100.0 * done as f64 / total as f64;
+            let eta_s = elapsed_s * (total.saturating_sub(done)) as f64 / done as f64;
+            format!(
+                "progress: {label} {done}/{total} ({pct:.1}%), elapsed {elapsed_s:.0}s, \
+                 ETA {eta_s:.0}s"
+            )
+        }
+        Some(total) => format!("progress: {label} {done}/{total}, elapsed {elapsed_s:.0}s"),
+        None => format!("progress: {label} {done} emitted, elapsed {elapsed_s:.0}s"),
+    }
+}
+
+/// Wraps a progress line in its output frame: carriage-return redraw
+/// with erase-to-EOL on a TTY, a plain newline-terminated line
+/// everywhere else (CI logs must stay line-oriented — no ANSI, no
+/// `\r`).
+pub fn render_frame(line: &str, tty: bool) -> String {
+    if tty {
+        format!("\r{line}\x1b[K")
+    } else {
+        format!("{line}\n")
+    }
+}
+
+/// A rate-limited progress reporter. Construct with [`Heartbeat::new`]
+/// (or install process-wide with [`install`]) and call
+/// [`Heartbeat::tick`] once per unit of progress.
+#[derive(Debug)]
+pub struct Heartbeat {
+    label: String,
+    expected: Option<u64>,
+    period_ms: u64,
+    tty: bool,
+    started: Instant,
+    done: AtomicU64,
+    /// Elapsed-ms threshold the next line prints at; CAS-claimed so
+    /// concurrent tickers print at most one line per period.
+    next_at_ms: AtomicU64,
+    redrew: AtomicBool,
+}
+
+impl Heartbeat {
+    /// A heartbeat for `progress`, or `None` when the contract says
+    /// off. `tty` selects the redraw-in-place frame; pass
+    /// `stderr().is_terminal()` (see [`install`]).
+    pub fn new(
+        label: &str,
+        expected: Option<u64>,
+        progress: Progress,
+        tty: bool,
+    ) -> Option<Heartbeat> {
+        let Progress::Every(secs) = progress else {
+            return None;
+        };
+        let period_ms = secs.saturating_mul(1000).max(1);
+        Some(Heartbeat {
+            label: label.to_owned(),
+            expected,
+            period_ms,
+            tty,
+            started: Instant::now(),
+            done: AtomicU64::new(0),
+            next_at_ms: AtomicU64::new(period_ms),
+            redrew: AtomicBool::new(false),
+        })
+    }
+
+    /// Records `delta` units of progress and, at most once per period,
+    /// prints a line to stderr.
+    pub fn tick(&self, delta: u64) {
+        let done = self.done.fetch_add(delta, Ordering::Relaxed) + delta;
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        let due = self.next_at_ms.load(Ordering::Relaxed);
+        if elapsed_ms < due {
+            return;
+        }
+        // One winner per period: the losing tickers see the bumped
+        // threshold and return without printing.
+        if self
+            .next_at_ms
+            .compare_exchange(
+                due,
+                elapsed_ms + self.period_ms,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return;
+        }
+        let line = format_progress(&self.label, done, self.expected, elapsed_ms);
+        if self.tty {
+            self.redrew.store(true, Ordering::Relaxed);
+        }
+        eprint!("{}", render_frame(&line, self.tty));
+    }
+
+    /// Units of progress recorded so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Ends the heartbeat's output: on a TTY where a redraw line is
+    /// pending, moves to a fresh line so subsequent reports don't
+    /// overwrite it. A no-op in line-oriented mode.
+    pub fn finish(&self) {
+        if self.redrew.swap(false, Ordering::Relaxed) {
+            eprintln!();
+        }
+    }
+}
+
+static ACTIVE: OnceLock<Option<Heartbeat>> = OnceLock::new();
+
+/// Installs the process-wide heartbeat (first caller wins): period
+/// from `BNF_PROGRESS`, frame from whether stderr is a TTY. Library
+/// code reports through [`tick`] without knowing whether anything is
+/// listening.
+pub fn install(label: &str, expected: Option<u64>) {
+    let _ = ACTIVE.set(Heartbeat::new(
+        label,
+        expected,
+        progress_from_env(),
+        std::io::stderr().is_terminal(),
+    ));
+}
+
+/// Records progress against the installed heartbeat; a no-op (one
+/// atomic load) when none is installed.
+pub fn tick(delta: u64) {
+    if let Some(Some(hb)) = ACTIVE.get() {
+        hb.tick(delta);
+    }
+}
+
+/// Finishes the installed heartbeat's output (see
+/// [`Heartbeat::finish`]); a no-op when none is installed.
+pub fn finish() {
+    if let Some(Some(hb)) = ACTIVE.get() {
+        hb.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_contract_parses() {
+        assert_eq!(progress_from(None, 10), Progress::Every(10));
+        assert_eq!(progress_from(Some("off"), 10), Progress::Off);
+        assert_eq!(progress_from(Some("OFF"), 10), Progress::Off);
+        assert_eq!(progress_from(Some("0"), 10), Progress::Off);
+        assert_eq!(progress_from(Some("5"), 10), Progress::Every(5));
+        assert_eq!(progress_from(Some(" 30 "), 10), Progress::Every(30));
+        // Garbage keeps the signal on at the default period rather
+        // than silently disabling it.
+        assert_eq!(progress_from(Some("soon"), 10), Progress::Every(10));
+        assert_eq!(progress_from(Some(""), 10), Progress::Every(10));
+    }
+
+    #[test]
+    fn expected_totals_match_oeis_a001349() {
+        assert_eq!(expected_connected(7), Some(853));
+        assert_eq!(expected_connected(9), Some(261_080));
+        assert_eq!(expected_connected(10), Some(11_716_571));
+        assert_eq!(expected_connected(11), None);
+    }
+
+    #[test]
+    fn progress_line_reports_eta_from_observed_rate() {
+        // 25% done in 10 s → 30 s to go.
+        let line = format_progress("n=9 sweep", 65_270, Some(261_080), 10_000);
+        assert_eq!(
+            line,
+            "progress: n=9 sweep 65270/261080 (25.0%), elapsed 10s, ETA 30s"
+        );
+        // Nothing done yet: no rate, no ETA.
+        assert_eq!(
+            format_progress("n=9 sweep", 0, Some(261_080), 2_000),
+            "progress: n=9 sweep 0/261080, elapsed 2s"
+        );
+        // Unknown total: plain count.
+        assert_eq!(
+            format_progress("scan", 17, None, 1_500),
+            "progress: scan 17 emitted, elapsed 2s"
+        );
+    }
+
+    #[test]
+    fn frame_is_line_oriented_off_tty_and_redraws_on_tty() {
+        let line = "progress: n=9 sweep 1/2, elapsed 0s";
+        // Non-TTY (CI logs): newline-terminated, no ANSI, no \r.
+        let plain = render_frame(line, false);
+        assert_eq!(plain, format!("{line}\n"));
+        assert!(!plain.contains('\r'));
+        assert!(!plain.contains('\x1b'));
+        // TTY: redraw in place, erase the tail of the previous line.
+        let tty = render_frame(line, true);
+        assert_eq!(tty, format!("\r{line}\x1b[K"));
+        assert!(!tty.ends_with('\n'));
+    }
+
+    #[test]
+    fn off_constructs_no_heartbeat() {
+        assert!(Heartbeat::new("x", None, Progress::Off, false).is_none());
+        let hb = Heartbeat::new("x", Some(10), Progress::Every(3600), false).unwrap();
+        // Ticks accumulate even while the period keeps output silent.
+        hb.tick(3);
+        hb.tick(4);
+        assert_eq!(hb.done(), 7);
+    }
+}

@@ -1,0 +1,359 @@
+//! The in-process telemetry sink: spans, counters and log-bucketed
+//! histograms behind one mutex, cheap enough to leave enabled.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `b ≥ 1` holds `[2^(b-1), 2^b)`,
+/// so any `u64` lands in one of 65 buckets and recording is a shift,
+/// never a search. Exact count / sum / min / max ride along, so the
+/// mean is exact even though the distribution is quantized.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("buckets", &self.nonempty_buckets())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    /// The bucket index `value` lands in: 0 for 0, else
+    /// `floor(log2(value)) + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The smallest value belonging to bucket `index`.
+    pub fn bucket_lo(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket_index(value)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The non-empty buckets as `(bucket_lo, count)` pairs in
+    /// ascending value order — the sparse form the manifest serializes.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (Histogram::bucket_lo(i), *c))
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    spans_ms: BTreeMap<String, u64>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A point-in-time copy of a [`Recorder`]'s contents, ready to be
+/// folded into a [`crate::RunManifest`]. Name-sorted (the recorder
+/// stores `BTreeMap`s), so downstream serialization is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Accumulated span wall-clock, milliseconds, by span name.
+    pub spans_ms: Vec<(String, u64)>,
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// The telemetry sink: named spans (accumulated wall-clock), counters
+/// (sums and high-water maxima) and log-bucketed histograms behind one
+/// mutex.
+///
+/// Recording takes the lock once per call; every call site in the
+/// sweep stack records per *phase*, *level* or *range* — never per
+/// graph — so contention is structurally negligible next to the
+/// canonical-form searches the phases spend their time in. Per-graph
+/// signals go through the lock-free [`crate::heartbeat`] instead.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("spans_ms", &self.spans_ms)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// The process-wide recorder deep library code records into
+    /// without a plumbed handle. CLI front-ends [`Recorder::take`] it
+    /// at the start of a run (scoping the run) and again at the end
+    /// (draining it into the manifest).
+    pub fn global() -> &'static Recorder {
+        static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+        GLOBAL.get_or_init(Recorder::new)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Telemetry must keep working after a worker panic elsewhere;
+        // none of the recorded aggregates can be left inconsistent by
+        // an unwinding writer (each update is a single map operation).
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Adds `delta` to counter `name` (creating it at 0).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Raises counter `name` to `value` if larger — high-water marks
+    /// (queue depth, writer backlog) share the counter namespace.
+    pub fn record_max(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(name.to_owned()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Adds `ms` of wall-clock to span `name` (spans accumulate: a
+    /// phase entered many times reports its total).
+    pub fn add_span_ms(&self, name: &str, ms: u64) {
+        let mut inner = self.lock();
+        let slot = inner.spans_ms.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(ms);
+    }
+
+    /// Runs `f`, charging its wall-clock to span `name`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let out = f();
+        self.add_span_ms(name, started.elapsed().as_millis() as u64);
+        out
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn record_hist(&self, name: &str, value: u64) {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// A copy of the current contents, leaving them in place.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            spans_ms: inner
+                .spans_ms
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Drains the recorder, returning everything recorded since the
+    /// last `take` — how a CLI scopes telemetry to one run.
+    pub fn take(&self) -> Snapshot {
+        let mut inner = self.lock();
+        let drained = std::mem::take(&mut *inner);
+        drop(inner);
+        Snapshot {
+            spans_ms: drained.spans_ms.into_iter().collect(),
+            counters: drained.counters.into_iter().collect(),
+            histograms: drained.histograms.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_lo(1), 1);
+        assert_eq!(Histogram::bucket_lo(11), 1024);
+        assert_eq!(Histogram::bucket_lo(64), 1u64 << 63);
+        // Every value belongs to the bucket whose lo it is ≥.
+        for v in [0u64, 1, 2, 7, 100, 4096, u64::MAX] {
+            let b = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_lo(b) <= v.max(1) || v == 0);
+            if b < 64 {
+                assert!(v < Histogram::bucket_lo(b + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates_exactly() {
+        let mut h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.sum()), (0, 0, 0, 0));
+        for v in [3u64, 0, 17, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1047);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        // 0 → bucket 0; 3,3 → bucket 2; 17 → bucket 5; 1024 → bucket 11.
+        assert_eq!(
+            h.nonempty_buckets(),
+            vec![(0, 1), (2, 2), (16, 1), (1024, 1)]
+        );
+        let mut other = Histogram::new();
+        other.record(5);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1052);
+    }
+
+    #[test]
+    fn recorder_accumulates_and_drains() {
+        let r = Recorder::new();
+        r.add("candidates", 10);
+        r.add("candidates", 5);
+        r.record_max("queue_high_water", 3);
+        r.record_max("queue_high_water", 9);
+        r.record_max("queue_high_water", 4);
+        r.add_span_ms("merge", 7);
+        r.add_span_ms("merge", 2);
+        r.record_hist("range_ms", 12);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![
+                ("candidates".to_owned(), 15),
+                ("queue_high_water".to_owned(), 9)
+            ]
+        );
+        assert_eq!(snap.spans_ms, vec![("merge".to_owned(), 9)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+        // take() drains; a second take is empty.
+        let taken = r.take();
+        assert_eq!(taken, snap);
+        assert_eq!(r.take(), Snapshot::default());
+    }
+
+    #[test]
+    fn time_charges_the_span() {
+        let r = Recorder::new();
+        let out = r.time("phase", || 42);
+        assert_eq!(out, 42);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans_ms.len(), 1);
+        assert_eq!(snap.spans_ms[0].0, "phase");
+    }
+}

@@ -6,7 +6,7 @@
 //! classification.
 //!
 //! Usage: `stream_count --n 10 [--threads T] [--jobs N] [--shards auto|R]
-//! [--expect 11716571]`
+//! [--expect 11716571] [--report-json PATH]`
 //!
 //! `--shards auto` (or an explicit range count; `--jobs N` alone implies
 //! `auto`) switches to the in-process orchestrated path: the parent
@@ -18,7 +18,9 @@
 //!
 //! With `--expect`, a count mismatch exits non-zero — the regression
 //! gate. The counter report goes to stdout in `key: value` lines so CI
-//! can upload it as an artifact.
+//! can upload it as an artifact; `--report-json PATH` additionally
+//! writes the versioned [`bnf_obs::RunManifest`] with the same
+//! counters plus spans and histograms.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -104,8 +106,16 @@ fn main() -> ExitCode {
         });
     let shards = arg_value(&args, "--shards");
     let expect: Option<u64> = parsed(&args, "--expect");
+    let report_json = arg_value(&args, "--report-json");
     let orchestrated = (shards.is_some() || jobs.is_some()) && n >= 2;
-    let (count, stats) = if orchestrated {
+    // Scope the global recorder to this run, then let the enumeration
+    // heartbeat report progress against the known connected count.
+    bnf_obs::Recorder::global().take();
+    bnf_obs::heartbeat::install(
+        &format!("n={n} count"),
+        bnf_obs::heartbeat::expected_connected(n),
+    );
+    let (count, stats, elapsed_ms, used_ranges) = if orchestrated {
         let ranges =
             match shards.as_deref() {
                 None | Some("auto") => None,
@@ -126,7 +136,7 @@ fn main() -> ExitCode {
         println!("frontier_builds: 1");
         println!("connected_graphs: {count}");
         println!("elapsed_ms: {}", elapsed.as_millis());
-        (count, stats)
+        (count, stats, elapsed.as_millis() as u64, Some(ranges))
     } else {
         eprintln!("enumerating all connected topologies on n={n} vertices ({threads} threads)...");
         let started = std::time::Instant::now();
@@ -141,8 +151,9 @@ fn main() -> ExitCode {
         println!("threads: {threads}");
         println!("connected_graphs: {count}");
         println!("elapsed_ms: {}", elapsed.as_millis());
-        (count, stats)
+        (count, stats, elapsed.as_millis() as u64, None)
     };
+    bnf_obs::heartbeat::finish();
     println!("level_sizes: {:?}", stats.level_sizes);
     println!("candidates: {}", stats.prune.candidates);
     println!("orbit_skipped: {}", stats.prune.orbit_skipped);
@@ -154,6 +165,38 @@ fn main() -> ExitCode {
         "candidates_per_survivor: {:.3}",
         stats.prune.candidates_per_survivor()
     );
+    if let Some(path) = report_json {
+        let mut manifest = bnf_obs::RunManifest::new(
+            "stream_count",
+            n as u32,
+            if orchestrated {
+                "orchestrated"
+            } else {
+                "streaming"
+            },
+        );
+        manifest.emitted = count;
+        manifest.elapsed_ms = elapsed_ms;
+        manifest.peak_rss_kb = bnf_obs::peak_rss_kb();
+        manifest.level_sizes = stats.level_sizes.clone();
+        for (name, value) in stats.prune.named() {
+            manifest.set_counter(name, value);
+        }
+        manifest.set_counter("threads", threads as u64);
+        if let Some(ranges) = used_ranges {
+            manifest.set_counter("ranges", ranges as u64);
+        }
+        manifest.push_metric(
+            &format!("manifest/candidates_per_survivor/{n}"),
+            stats.prune.candidates_per_survivor(),
+        );
+        manifest.absorb(bnf_obs::Recorder::global().take());
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write run manifest to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("run manifest written to {path}");
+    }
     if let Some(want) = expect {
         if count != want {
             eprintln!("count mismatch: expected {want}, got {count}");

@@ -9,6 +9,7 @@
 //! deadlocking the other side.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug)]
@@ -30,6 +31,9 @@ pub struct BoundedQueue<T> {
     capacity: usize,
     not_full: Condvar,
     not_empty: Condvar,
+    /// Deepest the buffer ever got — the backlog high-water mark the
+    /// telemetry reports (updated under the push lock, read lock-free).
+    high_water: AtomicUsize,
 }
 
 impl<T> BoundedQueue<T> {
@@ -44,6 +48,7 @@ impl<T> BoundedQueue<T> {
             capacity,
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -66,9 +71,18 @@ impl<T> BoundedQueue<T> {
             return false;
         }
         state.buf.push_back(item);
+        let depth = state.buf.len();
         drop(state);
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
         self.not_empty.notify_one();
         true
+    }
+
+    /// The deepest the queue ever got — how close the consumer side
+    /// came to stalling the producers. Capacity-bounded, so a reading
+    /// equal to the capacity means the bound actually engaged.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// Blocks until an item is available and dequeues it; `None` once
@@ -134,6 +148,26 @@ mod tests {
         q.close();
         assert_eq!(q.pop(), None);
         assert!(!q.push(3));
+    }
+
+    #[test]
+    fn high_water_tracks_the_deepest_backlog() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.high_water(), 0);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.push(3));
+        assert_eq!(q.high_water(), 3);
+        // Draining never lowers the mark…
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.high_water(), 3);
+        // …and refilling past it raises it again.
+        for i in 0..4 {
+            assert!(q.push(10 + i));
+        }
+        assert_eq!(q.high_water(), 5);
+        q.close();
     }
 
     #[test]

@@ -35,11 +35,21 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use bnf_graph::{CanonKey, Graph, VertexSet};
 
 use crate::prune::{augment_connected_parent, PruneCounters};
 use crate::sync::{lock, lock_into};
+
+/// Records one enumeration level's candidate rate into the global
+/// telemetry recorder: candidates constructed per millisecond of level
+/// wall-clock, log-bucketed — the distribution the straggler-level
+/// analysis reads.
+fn record_level_rate(started: Instant, candidates: u64) {
+    let ms = (started.elapsed().as_millis() as u64).max(1);
+    bnf_obs::Recorder::global().record_hist("level_candidates_per_ms", candidates / ms);
+}
 
 /// Per-level sizes and pruning work counters observed by one streaming
 /// enumeration run.
@@ -235,6 +245,7 @@ impl ParentFrontier {
             "orders below 2 have no parent frontier; use stream_connected"
         );
         let threads = threads.max(1);
+        let build_started = Instant::now();
         let mut level_sizes = vec![1u64];
         let mut prune = PruneCounters::default();
         let mut parents = vec![Graph::empty(1)];
@@ -243,13 +254,17 @@ impl ParentFrontier {
         let cancelled = AtomicBool::new(false);
         let no_sink = |_: Graph, _: CanonKey| true;
         for _ in 1..(n - 1) {
+            let level_started = Instant::now();
             let level = advance_level(&parents, threads, false, &no_sink, &cancelled);
+            record_level_rate(level_started, level.prune.candidates);
             level_sizes.push(level.emitted);
             prune.merge(&level.prune);
             let mut merged = level.frontier;
             sort_frontier(&mut merged);
             parents = merged.into_iter().map(|(g, _)| g).collect();
         }
+        bnf_obs::Recorder::global()
+            .add_span_ms("frontier_build", build_started.elapsed().as_millis() as u64);
         ParentFrontier {
             n,
             parents,
@@ -304,10 +319,12 @@ impl ParentFrontier {
         let hi = hi.min(self.parents.len());
         let mut stats = RangeStats::default();
         for parent in &self.parents[lo..hi] {
+            let before = stats.emitted;
             augment_connected_parent(parent, &mut stats.prune, |form, key| {
                 stats.emitted += 1;
                 visit(form, key);
             });
+            bnf_obs::heartbeat::tick(stats.emitted - before);
         }
         stats
     }
@@ -355,6 +372,7 @@ where
             let end = (start + chunk).min(parents.len());
             for parent in &parents[start..end] {
                 let mut stop = false;
+                let before = fresh;
                 augment_connected_parent(parent, &mut local_counters, |form, key| {
                     if stop {
                         return; // cancelled mid-parent: drop the tail
@@ -371,6 +389,12 @@ where
                         local_frontier.push((form, key));
                     }
                 });
+                if last {
+                    // Final-level emissions drive the progress
+                    // heartbeat; one tick per parent keeps the signal
+                    // fine-grained without a per-child clock read.
+                    bnf_obs::heartbeat::tick(fresh - before);
+                }
                 if stop {
                     break 'chunks;
                 }
@@ -452,12 +476,16 @@ where
     let mut parents = vec![Graph::empty(1)];
     stats.level_sizes.push(1);
     let cancelled = AtomicBool::new(false);
+    let enumeration_started = Instant::now();
     for k in 1..n {
         let last = k + 1 == n;
+        let level_started = Instant::now();
         let level = advance_level(&parents, threads, last, sink, &cancelled);
+        record_level_rate(level_started, level.prune.candidates);
         stats.level_sizes.push(level.emitted);
         stats.prune.merge(&level.prune);
         if cancelled.load(Ordering::Relaxed) {
+            record_enumeration_span(enumeration_started);
             return stats;
         }
         if !last {
@@ -469,7 +497,15 @@ where
             parents = merged.into_iter().map(|(g, _)| g).collect();
         }
     }
+    record_enumeration_span(enumeration_started);
     stats
+}
+
+/// Charges the whole level loop of one [`stream_connected`] run to the
+/// `enumeration` span (the producer side of the streaming pipeline —
+/// it overlaps the classification span by design).
+fn record_enumeration_span(started: Instant) {
+    bnf_obs::Recorder::global().add_span_ms("enumeration", started.elapsed().as_millis() as u64);
 }
 
 /// Streams the final-level children of one **contiguous parent range**

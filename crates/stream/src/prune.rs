@@ -111,6 +111,20 @@ impl PruneCounters {
         }
     }
 
+    /// The counters as stable `(name, value)` pairs — the schema the
+    /// run-manifest counter table and the stderr report both read, so
+    /// renaming a field here is a manifest schema change.
+    pub fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("candidates", self.candidates),
+            ("orbit_skipped", self.orbit_skipped),
+            ("cheap_rejected", self.cheap_rejected),
+            ("search_rejected", self.search_rejected),
+            ("duplicates", self.duplicates),
+            ("accepted", self.accepted()),
+        ]
+    }
+
     /// Folds another counter set into this one (per-worker merge).
     pub fn merge(&mut self, other: &PruneCounters) {
         self.candidates += other.candidates;
@@ -425,6 +439,37 @@ mod tests {
             ..PruneCounters::default()
         });
         assert_eq!(whole.accepted(), 11);
+    }
+
+    #[test]
+    fn named_counters_cover_every_field_and_the_derived_accept_count() {
+        let c = PruneCounters {
+            candidates: 100,
+            orbit_skipped: 9,
+            cheap_rejected: 40,
+            search_rejected: 7,
+            duplicates: 3,
+        };
+        let named = c.named();
+        let get = |want: &str| {
+            named
+                .iter()
+                .find(|(name, _)| *name == want)
+                .expect("counter present")
+                .1
+        };
+        assert_eq!(get("candidates"), 100);
+        assert_eq!(get("orbit_skipped"), 9);
+        assert_eq!(get("cheap_rejected"), 40);
+        assert_eq!(get("search_rejected"), 7);
+        assert_eq!(get("duplicates"), 3);
+        assert_eq!(get("accepted"), c.accepted());
+        // The names are pairwise distinct — a manifest counter table
+        // upserts by name, so a collision would silently sum fields.
+        let mut names: Vec<&str> = named.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
     }
 
     #[test]

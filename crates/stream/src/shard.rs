@@ -75,6 +75,30 @@ impl ShardedSeen {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// `(total keys, heaviest shard)` in one pass — the telemetry pair
+    /// behind [`record_occupancy`](ShardedSeen::record_occupancy). A
+    /// heaviest shard far above `total / shard_count` means the prefix
+    /// mix is ineffective and inserts are re-serializing on one lock.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut heaviest = 0;
+        for shard in &self.shards {
+            let len = lock(shard).len();
+            total += len;
+            heaviest = heaviest.max(len);
+        }
+        (total, heaviest)
+    }
+
+    /// Records this set's occupancy into `recorder` as the
+    /// `sharded_seen_keys` / `sharded_seen_heaviest_shard` counter
+    /// high-water marks.
+    pub fn record_occupancy(&self, recorder: &bnf_obs::Recorder) {
+        let (total, heaviest) = self.occupancy();
+        recorder.record_max("sharded_seen_keys", total as u64);
+        recorder.record_max("sharded_seen_heaviest_shard", heaviest as u64);
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +137,34 @@ mod tests {
             assert!(s < seen.shard_count());
             assert_eq!(s, seen.shard_of(&key));
         }
+    }
+
+    #[test]
+    fn occupancy_reports_total_and_heaviest_shard() {
+        let seen = ShardedSeen::new(4);
+        assert_eq!(seen.occupancy(), (0, 0));
+        let keys: Vec<_> = (1..6).map(|n| Graph::complete(n).canonical_key()).collect();
+        for key in &keys {
+            assert!(seen.insert(key));
+        }
+        let (total, heaviest) = seen.occupancy();
+        assert_eq!(total, keys.len());
+        assert!(heaviest >= 1 && heaviest <= total);
+        // The recorder keeps the high-water mark, not the latest value.
+        let recorder = bnf_obs::Recorder::new();
+        seen.record_occupancy(&recorder);
+        let snap = recorder.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("sharded_seen_keys"), Some(total as u64));
+        assert_eq!(
+            counter("sharded_seen_heaviest_shard"),
+            Some(heaviest as u64)
+        );
     }
 
     #[test]
