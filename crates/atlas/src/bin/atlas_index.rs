@@ -1,0 +1,68 @@
+//! Builds (or rebuilds) the `<store>.idx` index sidecar over an atlas
+//! store — the one-time pass that turns the append-only store into a
+//! random-access catalogue for `MappedAtlas` and `bnf-serve`.
+//!
+//! Usage: `atlas_index --atlas store.bnfatlas [--report-json report.json]`
+//!
+//! The scan streams the store frame by frame (no record map, no
+//! replay), sorts the key table, and writes the sidecar atomically
+//! (tmp + rename), so an interrupted build never leaves a torn index.
+//! Rerun after every store mutation — `MappedAtlas::open` rejects a
+//! stale sidecar rather than serving wrong offsets. See
+//! `docs/ATLAS_FORMAT.md` for the sidecar layout.
+
+use std::process::ExitCode;
+
+use bnf_atlas::build_index;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(store) = args
+        .iter()
+        .position(|a| a == "--atlas")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+    else {
+        eprintln!("usage: atlas_index --atlas store.bnfatlas [--report-json report.json]");
+        return ExitCode::FAILURE;
+    };
+    let report_json = args
+        .iter()
+        .position(|a| a == "--report-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    bnf_obs::Recorder::global().take();
+    let started = std::time::Instant::now();
+    let summary = match build_index(&store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("index build failed for {store}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "indexed {store}: {} records, {} bytes of sidecar at {}",
+        summary.records,
+        summary.index_bytes,
+        summary.path.display(),
+    );
+    for (order, count) in &summary.sweeps {
+        println!("engine-order table: order {order} with {count} records");
+    }
+    if let Some(path) = report_json {
+        let max_order = summary.sweeps.iter().map(|&(o, _)| o).max().unwrap_or(0);
+        let mut manifest = bnf_obs::RunManifest::new("atlas_index", u32::from(max_order), "index");
+        manifest.emitted = summary.records;
+        manifest.elapsed_ms = started.elapsed().as_millis() as u64;
+        manifest.peak_rss_kb = bnf_obs::peak_rss_kb();
+        manifest.set_counter("index_sweep_tables", summary.sweeps.len() as u64);
+        manifest.set_counter("index_key_width", u64::from(summary.key_width));
+        manifest.absorb(bnf_obs::Recorder::global().take());
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write run manifest to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("run manifest written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,439 @@
+//! The index sidecar: a sorted key table (and per-order engine-order
+//! tables) over an atlas store, built once after coverage is declared.
+//!
+//! The store itself is append-only frames with no random-access
+//! structure — [`crate::ClassificationAtlas::open`] replays it front to
+//! back into a `HashMap`, which costs ~6.5 GB resident at n = 10.
+//! [`build_index`] scans the store *once*, streaming frame by frame
+//! without materializing any [`bnf_core::WindowRecord`], and writes a
+//! `<store>.idx` sidecar holding
+//!
+//! * a **sorted key table** mapping canonical graph6 key → byte offset
+//!   of the record frame, so [`crate::MappedAtlas::lookup`] is a
+//!   binary search of O(log N) `pread`s instead of a full replay, and
+//! * one **engine-order table** per coverage-declared order — record
+//!   offsets sorted by `(edge count, canonical key)`, the engine's
+//!   enumeration order — so warm sweeps stream the catalogue in the
+//!   exact order [`crate::ClassificationAtlas::complete_sweep`]
+//!   produces, one record resident at a time.
+//!
+//! The sidecar is a pure cache: it never changes the store, and it
+//! self-invalidates (header records the store length it indexed; see
+//! [`IndexError::Stale`]) when the store grows after indexing. See
+//! `docs/ATLAS_FORMAT.md` for the byte-level layout and the full
+//! invalidation rules.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bnf_graph::Graph;
+
+use crate::store::{ATLAS_MAGIC, ATLAS_VERSION, FRAME_COVERAGE, FRAME_RECORD, FRAME_SHARD_META};
+
+/// Leading magic bytes of an index sidecar file.
+pub const INDEX_MAGIC: [u8; 8] = *b"BNFATIDX";
+
+/// Sidecar layout version. Bumped whenever the sidecar byte layout
+/// changes; version-mismatched sidecars are rejected (rebuild with
+/// [`build_index`]), never reinterpreted.
+pub const INDEX_VERSION: u32 = 1;
+
+/// Byte length of the fixed sidecar header (see `docs/ATLAS_FORMAT.md`).
+pub const INDEX_HEADER_LEN: u64 = 36;
+
+/// Why an index sidecar could not be built, opened or read.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The sidecar does not start with [`INDEX_MAGIC`] — not an index.
+    BadMagic,
+    /// The sidecar's layout version differs from [`INDEX_VERSION`];
+    /// rebuild it with [`build_index`].
+    VersionMismatch {
+        /// Version found in the sidecar header.
+        found: u32,
+    },
+    /// The sidecar was built over a store of a different
+    /// [`ATLAS_VERSION`] than this build supports.
+    AtlasVersionMismatch {
+        /// Store version recorded in the sidecar header.
+        found: u32,
+    },
+    /// The store grew (or shrank) since the sidecar was built — the
+    /// offsets can no longer be trusted; rebuild with [`build_index`].
+    Stale {
+        /// Store length recorded at index time.
+        indexed: u64,
+        /// Store length found now.
+        actual: u64,
+    },
+    /// Structurally invalid sidecar or store bytes at `offset`
+    /// (truncation counts — a half-written sidecar means the indexing
+    /// run died before its atomic rename, which [`build_index`]
+    /// prevents, so this indicates external tampering).
+    Corrupt {
+        /// Byte offset of the offending data, in the file named by
+        /// `reason`.
+        offset: u64,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// The underlying store failed to open or scan
+    /// ([`crate::AtlasError`] rendered to text to keep this enum flat).
+    Store {
+        /// Human-readable store-level diagnosis.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Io(e) => write!(f, "index I/O error: {e}"),
+            IndexError::BadMagic => write!(f, "not an atlas index file (bad magic)"),
+            IndexError::VersionMismatch { found } => write!(
+                f,
+                "index version {found} != supported {INDEX_VERSION}; rebuild the sidecar"
+            ),
+            IndexError::AtlasVersionMismatch { found } => write!(
+                f,
+                "index built over atlas version {found} != supported {ATLAS_VERSION}"
+            ),
+            IndexError::Stale { indexed, actual } => write!(
+                f,
+                "index is stale: store was {indexed} bytes at index time, {actual} now; rebuild the sidecar"
+            ),
+            IndexError::Corrupt { offset, reason } => {
+                write!(f, "corrupt index data at byte {offset}: {reason}")
+            }
+            IndexError::Store { reason } => write!(f, "index build failed on store: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+/// The sidecar path for a store path: `<store>.idx` appended to the
+/// full file name (`n9.bnfatlas` → `n9.bnfatlas.idx`).
+pub fn index_path(store: &Path) -> PathBuf {
+    let mut name = store.as_os_str().to_owned();
+    name.push(".idx");
+    PathBuf::from(name)
+}
+
+/// What [`build_index`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSummary {
+    /// Sidecar path written.
+    pub path: PathBuf,
+    /// Record keys indexed.
+    pub records: u64,
+    /// Engine-order tables written: `(order, record count)` per
+    /// coverage-declared order whose stored population matches the
+    /// declared count.
+    pub sweeps: Vec<(u16, u64)>,
+    /// Total sidecar size in bytes.
+    pub index_bytes: u64,
+    /// Fixed key-column width (longest key, bytes).
+    pub key_width: u16,
+}
+
+/// One record seen by the store scan: where its frame starts and the
+/// engine sort ingredients, with the key held in a shared arena so the
+/// n = 10 build stays hundreds of MB, not records × `String` overhead.
+struct ScanEntry {
+    key_pos: u32,
+    key_len: u8,
+    order: u16,
+    offset: u64,
+    edges: u64,
+    sort_word: u64,
+}
+
+/// Builds (or rebuilds) the `<store>.idx` sidecar for the atlas at
+/// `store`, scanning the store once without materializing records, and
+/// returns what was written. The sidecar is written to a temporary
+/// file and atomically renamed into place, so a crashed build never
+/// leaves a half-written index behind.
+///
+/// Engine-order tables are emitted only for orders whose declared
+/// coverage count matches the stored record population (the same
+/// defensive rule [`crate::ClassificationAtlas::complete_sweep`]
+/// applies before replaying).
+///
+/// # Errors
+///
+/// [`IndexError::Corrupt`] / [`IndexError::Store`] for malformed
+/// stores, [`IndexError::Io`] on filesystem failure.
+pub fn build_index(store: impl AsRef<Path>) -> Result<IndexSummary, IndexError> {
+    let store = store.as_ref();
+    bnf_obs::Recorder::global().time("index_build", || build_index_inner(store))
+}
+
+fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
+    let file = File::open(store)?;
+    let store_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header).map_err(|_| IndexError::Store {
+        reason: "store too short for its header".into(),
+    })?;
+    if header[..8] != ATLAS_MAGIC {
+        return Err(IndexError::Store {
+            reason: "not an atlas file (bad magic)".into(),
+        });
+    }
+    let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if found != ATLAS_VERSION {
+        return Err(IndexError::AtlasVersionMismatch { found });
+    }
+
+    let mut arena: Vec<u8> = Vec::new();
+    let mut entries: Vec<ScanEntry> = Vec::new();
+    let mut coverage: Vec<(u16, u64)> = Vec::new();
+    let mut offset = 12u64;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)
+            .map_err(|_| IndexError::Corrupt {
+                offset,
+                reason: format!("store frame of {len} bytes truncated"),
+            })?;
+        let corrupt = |reason: String| IndexError::Corrupt { offset, reason };
+        match payload.first() {
+            Some(&FRAME_RECORD) => {
+                let entry = scan_record(&payload[1..], offset, &mut arena).map_err(&corrupt)?;
+                entries.push(entry);
+            }
+            Some(&FRAME_COVERAGE) => {
+                if payload.len() != 11 {
+                    return Err(corrupt("coverage frame is not 11 bytes".into()));
+                }
+                let order = u16::from_le_bytes(payload[1..3].try_into().expect("2 bytes"));
+                let count = u64::from_le_bytes(payload[3..11].try_into().expect("8 bytes"));
+                coverage.push((order, count));
+            }
+            Some(&FRAME_SHARD_META) => {} // provenance only; nothing to index
+            Some(&t) => return Err(corrupt(format!("unknown frame tag {t}"))),
+            None => return Err(corrupt("empty frame".into())),
+        }
+        offset += 4 + len as u64;
+    }
+
+    // The store enforces key uniqueness on append, so duplicates can
+    // only come from identical-record dedup races; keep the last
+    // occurrence, matching the HashMap-insert semantics of open().
+    entries.sort_by(|a, b| {
+        key_of(&arena, a)
+            .cmp(key_of(&arena, b))
+            .then(a.offset.cmp(&b.offset))
+    });
+    entries.dedup_by(|next, prev| {
+        // dedup_by sees (next, prev) and drops `next` on true; the pair
+        // is ordered by offset, so copy the later frame into the
+        // surviving slot before dropping it.
+        if key_of(&arena, next) == key_of(&arena, prev) {
+            prev.offset = next.offset;
+            true
+        } else {
+            false
+        }
+    });
+
+    coverage.sort_unstable();
+    coverage.dedup();
+    let mut sweeps: Vec<(u16, u64, Vec<u64>)> = Vec::new();
+    for &(order, declared) in &coverage {
+        let mut tagged: Vec<(u64, u64, u64)> = entries
+            .iter()
+            .filter(|e| e.order == order)
+            .map(|e| (e.edges, e.sort_word, e.offset))
+            .collect();
+        if tagged.len() as u64 != declared {
+            continue; // population mismatch: same defensive skip as complete_sweep
+        }
+        tagged.sort_unstable();
+        sweeps.push((order, declared, tagged.into_iter().map(|t| t.2).collect()));
+    }
+
+    let key_width = entries
+        .iter()
+        .map(|e| u16::from(e.key_len))
+        .max()
+        .unwrap_or(0);
+    let entry_size = 9 + key_width as usize;
+
+    let out_path = index_path(store);
+    let tmp_path = {
+        let mut name = out_path.as_os_str().to_owned();
+        name.push(".tmp");
+        PathBuf::from(name)
+    };
+    let mut w = BufWriter::new(File::create(&tmp_path)?);
+    w.write_all(&INDEX_MAGIC)?;
+    w.write_all(&INDEX_VERSION.to_le_bytes())?;
+    w.write_all(&ATLAS_VERSION.to_le_bytes())?;
+    w.write_all(&store_len.to_le_bytes())?;
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    w.write_all(&key_width.to_le_bytes())?;
+    w.write_all(&(sweeps.len() as u16).to_le_bytes())?;
+    let mut padded = vec![0u8; key_width as usize];
+    for e in &entries {
+        w.write_all(&[e.key_len])?;
+        let key = key_of(&arena, e);
+        padded[..key.len()].copy_from_slice(key);
+        padded[key.len()..].fill(0);
+        w.write_all(&padded)?;
+        w.write_all(&e.offset.to_le_bytes())?;
+    }
+    for (order, count, offsets) in &sweeps {
+        w.write_all(&order.to_le_bytes())?;
+        w.write_all(&count.to_le_bytes())?;
+        for off in offsets {
+            w.write_all(&off.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    drop(w);
+    std::fs::rename(&tmp_path, &out_path)?;
+
+    let index_bytes = INDEX_HEADER_LEN
+        + entries.len() as u64 * entry_size as u64
+        + sweeps
+            .iter()
+            .map(|(_, count, _)| 10 + count * 8)
+            .sum::<u64>();
+    let recorder = bnf_obs::Recorder::global();
+    recorder.add("index_entries", entries.len() as u64);
+    recorder.add("index_bytes", index_bytes);
+    Ok(IndexSummary {
+        path: out_path,
+        records: entries.len() as u64,
+        sweeps: sweeps.into_iter().map(|(o, c, _)| (o, c)).collect(),
+        index_bytes,
+        key_width,
+    })
+}
+
+fn key_of<'a>(arena: &'a [u8], e: &ScanEntry) -> &'a [u8] {
+    &arena[e.key_pos as usize..e.key_pos as usize + e.key_len as usize]
+}
+
+/// Extracts the index ingredients from one record payload (after the
+/// tag byte) without decoding the full record: key, order, edge count,
+/// and the engine sort word recovered via [`Graph::packed_self_key`].
+fn scan_record(body: &[u8], offset: u64, arena: &mut Vec<u8>) -> Result<ScanEntry, String> {
+    if body.len() < 2 {
+        return Err("record payload too short for key length".into());
+    }
+    let key_len = u16::from_le_bytes(body[..2].try_into().expect("2 bytes")) as usize;
+    let rest = body
+        .get(2..)
+        .filter(|r| r.len() >= key_len + 8)
+        .ok_or_else(|| format!("record payload ends inside {key_len}-byte key"))?;
+    let key = std::str::from_utf8(&rest[..key_len]).map_err(|_| "key is not UTF-8".to_string())?;
+    if key_len > u8::MAX as usize {
+        return Err(format!("key of {key_len} bytes exceeds the index limit"));
+    }
+    let order = u16::from_le_bytes(rest[key_len..key_len + 2].try_into().expect("2 bytes"));
+    let edges = u64::from(u32::from_le_bytes(
+        rest[key_len + 2..key_len + 6].try_into().expect("4 bytes"),
+    ));
+    let g = Graph::from_graph6(key).map_err(|e| format!("undecodable key {key:?}: {e:?}"))?;
+    let key_pos = arena.len() as u32;
+    arena.extend_from_slice(key.as_bytes());
+    Ok(ScanEntry {
+        key_pos,
+        key_len: key_len as u8,
+        order,
+        offset,
+        edges,
+        sort_word: g.packed_self_key().prefix_word(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ClassificationAtlas;
+    use bnf_core::WindowRecord;
+    use bnf_graph::Graph;
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "bnf-index-{tag}-{}-{n}.bnfatlas",
+            std::process::id()
+        ))
+    }
+
+    fn classified(g6: &str) -> WindowRecord {
+        let g = Graph::from_graph6(g6).unwrap();
+        let mut scratch = bnf_graph::BfsScratch::new();
+        WindowRecord::classify(&g, &mut scratch)
+    }
+
+    #[test]
+    fn builds_over_an_empty_store() {
+        let path = scratch_path("empty");
+        let _ = ClassificationAtlas::open(&path).unwrap();
+        let summary = build_index(&path).unwrap();
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.key_width, 0);
+        assert!(summary.sweeps.is_empty());
+        assert!(summary.path.exists());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&summary.path).unwrap();
+    }
+
+    #[test]
+    fn skips_sweep_table_on_population_mismatch() {
+        let path = scratch_path("mismatch");
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            atlas.append_records([&classified("D?{")]).unwrap();
+            // Declare 2 records for order 5 while storing only 1.
+            atlas.mark_complete(5, 2).unwrap();
+        }
+        let summary = build_index(&path).unwrap();
+        assert_eq!(summary.records, 1);
+        assert!(summary.sweeps.is_empty());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&summary.path).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_atlas_files() {
+        let path = scratch_path("garbage");
+        std::fs::write(&path, b"not an atlas at all").unwrap();
+        match build_index(&path) {
+            Err(IndexError::Store { .. }) => {}
+            other => panic!("expected Store error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

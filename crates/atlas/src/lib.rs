@@ -12,8 +12,32 @@
 //! append-only store of per-graph classification records
 //! ([`bnf_core::WindowRecord`]) keyed by canonical graph6 string, so
 //! exhaustive sweeps can skip re-classifying topologies they have
-//! already seen (`--atlas <path>` on the sweep binaries). See
-//! `crates/atlas/README.md` for the format.
+//! already seen (`--atlas <path>` on the sweep binaries). Two read
+//! paths exist over one store:
+//!
+//! * [`ClassificationAtlas`] — the buffered writer/reader: replays the
+//!   whole store into a key → record map on open. Required for
+//!   appends, merges and coverage declarations; costly to open at
+//!   large orders (~6.5 GB resident for the n = 10 catalogue).
+//! * [`MappedAtlas`] — the indexed reader: after a one-time
+//!   [`build_index`] pass (the `atlas_index` binary) writes a
+//!   `<store>.idx` sidecar, point lookups are O(log N) positioned
+//!   reads and warm sweeps stream in engine order with one record
+//!   resident at a time. This is what `bnf-serve` serves from.
+//!
+//! See `docs/ATLAS_FORMAT.md` for the byte-level store and sidecar
+//! formats and the compatibility/invalidation rules.
+//!
+//! ```no_run
+//! use bnf_atlas::{build_index, MappedAtlas};
+//!
+//! build_index("sweeps.bnfatlas")?;
+//! let atlas = MappedAtlas::open("sweeps.bnfatlas")?;
+//! if let Some(rec) = atlas.lookup("D?{")? {
+//!     println!("{} edges, distance {}", rec.edges, rec.total_distance);
+//! }
+//! # Ok::<(), bnf_atlas::IndexError>(())
+//! ```
 //!
 //! # Examples
 //!
@@ -28,7 +52,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod families;
+pub mod index;
 pub mod lcf;
+pub mod mapped;
 pub mod merge;
 pub mod named;
 pub mod random;
@@ -38,7 +64,9 @@ pub use families::{
     circulant, complete, complete_bipartite, complete_multipartite, cycle, grid, hypercube, path,
     star, wheel,
 };
+pub use index::{build_index, index_path, IndexError, IndexSummary, INDEX_MAGIC, INDEX_VERSION};
 pub use lcf::{lcf, try_lcf};
+pub use mapped::MappedAtlas;
 pub use merge::{merge_segments, render_shard_report, MergeReport, SegmentError};
 pub use store::{
     AtlasError, ClassificationAtlas, MergeOutcome, ShardCoverage, ShardMeta, ATLAS_MAGIC,

@@ -283,12 +283,12 @@ pub struct ClassificationAtlas {
 }
 
 /// Frame tag: the payload is one encoded [`WindowRecord`].
-const FRAME_RECORD: u8 = 1;
+pub(crate) const FRAME_RECORD: u8 = 1;
 /// Frame tag: the payload declares complete sweep coverage for one
 /// order (`u16` order + `u64` topology count).
-const FRAME_COVERAGE: u8 = 2;
+pub(crate) const FRAME_COVERAGE: u8 = 2;
 /// Frame tag: the payload is one encoded [`ShardMeta`].
-const FRAME_SHARD_META: u8 = 3;
+pub(crate) const FRAME_SHARD_META: u8 = 3;
 
 impl ClassificationAtlas {
     /// Opens an atlas at `path`, creating an empty one (header only) if
@@ -999,7 +999,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_record(payload: &[u8]) -> Result<WindowRecord, String> {
+pub(crate) fn decode_record(payload: &[u8]) -> Result<WindowRecord, String> {
     let mut c = Cursor {
         buf: payload,
         pos: 0,

@@ -1,7 +1,7 @@
 //! CI perf gate: compares criterion-shim JSON estimates against a
 //! committed baseline and fails on regression.
 //!
-//! Usage: bench_gate [--strict] <BENCH_BASELINE.json> <tolerance> <estimates.json>...
+//! Usage: `bench_gate [--strict] <BENCH_BASELINE.json> <tolerance> <estimates.json>...`
 //!
 //! Every benchmark id in the baseline must appear in (exactly one of)
 //! the estimate files with a mean no more than `(1 + tolerance) ×`

@@ -12,7 +12,7 @@
 //! Since PR 3 the sweep is **windows-first**: classification emits one
 //! α-independent [`WindowRecord`] per topology ([`WindowSweep`],
 //! optionally backed by a persistent
-//! [`ClassificationAtlas`](bnf_atlas::ClassificationAtlas)), and any α
+//! [`ClassificationAtlas`]), and any α
 //! grid is evaluated afterwards as a pure post-pass
 //! ([`crate::grid::evaluate`]) — so finer Figure 2/3 axes cost nothing
 //! beyond the membership tests. The original per-α job survives as

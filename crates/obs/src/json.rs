@@ -1,4 +1,7 @@
-//! A minimal JSON reader/writer for the run manifest.
+//! A minimal JSON reader/writer for the run manifest — and for every
+//! other offline JSON consumer in the workspace (`bnf-serve` renders
+//! its responses and parses nothing else; `bench_gate` scans manifest
+//! text).
 //!
 //! The container builds offline, so there is no serde; the manifest
 //! needs exactly this much JSON: objects, arrays, strings, numbers,
@@ -8,7 +11,7 @@
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -26,7 +29,7 @@ pub(crate) enum Json {
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
-    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         let value = parse_value(bytes, &mut pos)?;
@@ -38,7 +41,7 @@ impl Json {
     }
 
     /// Member `key` of an object, if present.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -47,7 +50,7 @@ impl Json {
 
     /// The value as a `u64`, when it is an exactly-representable
     /// unsigned integer token.
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
@@ -55,7 +58,7 @@ impl Json {
     }
 
     /// The value as an `f64`.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
@@ -63,7 +66,7 @@ impl Json {
     }
 
     /// The value as a string slice.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -71,7 +74,7 @@ impl Json {
     }
 
     /// The value as an array slice.
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -79,7 +82,7 @@ impl Json {
     }
 
     /// Whether the value is `null`.
-    pub(crate) fn is_null(&self) -> bool {
+    pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
 }
@@ -248,7 +251,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 /// Appends `s` as a JSON string literal (the criterion shim's escape
 /// set: quote, backslash, and `\u00XX` for control characters).
-pub(crate) fn push_json_string(out: &mut String, s: &str) {
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

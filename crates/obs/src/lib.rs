@@ -22,6 +22,9 @@
 //!   no serde).
 //! * [`report`] — the one stderr formatter over the same manifest, so
 //!   the human report and the machine report can never disagree.
+//! * [`json`] — the minimal JSON reader/writer under the manifest,
+//!   public so offline JSON consumers and producers elsewhere in the
+//!   workspace (`bench_gate`, `bnf-serve`) share one implementation.
 //!
 //! Std-only and dependency-free, like the shims: telemetry must never
 //! be the thing that fails to build.
@@ -30,7 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod heartbeat;
-mod json;
+pub mod json;
 pub mod manifest;
 pub mod recorder;
 pub mod report;

@@ -113,6 +113,34 @@ impl Histogram {
         self.max
     }
 
+    /// An upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`):
+    /// the smallest bucket upper edge at or below the exact `max` whose
+    /// cumulative count reaches `⌈q · count⌉`. Exact for `q = 0` /
+    /// `q = 1` (`min` / `max`); within a factor of 2 elsewhere — the
+    /// resolution the log₂ buckets carry, which is what a `/metrics`
+    /// p50/p99 readout needs. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper edge of bucket i is bucket_lo(i + 1) - 1; the
+                // exact max caps the final bucket.
+                let hi = if i >= 64 {
+                    u64::MAX
+                } else {
+                    Histogram::bucket_lo(i + 1) - 1
+                };
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
     /// The non-empty buckets as `(bucket_lo, count)` pairs in
     /// ascending value order — the sparse form the manifest serializes.
     pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
@@ -317,6 +345,31 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count(), 6);
         assert_eq!(h.sum(), 1052);
+    }
+
+    #[test]
+    fn quantile_estimates_from_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100, 200, 1000, 5000, 5000, 9001] {
+            h.record(v);
+        }
+        // q=0 and q=1 are exact.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 9001);
+        // p50: 5th sample (100) lives in bucket [64,128) → edge 127.
+        assert_eq!(h.quantile(0.5), 127);
+        // p90: 9th sample (5000) → bucket [4096,8192) → edge 8191.
+        assert_eq!(h.quantile(0.9), 8191);
+        // The estimate never exceeds the exact max.
+        assert!(h.quantile(0.99) <= h.max());
+        // Single-sample histograms answer that sample at any q.
+        let mut one = Histogram::new();
+        one.record(42);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42);
+        }
     }
 
     #[test]

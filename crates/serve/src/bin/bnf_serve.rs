@@ -1,0 +1,85 @@
+//! The serving daemon: open an indexed atlas, warm the paper grid, and
+//! answer queries until killed.
+//!
+//! Usage: `bnf_serve --atlas store.bnfatlas [--addr 127.0.0.1:7878]
+//! [--threads N] [--live-cap K]`
+//!
+//! Build the sidecar first (`atlas_index --atlas store.bnfatlas`);
+//! `MappedAtlas::open` refuses to start on a missing or stale index
+//! rather than serving wrong offsets.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bnf_atlas::MappedAtlas;
+use bnf_serve::{AppState, Server, DEFAULT_LIVE_ORDER_CAP};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(store) = flag_value(&args, "--atlas") else {
+        eprintln!(
+            "usage: bnf_serve --atlas store.bnfatlas [--addr 127.0.0.1:7878] [--threads N] \
+             [--live-cap K]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let threads = match flag_value(&args, "--threads") {
+        None => bnf_engine::default_threads(),
+        Some(raw) => match raw.parse() {
+            Ok(t) if t > 0 => t,
+            _ => {
+                eprintln!("--threads must be a positive integer, got {raw:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let live_cap = match flag_value(&args, "--live-cap") {
+        None => DEFAULT_LIVE_ORDER_CAP,
+        Some(raw) => match raw.parse() {
+            Ok(k) => k,
+            Err(_) => {
+                eprintln!("--live-cap must be an integer, got {raw:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let atlas = match MappedAtlas::open(&store) {
+        Ok(atlas) => atlas,
+        Err(e) => {
+            eprintln!("cannot open indexed atlas {store}: {e}");
+            eprintln!("(build or refresh the sidecar with: atlas_index --atlas {store})");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = atlas.len();
+    let state = Arc::new(AppState::new(atlas, live_cap));
+    match state.warm_paper_grid() {
+        Ok(()) => eprintln!("paper grid warmed for order {:?}", state.default_order()),
+        // A store without declared coverage still serves point lookups.
+        Err(e) => eprintln!("paper grid unavailable: {e}"),
+    }
+    let server = match Server::start(state, &addr, threads) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bnf-serve listening on http://{} ({records} records, {threads} workers, peak rss {} kB)",
+        server.addr(),
+        bnf_obs::peak_rss_kb().unwrap_or(0)
+    );
+    // Serve until the process is killed; workers never return.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,279 @@
+//! A deliberately small HTTP/1.1 layer: request parsing, percent
+//! coding, response writing, and the keep-alive client the load
+//! harness and integration tests drive the server with.
+//!
+//! Only what `bnf-serve` needs exists: `GET` requests, header scan for
+//! `Connection:`, `Content-Length`-framed JSON responses. No chunked
+//! bodies, no TLS, no HTTP/2 — the serving story is a trusted-network
+//! query layer over the atlas, not an edge server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed `GET` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Percent-decoded path segments (empty for `/`).
+    pub segments: Vec<String>,
+    /// Percent-decoded `key=value` query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Whether the client asked to close the connection after this
+    /// response (`Connection: close`).
+    pub close: bool,
+}
+
+impl Request {
+    /// The first value of query parameter `name`, if present.
+    pub fn query_value(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed into a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The connection closed (or timed out) before a full request
+    /// arrived — normal at the end of a keep-alive conversation.
+    ConnectionClosed,
+    /// The bytes were not a well-formed `GET` request.
+    Malformed(String),
+    /// The request used a method other than `GET`.
+    MethodNotAllowed,
+}
+
+/// Decodes `%XX` escapes; rejects truncated or non-hex escapes and
+/// byte sequences that are not UTF-8. `+` stays literal (graph6 path
+/// segments are percent-coded, not form-coded).
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Percent-encodes everything outside the RFC 3986 unreserved set —
+/// what a client must do to put a graph6 key (which can contain `?`,
+/// `&`, `%`, …) in a path segment.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Reads and parses one request from a buffered connection. Blocks
+/// until a full head arrives, the peer closes, or the stream's read
+/// timeout fires (both of the latter map to
+/// [`ParseError::ConnectionClosed`]).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(ParseError::ConnectionClosed),
+        Ok(_) => {}
+        Err(_) => return Err(ParseError::ConnectionClosed),
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    // Drain headers before judging the method, so the connection stays
+    // usable for the error response.
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(ParseError::ConnectionClosed),
+            Ok(_) => {}
+            Err(_) => return Err(ParseError::ConnectionClosed),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    if method != "GET" {
+        return Err(ParseError::MethodNotAllowed);
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !path.starts_with('/') {
+        return Err(ParseError::Malformed(format!(
+            "bad request target {target:?}"
+        )));
+    }
+    let mut segments = Vec::new();
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        segments.push(
+            percent_decode(seg)
+                .ok_or_else(|| ParseError::Malformed(format!("bad percent coding in {seg:?}")))?,
+        );
+    }
+    let mut query = Vec::new();
+    if let Some(q) = query_str {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .ok_or_else(|| ParseError::Malformed(format!("bad percent coding in {k:?}")))?;
+            let v = percent_decode(v)
+                .ok_or_else(|| ParseError::Malformed(format!("bad percent coding in {v:?}")))?;
+            query.push((k, v));
+        }
+    }
+    Ok(Request {
+        segments,
+        query,
+        close,
+    })
+}
+
+/// The reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one JSON response with `Content-Length` framing.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A keep-alive HTTP client over one connection — what `serve_bench`
+/// clients and the integration tests speak to the server with.
+#[derive(Debug)]
+pub struct MiniClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl MiniClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<MiniClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(MiniClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issues one `GET` and returns `(status, body)`. The connection
+    /// stays open for the next call (the server honors keep-alive).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a malformed response head.
+    pub fn get(&mut self, path_and_query: &str) -> std::io::Result<(u16, String)> {
+        let request = format!("GET {path_and_query} HTTP/1.1\r\nHost: bnf-serve\r\n\r\n");
+        self.reader.get_mut().write_all(request.as_bytes())?;
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_owned());
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed inside response head"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let len = content_length.ok_or_else(|| bad("missing Content-Length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_coding_round_trips_graph6() {
+        for key in ["D?{", "DQw", "H?AAB~", "a b&c%d+e/f"] {
+            let encoded = percent_encode(key);
+            assert!(
+                encoded
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b"-._~%".contains(&b)),
+                "unsafe byte survived in {encoded:?}"
+            );
+            assert_eq!(percent_decode(&encoded).as_deref(), Some(key));
+        }
+        assert_eq!(percent_decode("%3F"), Some("?".into()));
+        assert_eq!(percent_decode("%3f"), Some("?".into()));
+        assert_eq!(percent_decode("%"), None, "truncated escape");
+        assert_eq!(percent_decode("%zz"), None, "non-hex escape");
+        assert_eq!(percent_decode("%ff"), None, "not UTF-8");
+        assert_eq!(percent_decode("plain"), Some("plain".into()));
+    }
+}

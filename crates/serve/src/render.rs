@@ -1,0 +1,198 @@
+//! JSON rendering for every response body the server emits.
+//!
+//! All exact rationals ([`Ratio`], window bounds) render as strings
+//! (`"5/4"`, `"3"`, `"inf"`), never as floats — the windows are the
+//! exact artifact and must survive a JSON round trip unchanged. The
+//! aggregate grid statistics are `f64` by construction (they come out
+//! of the same fold as the Figure 2 CSV) and render as JSON numbers,
+//! with the two values JSON cannot spell mapped deterministically:
+//! `NaN` → `null` (empty equilibrium set) and `+∞` → the string
+//! `"inf"` (disconnectable equilibrium at small α).
+
+use bnf_core::{ClosedInterval, StabilityWindow, Threshold, WindowRecord};
+use bnf_empirics::sweep::EquilibriumStats;
+use bnf_games::Ratio;
+use bnf_obs::json::push_json_string;
+
+/// Appends a [`Ratio`] as its exact `"p/q"` (or integer `"p"`) string.
+pub fn push_ratio(out: &mut String, r: Ratio) {
+    push_json_string(out, &r.to_string());
+}
+
+fn push_threshold(out: &mut String, t: Threshold) {
+    match t {
+        Threshold::Finite(r) => push_ratio(out, r),
+        Threshold::Infinite => out.push_str("\"inf\""),
+    }
+}
+
+fn push_interval(out: &mut String, iv: &ClosedInterval) {
+    out.push_str("{\"lo\":");
+    push_ratio(out, iv.lo);
+    out.push_str(",\"hi\":");
+    push_threshold(out, iv.hi);
+    out.push('}');
+}
+
+fn push_stability(out: &mut String, w: &StabilityWindow) {
+    out.push_str("{\"lower\":");
+    push_ratio(out, w.lower.value);
+    out.push_str(",\"lower_inclusive\":");
+    out.push_str(if w.lower.inclusive { "true" } else { "false" });
+    out.push_str(",\"upper\":");
+    push_threshold(out, w.upper);
+    out.push('}');
+}
+
+/// Appends an `f64` aggregate: a plain number when finite, `null` for
+/// `NaN`, `"inf"` / `"-inf"` for the infinities (module docs).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("null");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "\"inf\"" } else { "\"-inf\"" });
+    } else {
+        // `{}` on f64 always produces a valid JSON number (`1`, `1.25`,
+        // `1.0821917808219178`) and round-trips the bit pattern.
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Appends one [`WindowRecord`] as a JSON object.
+///
+/// This is **the** record serialization: `/classify` and `/record` both
+/// call it, and the integration tests assert byte equality between the
+/// served body and this function applied to a locally computed record —
+/// so any format drift is a test failure, not a silent divergence.
+pub fn push_record(out: &mut String, rec: &WindowRecord) {
+    out.push_str("{\"key\":");
+    push_json_string(out, &rec.key);
+    out.push_str(&format!(
+        ",\"order\":{},\"edges\":{},\"total_distance\":{}",
+        rec.order, rec.edges, rec.total_distance
+    ));
+    out.push_str(",\"stability\":");
+    match &rec.stability {
+        Some(w) => push_stability(out, w),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"transfer\":");
+    match &rec.transfer {
+        Some(iv) => push_interval(out, iv),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"ucg_support\":[");
+    for (i, iv) in rec.ucg_support.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_interval(out, iv);
+    }
+    out.push_str("]}");
+}
+
+/// Renders a [`WindowRecord`] as a standalone JSON document.
+pub fn record_json(rec: &WindowRecord) -> String {
+    let mut out = String::with_capacity(256);
+    push_record(&mut out, rec);
+    out
+}
+
+/// Appends one per-α statistics row from the grid post-pass.
+pub fn push_stats(out: &mut String, s: &EquilibriumStats) {
+    out.push_str("{\"alpha\":");
+    push_ratio(out, s.alpha);
+    out.push_str(&format!(",\"count\":{}", s.count));
+    out.push_str(",\"mean_poa\":");
+    push_f64(out, s.mean_poa);
+    out.push_str(",\"max_poa\":");
+    push_f64(out, s.max_poa);
+    out.push_str(",\"mean_links\":");
+    push_f64(out, s.mean_links);
+    out.push('}');
+}
+
+/// Appends a named array of statistics rows (`"bilateral":[…]`).
+pub fn push_stats_series(out: &mut String, name: &str, rows: &[EquilibriumStats]) {
+    push_json_string(out, name);
+    out.push_str(":[");
+    for (i, s) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_stats(out, s);
+    }
+    out.push(']');
+}
+
+/// Renders an error body: `{"error":"…"}`.
+pub fn error_json(message: &str) -> String {
+    let mut out = String::with_capacity(message.len() + 12);
+    out.push_str("{\"error\":");
+    push_json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnf_graph::{BfsScratch, Graph};
+    use bnf_obs::json::Json;
+
+    fn classify(edges: &[(usize, usize)], n: usize) -> WindowRecord {
+        let g = Graph::from_edges(n, edges.iter().copied()).unwrap();
+        WindowRecord::classify(&g, &mut BfsScratch::new())
+    }
+
+    #[test]
+    fn record_json_is_valid_and_exact() {
+        // The 4-star: stable window with a finite bound, nonempty
+        // support set — exercises every branch except `None`s.
+        let star = classify(&[(0, 1), (0, 2), (0, 3)], 4);
+        let body = record_json(&star);
+        let doc = Json::parse(&body).expect("record body parses");
+        assert_eq!(doc.get("key").unwrap().as_str(), Some(star.key.as_str()));
+        assert_eq!(doc.get("order").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("edges").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            doc.get("total_distance").unwrap().as_u64(),
+            Some(star.total_distance)
+        );
+        let stab = doc.get("stability").unwrap();
+        let lower = star.stability.unwrap().lower.value;
+        assert_eq!(
+            stab.get("lower").unwrap().as_str(),
+            Some(lower.to_string().as_str())
+        );
+        assert!(!doc.get("ucg_support").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn infinite_threshold_renders_as_inf_string() {
+        // The star stays stable for every large α (dropping a leaf edge
+        // disconnects the graph), so its upper threshold is ∞.
+        let star = classify(&[(0, 1), (0, 2), (0, 3)], 4);
+        let body = record_json(&star);
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("stability").unwrap().get("upper").unwrap().as_str(),
+            Some("inf")
+        );
+    }
+
+    #[test]
+    fn f64_edge_values_stay_valid_json() {
+        for (v, want) in [
+            (1.25, "1.25"),
+            (f64::NAN, "null"),
+            (f64::INFINITY, "\"inf\""),
+            (f64::NEG_INFINITY, "\"-inf\""),
+        ] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out, want);
+            Json::parse(&out).expect("edge value parses");
+        }
+    }
+}

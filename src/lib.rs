@@ -19,6 +19,10 @@
 //!   (work-stealing executor, per-worker scratch, `Analysis` jobs)
 //! * [`empirics`] — the figure-regenerating sweeps, defined as thin
 //!   engine jobs
+//! * [`serve`] — the HTTP query layer over an indexed atlas
+//!   (`/classify`, `/record`, `/grid`) plus the `serve_bench` harness
+//! * [`obs`] — run telemetry: spans, counters, histograms, versioned
+//!   `--report-json` run manifests, and the shared minimal JSON module
 //!
 //! # Quickstart
 //!
@@ -75,6 +79,15 @@
 //!     --out n10.bnfatlas seg-*.bnfatlas
 //! ```
 //!
+//! Once a store has declared coverage, index it and serve point
+//! queries over HTTP without buffering the store (see
+//! `crates/serve/` for the endpoint reference):
+//!
+//! ```text
+//! cargo run --release -p bnf-atlas --bin atlas_index -- --atlas n10.bnfatlas
+//! cargo run --release -p bnf-serve --bin bnf_serve -- --atlas n10.bnfatlas
+//! ```
+//!
 //! Benchmark the engine-backed pipeline (baseline numbers live in
 //! CHANGES.md):
 //!
@@ -119,6 +132,8 @@ pub use bnf_engine as engine;
 pub use bnf_enumerate as enumerate;
 pub use bnf_games as games;
 pub use bnf_graph as graph;
+pub use bnf_obs as obs;
+pub use bnf_serve as serve;
 pub use bnf_stream as stream;
 
 /// The most commonly used items, for glob import in examples.
