@@ -2,8 +2,8 @@
 //! classification atlas — the merge half of the multi-process sharded
 //! sweep (see `crates/atlas/README.md`, "Sharded sweeps").
 //!
-//! Usage: `shard_merge --out merged.bnfatlas [--report-json report.json]
-//! seg0.bnfatlas seg1.bnfatlas …`
+//! Usage: `shard_merge --out merged.bnfatlas [--recover]
+//! [--report-json report.json] seg0.bnfatlas seg1.bnfatlas …`
 //!
 //! Each segment's records and shard metadata fold into `--out` under
 //! the strict conflict semantics (identical duplicates dedup cleanly;
@@ -13,6 +13,15 @@
 //! and warm `--atlas` runs replay the whole catalogue without
 //! enumerating. Merging is incremental: fold segments as they finish,
 //! in any order, across any number of invocations.
+//!
+//! `--recover` salvages segments whose producer died mid-append: the
+//! torn tail is truncated off in place, the clean frame prefix folds
+//! normally, and every salvage is printed with its dropped byte count
+//! (and counted in the manifest). A tear usually lands on the trailing
+//! shard-metadata frame, so the salvaged shard's slot stays unfilled —
+//! re-run that shard (surviving records dedup) and fold again.
+//! Mid-store corruption is still a hard error, with or without the
+//! flag.
 //!
 //! The report — per-shard wall-clock and peak RSS (max and sum across
 //! the shard *processes*, which a single-process `VmHWM` read would
@@ -24,7 +33,10 @@
 
 use std::process::ExitCode;
 
-use bnf_atlas::{merge_segments, render_shard_report, ClassificationAtlas, ShardCoverage};
+use bnf_atlas::{
+    merge_segments, merge_segments_recovering, render_shard_report, ClassificationAtlas,
+    ShardCoverage,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +58,7 @@ fn main() -> ExitCode {
         .position(|a| a == "--report-json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let recover = args.iter().any(|a| a == "--recover");
     let segments: Vec<String> = args
         .iter()
         .enumerate()
@@ -70,13 +83,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match merge_segments(&mut out, &segments) {
+    let fold = if recover {
+        merge_segments_recovering(&mut out, &segments)
+    } else {
+        merge_segments(&mut out, &segments)
+    };
+    let report = match fold {
         Ok(r) => r,
         Err(e) => {
             eprintln!("merge failed at {e}");
             return ExitCode::FAILURE;
         }
     };
+    for (path, recovery) in &report.salvaged {
+        println!("salvaged {}: {recovery}", path.display());
+    }
     println!(
         "merged {} segments into {out_path}: {} records appended, {} identical duplicates \
          skipped, {} shard slots added ({} stored records)",

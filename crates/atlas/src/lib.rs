@@ -67,8 +67,10 @@ pub use families::{
 pub use index::{build_index, index_path, IndexError, IndexSummary, INDEX_MAGIC, INDEX_VERSION};
 pub use lcf::{lcf, try_lcf};
 pub use mapped::MappedAtlas;
-pub use merge::{merge_segments, render_shard_report, MergeReport, SegmentError};
+pub use merge::{
+    merge_segments, merge_segments_recovering, render_shard_report, MergeReport, SegmentError,
+};
 pub use store::{
-    AtlasError, ClassificationAtlas, MergeOutcome, ShardCoverage, ShardMeta, ATLAS_MAGIC,
-    ATLAS_VERSION,
+    AtlasError, ClassificationAtlas, MergeOutcome, RecoveredAtlas, RecoveryReport, ShardCoverage,
+    ShardMeta, ATLAS_MAGIC, ATLAS_VERSION, MAX_FRAME_LEN,
 };

@@ -24,7 +24,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::store::{AtlasError, ClassificationAtlas, ShardCoverage, ShardMeta};
+use crate::store::{AtlasError, ClassificationAtlas, RecoveryReport, ShardCoverage, ShardMeta};
 
 /// What one [`merge_segments`] call did, plus the output store's
 /// per-order coverage status afterwards.
@@ -38,6 +38,9 @@ pub struct MergeReport {
     pub duplicates: usize,
     /// Shard-metadata entries newly appended.
     pub metas_added: usize,
+    /// Segments whose torn tail was truncated before folding — always
+    /// empty outside [`merge_segments_recovering`].
+    pub salvaged: Vec<(PathBuf, RecoveryReport)>,
     /// Per-order coverage outcome after the fold.
     pub coverage: Vec<(usize, ShardCoverage)>,
 }
@@ -78,7 +81,30 @@ pub fn merge_segments(
     out: &mut ClassificationAtlas,
     segments: &[impl AsRef<Path>],
 ) -> Result<MergeReport, SegmentError> {
-    bnf_obs::Recorder::global().time("merge", || merge_segments_inner(out, segments))
+    bnf_obs::Recorder::global().time("merge", || merge_segments_inner(out, segments, false))
+}
+
+/// [`merge_segments`], but a segment whose producer died mid-append is
+/// **salvaged** instead of refused: its torn tail is truncated off (in
+/// place, via [`ClassificationAtlas::open_recovering`]) and the clean
+/// frame prefix folds in normally. Every salvage is itemized in
+/// [`MergeReport::salvaged`] — bytes are never dropped silently.
+///
+/// A tear usually lands on the segment's trailing [`ShardMeta`] frame,
+/// so a salvaged shard typically folds its records but leaves its slot
+/// unfilled ([`ShardCoverage::Incomplete`]): re-run that shard (its
+/// surviving records dedup as identical duplicates) or re-stamp its
+/// metadata, then fold again.
+///
+/// # Errors
+///
+/// As [`merge_segments`]; mid-store corruption (a fully-present frame
+/// that fails to decode) is still a typed error, never a salvage.
+pub fn merge_segments_recovering(
+    out: &mut ClassificationAtlas,
+    segments: &[impl AsRef<Path>],
+) -> Result<MergeReport, SegmentError> {
+    bnf_obs::Recorder::global().time("merge", || merge_segments_inner(out, segments, true))
 }
 
 /// The [`merge_segments`] body, split out so the `merge` telemetry span
@@ -86,12 +112,14 @@ pub fn merge_segments(
 fn merge_segments_inner(
     out: &mut ClassificationAtlas,
     segments: &[impl AsRef<Path>],
+    recover: bool,
 ) -> Result<MergeReport, SegmentError> {
     let mut report = MergeReport {
         segments: segments.len(),
         appended: 0,
         duplicates: 0,
         metas_added: 0,
+        salvaged: Vec::new(),
         coverage: Vec::new(),
     };
     for path in segments {
@@ -109,7 +137,17 @@ fn merge_segments_inner(
                 "segment file does not exist",
             ))));
         }
-        let segment = ClassificationAtlas::open(path).map_err(wrap)?;
+        let segment = if recover {
+            let recovered = ClassificationAtlas::open_recovering(path).map_err(wrap)?;
+            if recovered.report.was_torn() {
+                report
+                    .salvaged
+                    .push((path.to_path_buf(), recovered.report.clone()));
+            }
+            recovered.atlas
+        } else {
+            ClassificationAtlas::open(path).map_err(wrap)?
+        };
         let outcome = out.merge_from(&segment).map_err(wrap)?;
         report.appended += outcome.appended;
         report.duplicates += outcome.duplicates;
@@ -125,6 +163,13 @@ fn merge_segments_inner(
     recorder.add("merge_segments", report.segments as u64);
     recorder.add("merge_appended", report.appended as u64);
     recorder.add("merge_duplicates", report.duplicates as u64);
+    if !report.salvaged.is_empty() {
+        recorder.add("merge_salvaged_segments", report.salvaged.len() as u64);
+        recorder.add(
+            "merge_salvaged_bytes",
+            report.salvaged.iter().map(|(_, r)| r.dropped_bytes).sum(),
+        );
+    }
     Ok(report)
 }
 
@@ -293,6 +338,96 @@ mod tests {
         let missing = scratch_path("missing");
         let err = merge_segments(&mut out, std::slice::from_ref(&missing)).unwrap_err();
         assert!(err.to_string().contains(missing.to_str().unwrap()));
+        for p in seg_paths.iter().chain([&out_path]) {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// A producer killed mid-append leaves its segment ending inside
+    /// the trailing `ShardMeta` frame. The strict fold must refuse it;
+    /// the recovering fold salvages the clean record prefix, itemizes
+    /// the dropped bytes, leaves the shard slot unfilled — and folding
+    /// again after the slot is re-stamped completes coverage.
+    #[test]
+    fn recovering_merge_salvages_torn_final_segment() {
+        let mut scratch = BfsScratch::new();
+        let records: Vec<WindowRecord> =
+            [&[(0, 1), (1, 2), (2, 3)][..], &[(0, 1), (0, 2), (0, 3)][..]]
+                .iter()
+                .map(|e| {
+                    let g = Graph::from_edges(4, e.iter().copied()).unwrap();
+                    WindowRecord::classify(&g, &mut scratch)
+                })
+                .collect();
+        let meta = |index: u32, emitted: u64| ShardMeta {
+            order: 4,
+            shard_index: index,
+            shard_count: 2,
+            frontier_len: 2,
+            parent_lo: u64::from(index),
+            parent_hi: u64::from(index) + 1,
+            emitted,
+            elapsed_ms: 1,
+            peak_rss_kb: None,
+            orchestrator_run: None,
+            frontier_prune: PruneCounters::default(),
+            final_prune: PruneCounters::default(),
+        };
+        let seg_paths = [scratch_path("sv-seg0"), scratch_path("sv-seg1")];
+        for (i, path) in seg_paths.iter().enumerate() {
+            let mut seg = ClassificationAtlas::open(path).unwrap();
+            seg.append_records(std::slice::from_ref(&records[i]))
+                .unwrap();
+            seg.append_shard_meta(&meta(i as u32, 1)).unwrap();
+        }
+        // Tear 5 bytes off segment 1: mid-ShardMeta-frame, exactly what
+        // a SIGKILL during the final append leaves behind.
+        let intact_len = std::fs::metadata(&seg_paths[1]).unwrap().len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg_paths[1])
+            .unwrap();
+        f.set_len(intact_len - 5).unwrap();
+        drop(f);
+
+        // The strict fold refuses the torn segment, naming it.
+        let out_path = scratch_path("sv-out");
+        let mut out = ClassificationAtlas::open(&out_path).unwrap();
+        let err = merge_segments(&mut out, &seg_paths).unwrap_err();
+        assert_eq!(err.path, seg_paths[1]);
+        assert!(matches!(err.error, AtlasError::Corrupt { .. }), "{err}");
+
+        // The recovering fold salvages it. The failed strict fold had
+        // already merged segment 0 (frames merged before a conflict
+        // stay merged), so this pass dedups segment 0 and appends only
+        // the salvaged record; the torn shard slot stays unfilled.
+        let report = merge_segments_recovering(&mut out, &seg_paths).unwrap();
+        assert_eq!(report.appended, 1);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.metas_added, 0);
+        assert_eq!(report.salvaged.len(), 1);
+        let (salvaged_path, recovery) = &report.salvaged[0];
+        assert_eq!(salvaged_path, &seg_paths[1]);
+        assert!(recovery.was_torn());
+        assert_eq!(
+            recovery.dropped_bytes,
+            (intact_len - 5) - recovery.recovered_len,
+            "every byte of the torn file is accounted for"
+        );
+        assert_eq!(
+            report.coverage,
+            vec![(4, ShardCoverage::Incomplete { have: 1, want: 2 })]
+        );
+
+        // Recovery truncated the segment in place, so the strict opener
+        // accepts it now; re-stamp the lost slot and fold again.
+        let mut seg1 = ClassificationAtlas::open(&seg_paths[1]).unwrap();
+        assert_eq!(seg1.len(), 1, "salvage kept the record frame");
+        seg1.append_shard_meta(&meta(1, 1)).unwrap();
+        drop(seg1);
+        let finished = merge_segments_recovering(&mut out, &seg_paths).unwrap();
+        assert!(finished.salvaged.is_empty(), "nothing left to salvage");
+        assert_eq!(finished.coverage, vec![(4, ShardCoverage::Declared(2))]);
         for p in seg_paths.iter().chain([&out_path]) {
             std::fs::remove_file(p).ok();
         }

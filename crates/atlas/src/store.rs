@@ -37,6 +37,13 @@ pub const ATLAS_MAGIC: [u8; 8] = *b"BNFATLAS";
 /// frames are unchanged.
 pub const ATLAS_VERSION: u32 = 3;
 
+/// Hard ceiling on one frame's encoded length. Real frames are tiny —
+/// a record is ~100 bytes, a shard-metadata frame ~170 — so a length
+/// field beyond this is mid-store corruption. Without the cap a
+/// corrupted length field could swallow the rest of the file and
+/// masquerade as a torn tail, silently "recovering" away good frames.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
 /// Why an atlas file could not be opened, read or appended to.
 #[derive(Debug)]
 pub enum AtlasError {
@@ -301,66 +308,98 @@ impl ClassificationAtlas {
     /// malformed records, [`AtlasError::Io`] on filesystem failure.
     pub fn open(path: impl AsRef<Path>) -> Result<ClassificationAtlas, AtlasError> {
         let path = path.as_ref().to_path_buf();
-        let file = match File::open(&path) {
-            Ok(f) => Some(f),
-            Err(e) if e.kind() == ErrorKind::NotFound => None,
-            Err(e) => return Err(e.into()),
+        let loaded = match load_store(&path)? {
+            None => {
+                stamp_header(&path)?;
+                LoadedStore::default()
+            }
+            Some(loaded) => loaded,
         };
-        let mut map = HashMap::new();
-        let mut coverage = HashMap::new();
-        let mut shards = Vec::new();
-        match file {
-            Some(file) if file.metadata()?.len() > 0 => {
-                let mut r = BufReader::new(file);
-                let mut header = [0u8; 12];
-                r.read_exact(&mut header)
-                    .map_err(|_| AtlasError::BadMagic)?;
-                if header[..8] != ATLAS_MAGIC {
-                    return Err(AtlasError::BadMagic);
-                }
-                let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-                if found != ATLAS_VERSION {
-                    return Err(AtlasError::VersionMismatch { found });
-                }
-                let mut offset = 12u64;
-                loop {
-                    let mut len_buf = [0u8; 4];
-                    match r.read_exact(&mut len_buf) {
-                        Ok(()) => {}
-                        Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
-                        Err(e) => return Err(e.into()),
-                    }
-                    let len = u32::from_le_bytes(len_buf) as usize;
-                    let mut payload = vec![0u8; len];
-                    r.read_exact(&mut payload)
-                        .map_err(|_| AtlasError::Corrupt {
-                            offset,
-                            reason: format!("record frame of {len} bytes truncated"),
-                        })?;
-                    decode_frame(&payload, &mut map, &mut coverage, &mut shards)
-                        .map_err(|reason| AtlasError::Corrupt { offset, reason })?;
-                    offset += 4 + len as u64;
-                }
+        if let Some(reason) = loaded.torn {
+            // A torn tail is *recoverable* — but only on explicit
+            // request ([`ClassificationAtlas::open_recovering`]): the
+            // default open refuses rather than silently shortening a
+            // store the caller believed complete.
+            if loaded.clean_len < 12 {
+                return Err(AtlasError::BadMagic);
             }
-            _ => {
-                // Missing or empty: stamp a fresh header.
-                let mut w = BufWriter::new(
-                    OpenOptions::new()
-                        .create(true)
-                        .write(true)
-                        .truncate(true)
-                        .open(&path)?,
-                );
-                w.write_all(&ATLAS_MAGIC)?;
-                w.write_all(&ATLAS_VERSION.to_le_bytes())?;
-                w.flush()?;
-            }
+            return Err(AtlasError::Corrupt {
+                offset: loaded.clean_len,
+                reason,
+            });
         }
         Ok(ClassificationAtlas {
             path,
-            map,
-            coverage,
-            shards,
+            map: loaded.map,
+            coverage: loaded.coverage,
+            shards: loaded.shards,
+        })
+    }
+
+    /// Opens an atlas at `path` like [`ClassificationAtlas::open`], but
+    /// **recovers from a torn tail**: when the file ends mid-frame (a
+    /// producer died mid-append — SIGKILL, power loss), the clean frame
+    /// prefix is kept, the torn bytes are truncated off the file, and
+    /// the [`RecoveryReport`] says exactly what was dropped.
+    ///
+    /// Only the *tail* is recoverable. A fully-present frame that fails
+    /// to decode, or a frame length over [`MAX_FRAME_LEN`], is mid-store
+    /// corruption and stays a typed [`AtlasError::Corrupt`] — recovery
+    /// never invents a truncation point inside the clean prefix, and
+    /// never drops bytes silently (the report is the contract).
+    ///
+    /// Truncation shrinks the file, so a `.bnfatlas.idx` sidecar built
+    /// over the pre-crash store self-invalidates (its recorded store
+    /// length no longer matches) — rebuild it after recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`AtlasError::BadMagic`] / [`AtlasError::VersionMismatch`] for
+    /// foreign or stale files, [`AtlasError::Corrupt`] for mid-store
+    /// corruption, [`AtlasError::Io`] on filesystem failure.
+    pub fn open_recovering(path: impl AsRef<Path>) -> Result<RecoveredAtlas, AtlasError> {
+        let path = path.as_ref().to_path_buf();
+        let loaded = match load_store(&path)? {
+            None => {
+                stamp_header(&path)?;
+                LoadedStore::default()
+            }
+            Some(loaded) => loaded,
+        };
+        let report = match &loaded.torn {
+            None => RecoveryReport {
+                dropped_bytes: 0,
+                recovered_len: std::fs::metadata(&path)?.len().max(12),
+                torn: None,
+            },
+            Some(reason) => {
+                let file_len = std::fs::metadata(&path)?.len();
+                let f = OpenOptions::new().write(true).open(&path)?;
+                if loaded.clean_len < 12 {
+                    // The tear is inside the 12-byte header: nothing
+                    // decodable survives; re-stamp a fresh store.
+                    f.set_len(0)?;
+                    drop(f);
+                    stamp_header(&path)?;
+                } else {
+                    f.set_len(loaded.clean_len)?;
+                    f.sync_all()?;
+                }
+                RecoveryReport {
+                    dropped_bytes: file_len.saturating_sub(loaded.clean_len),
+                    recovered_len: loaded.clean_len.max(12),
+                    torn: Some(reason.clone()),
+                }
+            }
+        };
+        Ok(RecoveredAtlas {
+            atlas: ClassificationAtlas {
+                path,
+                map: loaded.map,
+                coverage: loaded.coverage,
+                shards: loaded.shards,
+            },
+            report,
         })
     }
 
@@ -473,13 +512,10 @@ impl ClassificationAtlas {
             Some(_) => return Err(AtlasError::CoverageConflict { order }),
             None => {}
         }
-        let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         let mut payload = vec![FRAME_COVERAGE];
         payload.extend_from_slice(&(order as u16).to_le_bytes());
         payload.extend_from_slice(&(count as u64).to_le_bytes());
-        w.write_all(&(payload.len() as u32).to_le_bytes())?;
-        w.write_all(&payload)?;
-        w.flush()?;
+        self.append_commit_frame(&payload)?;
         self.coverage.insert(order as u16, count as u64);
         Ok(())
     }
@@ -566,14 +602,30 @@ impl ClassificationAtlas {
                 ),
             });
         }
-        let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         let mut payload = vec![FRAME_SHARD_META];
         encode_shard_meta(meta, &mut payload);
-        w.write_all(&(payload.len() as u32).to_le_bytes())?;
-        w.write_all(&payload)?;
-        w.flush()?;
+        self.append_commit_frame(&payload)?;
         self.shards.push(meta.clone());
         Ok(true)
+    }
+
+    /// Appends one *commit* frame (shard metadata or coverage) with the
+    /// crash-safety discipline the resume workflow rests on: the file is
+    /// `fsync`ed **before** the frame — so every record the frame
+    /// vouches for is durable first — and again after, so the commit
+    /// itself survives the crash. Record appends deliberately skip the
+    /// sync (they are re-derivable); a `ShardMeta` frame present after a
+    /// crash therefore *guarantees* its range's records are present too,
+    /// which is what lets `--resume` skip completed ranges outright.
+    fn append_commit_frame(&self, payload: &[u8]) -> Result<(), AtlasError> {
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        f.sync_all()?;
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        f.write_all(&frame)?;
+        f.sync_all()?;
+        Ok(())
     }
 
     /// Folds another (typically segment) atlas into this one: records,
@@ -728,6 +780,179 @@ pub enum ShardCoverage {
         /// Stored records of this order.
         stored: u64,
     },
+}
+
+/// A [`ClassificationAtlas`] opened through the torn-tail-tolerant
+/// path ([`ClassificationAtlas::open_recovering`]), paired with the
+/// report of what recovery did.
+#[derive(Debug)]
+pub struct RecoveredAtlas {
+    /// The opened (possibly tail-truncated) store.
+    pub atlas: ClassificationAtlas,
+    /// What was dropped, if anything.
+    pub report: RecoveryReport,
+}
+
+/// What [`ClassificationAtlas::open_recovering`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes truncated off the tail (0: the store was already clean).
+    pub dropped_bytes: u64,
+    /// File length after recovery — the last clean frame boundary (at
+    /// least 12, the header).
+    pub recovered_len: u64,
+    /// Diagnosis of the torn tail, when bytes were dropped.
+    pub torn: Option<String>,
+}
+
+impl RecoveryReport {
+    /// Whether recovery actually truncated anything.
+    pub fn was_torn(&self) -> bool {
+        self.dropped_bytes > 0
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.torn {
+            None => write!(f, "store clean ({} bytes)", self.recovered_len),
+            Some(reason) => write!(
+                f,
+                "recovered: dropped {} torn tail byte(s) at offset {} ({reason})",
+                self.dropped_bytes, self.recovered_len
+            ),
+        }
+    }
+}
+
+/// Everything [`load_store`] decoded, plus where the clean prefix ends.
+#[derive(Debug, Default)]
+struct LoadedStore {
+    map: HashMap<String, WindowRecord>,
+    coverage: HashMap<u16, u64>,
+    shards: Vec<ShardMeta>,
+    /// One past the last fully decoded frame (0 only when the tear is
+    /// inside the 12-byte header).
+    clean_len: u64,
+    /// `Some(diagnosis)` when the file ends mid-frame — recoverable by
+    /// truncating to `clean_len`; `None` when it ends exactly on a
+    /// frame boundary.
+    torn: Option<String>,
+}
+
+/// Reads `buf.len()` bytes unless EOF comes first; returns how many
+/// arrived — the byte count [`load_store`] needs to tell a clean frame
+/// boundary (0 bytes of the next length field) from a torn tail (a
+/// partial length field or short payload).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Stamps a fresh header (magic + version) into `path`, durably.
+fn stamp_header(path: &Path) -> Result<(), AtlasError> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    f.write_all(&ATLAS_MAGIC)?;
+    f.write_all(&ATLAS_VERSION.to_le_bytes())?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// The shared read path of [`ClassificationAtlas::open`] and
+/// [`ClassificationAtlas::open_recovering`]: decodes the clean frame
+/// prefix and classifies the tail. `None` means the file is missing or
+/// empty (the caller stamps a fresh header). Torn-vs-corrupt
+/// distinction: the file ending *mid-frame* (partial length field or
+/// short payload) is a tear — the producing process died mid-append —
+/// while a fully present frame that fails to decode, or a length field
+/// over [`MAX_FRAME_LEN`], is mid-store corruption and errors here.
+fn load_store(path: &Path) -> Result<Option<LoadedStore>, AtlasError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if file.metadata()?.len() == 0 {
+        return Ok(None);
+    }
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; 12];
+    let got = read_full(&mut r, &mut header)?;
+    let mut expected = [0u8; 12];
+    expected[..8].copy_from_slice(&ATLAS_MAGIC);
+    expected[8..].copy_from_slice(&ATLAS_VERSION.to_le_bytes());
+    if got < 12 {
+        if header[..got] == expected[..got] {
+            // A truncated-but-correct header prefix: torn at creation.
+            return Ok(Some(LoadedStore {
+                clean_len: 0,
+                torn: Some(format!("file ends {got} bytes into the 12-byte header")),
+                ..LoadedStore::default()
+            }));
+        }
+        return Err(AtlasError::BadMagic);
+    }
+    if header[..8] != ATLAS_MAGIC {
+        return Err(AtlasError::BadMagic);
+    }
+    let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if found != ATLAS_VERSION {
+        return Err(AtlasError::VersionMismatch { found });
+    }
+    let mut out = LoadedStore {
+        clean_len: 12,
+        ..LoadedStore::default()
+    };
+    loop {
+        let mut len_buf = [0u8; 4];
+        let got = read_full(&mut r, &mut len_buf)?;
+        if got == 0 {
+            break; // clean frame boundary
+        }
+        if got < 4 {
+            out.torn = Some(format!(
+                "file ends {got} bytes into a frame length field at byte {}",
+                out.clean_len
+            ));
+            break;
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(AtlasError::Corrupt {
+                offset: out.clean_len,
+                reason: format!("frame length {len} outside 1..={MAX_FRAME_LEN}"),
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        let got = read_full(&mut r, &mut payload)?;
+        if got < len as usize {
+            out.torn = Some(format!(
+                "record frame of {len} bytes truncated ({got} present) at byte {}",
+                out.clean_len
+            ));
+            break;
+        }
+        decode_frame(&payload, &mut out.map, &mut out.coverage, &mut out.shards).map_err(
+            |reason| AtlasError::Corrupt {
+                offset: out.clean_len,
+                reason,
+            },
+        )?;
+        out.clean_len += 4 + len as u64;
+    }
+    Ok(Some(out))
 }
 
 /// Parses one frame (tag byte + payload) into the maps.
@@ -1215,6 +1440,104 @@ mod tests {
             Err(AtlasError::Corrupt { offset: 12, .. }) => {}
             other => panic!("expected Corrupt at offset 12, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_recovering_on_clean_store_is_lossless() {
+        let path = scratch_path("recover-clean");
+        let records = sample_records();
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            atlas.append_records(&records).unwrap();
+            atlas.mark_complete(5, records.len()).unwrap();
+        }
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        let recovered = ClassificationAtlas::open_recovering(&path).unwrap();
+        assert!(!recovered.report.was_torn());
+        assert_eq!(recovered.report.dropped_bytes, 0);
+        assert_eq!(recovered.report.recovered_len, len_before);
+        assert_eq!(recovered.atlas.len(), 2);
+        assert_eq!(recovered.atlas.coverage(5), Some(2));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
+        assert!(recovered.report.to_string().contains("clean"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_recovering_truncates_torn_tail_and_reports() {
+        let path = scratch_path("recover-torn");
+        let records = sample_records();
+        let boundary;
+        {
+            let mut atlas = ClassificationAtlas::open(&path).unwrap();
+            atlas.append_records(&records[..1]).unwrap();
+            boundary = std::fs::metadata(&path).unwrap().len();
+            atlas.append_records(&records[1..]).unwrap();
+        }
+        // Tear the second record frame: keep its length field plus two
+        // payload bytes. The strict open refuses; recovery keeps the
+        // clean prefix and truncates the tail off the file.
+        let bytes = std::fs::read(&path).unwrap();
+        let torn_len = boundary + 6;
+        std::fs::write(&path, &bytes[..torn_len as usize]).unwrap();
+        assert!(matches!(
+            ClassificationAtlas::open(&path),
+            Err(AtlasError::Corrupt { .. })
+        ));
+        let recovered = ClassificationAtlas::open_recovering(&path).unwrap();
+        assert!(recovered.report.was_torn());
+        assert_eq!(recovered.report.dropped_bytes, 6);
+        assert_eq!(recovered.report.recovered_len, boundary);
+        assert_eq!(recovered.atlas.len(), 1);
+        assert_eq!(recovered.atlas.get(&records[0].key), Some(&records[0]));
+        assert!(recovered.report.to_string().contains("dropped 6"));
+        // The file is clean again: the strict open succeeds and the
+        // store is appendable from where recovery left it.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), boundary);
+        let mut atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.append_records(&records).unwrap(), 1);
+        assert_eq!(ClassificationAtlas::open(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_recovering_restamps_torn_header() {
+        let path = scratch_path("recover-header");
+        ClassificationAtlas::open(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..5]).unwrap();
+        assert!(matches!(
+            ClassificationAtlas::open(&path),
+            Err(AtlasError::BadMagic)
+        ));
+        let recovered = ClassificationAtlas::open_recovering(&path).unwrap();
+        assert_eq!(recovered.report.dropped_bytes, 5);
+        assert_eq!(recovered.report.recovered_len, 12);
+        assert!(recovered.atlas.is_empty());
+        assert!(ClassificationAtlas::open(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_frame_length_is_corrupt_not_a_tear() {
+        let path = scratch_path("recover-hugelen");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&ATLAS_MAGIC);
+        bytes.extend_from_slice(&ATLAS_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &bytes).unwrap();
+        // Both paths refuse: a corrupted length field must not be
+        // "recovered" by swallowing the rest of the file as a tear.
+        assert!(matches!(
+            ClassificationAtlas::open(&path),
+            Err(AtlasError::Corrupt { offset: 12, .. })
+        ));
+        assert!(matches!(
+            ClassificationAtlas::open_recovering(&path),
+            Err(AtlasError::Corrupt { offset: 12, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

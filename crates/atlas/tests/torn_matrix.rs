@@ -1,0 +1,183 @@
+//! The torn-write matrix: a real store truncated at **every** byte
+//! offset must either recover to a clean prefix replay or fail with a
+//! typed error — never panic, never silently lose data that recovery
+//! did not report dropping.
+
+use bnf_atlas::{AtlasError, ClassificationAtlas, ShardMeta, MAX_FRAME_LEN};
+use bnf_core::WindowRecord;
+use bnf_stream::PruneCounters;
+use std::path::PathBuf;
+
+fn scratch_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let k = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bnf-torn-matrix-{}-{k}-{tag}.bnfatlas",
+        std::process::id()
+    ))
+}
+
+fn record(key: &str, edges: u64) -> WindowRecord {
+    WindowRecord {
+        key: key.into(),
+        order: 5,
+        edges,
+        total_distance: 40 - edges,
+        stability: None,
+        transfer: None,
+        ucg_support: Vec::new(),
+    }
+}
+
+fn meta(index: u32, count: u32, emitted: u64) -> ShardMeta {
+    ShardMeta {
+        order: 5,
+        shard_index: index,
+        shard_count: count,
+        frontier_len: 6,
+        parent_lo: 6 * u64::from(index) / u64::from(count),
+        parent_hi: 6 * u64::from(index + 1) / u64::from(count),
+        emitted,
+        elapsed_ms: 3,
+        peak_rss_kb: Some(1024),
+        orchestrator_run: Some(7),
+        frontier_prune: PruneCounters {
+            candidates: 10,
+            ..PruneCounters::default()
+        },
+        final_prune: PruneCounters {
+            candidates: 4,
+            ..PruneCounters::default()
+        },
+    }
+}
+
+/// Builds the reference store the matrix truncates: records, shard
+/// metadata, and a coverage frame — all three frame kinds on disk.
+fn build_reference(path: &PathBuf) -> Vec<WindowRecord> {
+    let records: Vec<WindowRecord> = ["D?{", "DQw", "Dhc", "D]w"]
+        .iter()
+        .enumerate()
+        .map(|(i, k)| record(k, 4 + i as u64))
+        .collect();
+    let mut atlas = ClassificationAtlas::open(path).unwrap();
+    atlas.append_records(&records).unwrap();
+    atlas.append_shard_meta(&meta(0, 2, 2)).unwrap();
+    atlas.append_shard_meta(&meta(1, 2, 2)).unwrap();
+    atlas.mark_complete(5, records.len()).unwrap();
+    records
+}
+
+#[test]
+fn truncation_at_every_offset_recovers_or_fails_typed() {
+    let reference = scratch_path("reference");
+    let records = build_reference(&reference);
+    let bytes = std::fs::read(&reference).unwrap();
+    let work = scratch_path("work");
+
+    for cut in 0..=bytes.len() {
+        std::fs::write(&work, &bytes[..cut]).unwrap();
+
+        // Recovery must succeed at every truncation offset: the file is
+        // a clean prefix plus (possibly) a torn tail, never mid-store
+        // corruption.
+        let recovered = ClassificationAtlas::open_recovering(&work)
+            .unwrap_or_else(|e| panic!("cut={cut}: recovery failed: {e}"));
+        let report = &recovered.report;
+        if cut < 12 {
+            // Tear inside the header: everything dropped, fresh stamp.
+            assert_eq!(report.dropped_bytes, cut as u64, "cut={cut}");
+            assert_eq!(report.recovered_len, 12, "cut={cut}");
+            assert!(recovered.atlas.is_empty(), "cut={cut}");
+        } else {
+            // Accounting closes exactly: kept + dropped == cut, and the
+            // file on disk now ends at the clean boundary.
+            assert_eq!(
+                report.recovered_len + report.dropped_bytes,
+                cut as u64,
+                "cut={cut}"
+            );
+        }
+        assert_eq!(
+            std::fs::metadata(&work).unwrap().len(),
+            report.recovered_len,
+            "cut={cut}"
+        );
+        // No invented data: every recovered record is byte-identical to
+        // the reference store's record for that key.
+        for rec in recovered.atlas.iter() {
+            let original = records.iter().find(|r| r.key == rec.key);
+            assert_eq!(original, Some(rec), "cut={cut}: recovered alien record");
+        }
+        // The truncated file reopens strictly after recovery.
+        let reopened = ClassificationAtlas::open(&work)
+            .unwrap_or_else(|e| panic!("cut={cut}: post-recovery open failed: {e}"));
+        assert_eq!(reopened.len(), recovered.atlas.len(), "cut={cut}");
+
+        // The strict open of the *torn* file (before recovery fixed it)
+        // must agree with the report: clean boundary ⇔ Ok.
+        std::fs::write(&work, &bytes[..cut]).unwrap();
+        match ClassificationAtlas::open(&work) {
+            Ok(atlas) => {
+                assert!(
+                    !report.was_torn() || cut == 0,
+                    "cut={cut}: strict open accepted a torn file"
+                );
+                assert_eq!(atlas.len(), recovered.atlas.len(), "cut={cut}");
+            }
+            Err(AtlasError::Corrupt { .. }) | Err(AtlasError::BadMagic) => {
+                assert!(
+                    report.was_torn(),
+                    "cut={cut}: strict open rejected a clean boundary"
+                );
+            }
+            Err(other) => panic!("cut={cut}: unexpected error kind {other:?}"),
+        }
+    }
+
+    std::fs::remove_file(&reference).ok();
+    std::fs::remove_file(&work).ok();
+}
+
+#[test]
+fn mid_store_corruption_stays_typed_for_both_opens() {
+    let reference = scratch_path("corrupt-ref");
+    build_reference(&reference);
+    let bytes = std::fs::read(&reference).unwrap();
+    let work = scratch_path("corrupt-work");
+
+    // An absurd length field in the *first* frame: both paths must call
+    // it corruption at that offset, not a tear to "recover" from.
+    let mut huge = bytes.clone();
+    huge[12..16].copy_from_slice(&(MAX_FRAME_LEN + 7).to_le_bytes());
+    std::fs::write(&work, &huge).unwrap();
+    for result in [
+        ClassificationAtlas::open(&work).map(|_| ()),
+        ClassificationAtlas::open_recovering(&work).map(|_| ()),
+    ] {
+        match result {
+            Err(AtlasError::Corrupt { offset: 12, reason }) => {
+                assert!(reason.contains("length"), "{reason}");
+            }
+            other => panic!("expected Corrupt at 12, got {other:?}"),
+        }
+    }
+
+    // An unknown frame tag mid-store (first byte of the first frame's
+    // payload): fully present frame, fails decode — typed Corrupt.
+    let mut badtag = bytes.clone();
+    badtag[16] = 99;
+    std::fs::write(&work, &badtag).unwrap();
+    assert!(matches!(
+        ClassificationAtlas::open(&work),
+        Err(AtlasError::Corrupt { offset: 12, .. })
+    ));
+    assert!(matches!(
+        ClassificationAtlas::open_recovering(&work),
+        Err(AtlasError::Corrupt { offset: 12, .. })
+    ));
+
+    std::fs::remove_file(&reference).ok();
+    std::fs::remove_file(&work).ok();
+}

@@ -161,6 +161,19 @@ pub fn grid_from_args(args: &[String], default: impl FnOnce() -> Vec<Ratio>) -> 
 /// complete coverage for `n`, or a trivial order `n < 2`, falls back to
 /// the standard warm/streaming path.)
 ///
+/// With `--resume` (requires `--atlas`) an interrupted orchestrated run
+/// picks up where it was killed: the store is opened through
+/// torn-tail recovery ([`bnf_atlas::ClassificationAtlas::open_recovering`]
+/// — a frame cut mid-write by the crash is truncated and reported, not
+/// refused as corruption), the completed ranges are reconstructed from
+/// its [`bnf_atlas::ShardMeta`] frames, and only the missing ranges
+/// execute; coverage is declared when the partition closes across runs
+/// and the figure output replays from the completed store —
+/// byte-identical to an uninterrupted run. Resume provenance (ranges
+/// recovered/redone, prior run count, dropped tail bytes) lands in the
+/// stderr report and the `--report-json` manifest, whose only
+/// gate-facing metric becomes `manifest/ranges_redone_on_resume/{n}`.
+///
 /// With `--shard i/m` (requires `--atlas`, which names the **segment**
 /// file) the invocation classifies only shard `i` of the `m`-way
 /// partition of the parent frontier, persists the records plus a
@@ -194,10 +207,30 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
     let shard = arg_value(args, "--shard")
         .map(|s| bnf_stream::ShardSpec::parse(&s).unwrap_or_else(|e| panic!("bad --shard: {e}")));
     let report_json = arg_value(args, "--report-json");
+    let resume = arg_flag(args, "--resume");
+    let mut dropped_tail = 0u64;
     let mut atlas = arg_value(args, "--atlas").map(|p| {
-        bnf_atlas::ClassificationAtlas::open(&p)
-            .unwrap_or_else(|e| panic!("cannot open atlas {p}: {e}"))
+        if resume {
+            // A store left behind by a killed run may end mid-frame:
+            // recovery truncates the torn tail (reporting what it
+            // dropped) instead of refusing the whole store as Corrupt.
+            let recovered = bnf_atlas::ClassificationAtlas::open_recovering(&p)
+                .unwrap_or_else(|e| panic!("cannot recover atlas {p}: {e}"));
+            if recovered.report.was_torn() {
+                eprintln!("atlas {p}: {}", recovered.report);
+            }
+            dropped_tail = recovered.report.dropped_bytes;
+            recovered.atlas
+        } else {
+            bnf_atlas::ClassificationAtlas::open(&p)
+                .unwrap_or_else(|e| panic!("cannot open atlas {p}: {e}"))
+        }
     });
+    assert!(
+        !resume || atlas.is_some(),
+        "--resume reconstructs completed ranges from the interrupted run's store: \
+         pass --atlas <path>"
+    );
     // Scope the process-wide recorder to this run, then let the
     // enumeration layers heartbeat progress against the known connected
     // count for this order.
@@ -233,10 +266,12 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
             );
         }
     }
-    // `--shards`/`--jobs` opt into the orchestrated path wherever it
-    // applies: a frontier exists (n ≥ 2) and the store cannot already
-    // replay the order warm.
-    if (shards.is_some() || jobs.is_some())
+    // `--shards`/`--jobs`/`--resume` opt into the orchestrated path
+    // wherever it applies: a frontier exists (n ≥ 2) and the store
+    // cannot already replay the order warm. (`--resume` against a store
+    // whose coverage already closed falls through to the warm path —
+    // there is nothing left to redo.)
+    if (shards.is_some() || jobs.is_some() || resume)
         && n >= 2
         && atlas.as_ref().is_none_or(|a| a.coverage(n).is_none())
     {
@@ -247,7 +282,14 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
                     panic!("--shards wants `auto` or a range count, got {v:?}")
                 })),
             };
-        return run_orchestrated_cli(n, threads, ranges, atlas, report_json);
+        return run_orchestrated_cli(
+            n,
+            threads,
+            ranges,
+            atlas,
+            report_json,
+            resume.then_some(dropped_tail),
+        );
     }
     eprintln!(
         "classifying all connected topologies on n={n} vertices ({path} enumeration{})...",
@@ -348,19 +390,26 @@ fn finish_manifest(mut manifest: bnf_obs::RunManifest, report_json: Option<Strin
     }
 }
 
-/// The `--shards auto|R` body: one in-process orchestrated sweep —
-/// frontier built once, ranges work-stolen across `threads` workers,
-/// each completed range streamed into the `--atlas` store (when given)
-/// with its [`bnf_atlas::ShardMeta`] provenance, coverage declared when
-/// the partition closes.
+/// The `--shards auto|R` / `--resume` body: one in-process orchestrated
+/// sweep — frontier built once, ranges work-stolen across `threads`
+/// workers, each completed range streamed into the `--atlas` store
+/// (when given) with its [`bnf_atlas::ShardMeta`] provenance, coverage
+/// declared when the partition closes.
+///
+/// `resume_dropped_tail` is `Some(bytes)` when `--resume` was passed
+/// (`bytes` = torn tail dropped by recovery, 0 on a clean store): the
+/// partition of the interrupted run is reconstructed from the store's
+/// shard metadata ([`resume_plan_from_metas`]) and only its missing
+/// ranges execute; once coverage closes across runs, the figure output
+/// is replayed from the store, never taken from the partial merge.
 fn run_orchestrated_cli(
     n: usize,
     threads: usize,
     ranges: Option<usize>,
     mut atlas: Option<bnf_atlas::ClassificationAtlas>,
     report_json: Option<String>,
+    resume_dropped_tail: Option<u64>,
 ) -> WindowSweep {
-    let range_count = ranges.unwrap_or_else(|| bnf_engine::auto_range_count(threads));
     // Two handles on the same store: the orchestrator's workers read
     // classifications through a second read-only handle while the
     // writer callback appends through the original — `open` reads the
@@ -372,57 +421,85 @@ fn run_orchestrated_cli(
         ),
         _ => None,
     };
+    let plan = match (resume_dropped_tail, &atlas) {
+        (Some(_), Some(a)) => resume_plan_from_metas(n, a.shard_metas()),
+        _ => None,
+    };
     let run_id = orchestrator_run_id();
-    eprintln!(
-        "orchestrating the n={n} sweep in-process: {threads} worker thread(s) stealing \
-         {range_count} frontier ranges{}...",
-        match &lookup {
-            Some(a) => format!(", atlas-backed: {} stored records", a.len()),
-            None => String::new(),
-        }
-    );
+    match &plan {
+        Some((plan, prior_runs)) => eprintln!(
+            "resuming the n={n} sweep: {}/{} range(s) durably complete from {prior_runs} \
+             prior run(s); {threads} worker thread(s) redoing the remaining {}...",
+            plan.completed.len(),
+            plan.ranges,
+            plan.ranges - plan.completed.len(),
+        ),
+        None => eprintln!(
+            "orchestrating the n={n} sweep in-process: {threads} worker thread(s) stealing \
+             {} frontier ranges{}...",
+            ranges.unwrap_or_else(|| bnf_engine::auto_range_count(threads)),
+            match &lookup {
+                Some(a) => format!(", atlas-backed: {} stored records", a.len()),
+                None => String::new(),
+            }
+        ),
+    }
     let started = std::time::Instant::now();
     let mut appended_total = 0usize;
     let mut hits_total = 0usize;
     let mut provenance: Vec<bnf_obs::ShardProvenance> = Vec::new();
-    let (windows, stats) =
-        WindowSweep::run_orchestrated(n, threads, ranges, lookup.as_ref(), |seg| {
-            provenance.push(bnf_obs::ShardProvenance {
-                order: n as u32,
-                index: seg.index as u32,
-                count: seg.ranges as u32,
+    let mut on_segment = |seg: bnf_engine::RangeSegment<'_, bnf_core::WindowRecord>| {
+        provenance.push(bnf_obs::ShardProvenance {
+            order: n as u32,
+            index: seg.index as u32,
+            count: seg.ranges as u32,
+            parent_lo: seg.parent_lo,
+            parent_hi: seg.parent_hi,
+            emitted: seg.emitted,
+            elapsed_ms: seg.elapsed_ms,
+            peak_rss_kb: peak_rss_kb(),
+            orchestrator_run: Some(run_id),
+        });
+        if let Some(atlas) = atlas.as_mut() {
+            let appended = atlas
+                .append_records(seg.records)
+                .unwrap_or_else(|e| panic!("atlas append failed: {e}"));
+            appended_total += appended;
+            hits_total += seg.records.len() - appended;
+            let meta = bnf_atlas::ShardMeta {
+                order: n as u16,
+                shard_index: seg.index as u32,
+                shard_count: seg.ranges as u32,
+                frontier_len: seg.frontier_len,
                 parent_lo: seg.parent_lo,
                 parent_hi: seg.parent_hi,
                 emitted: seg.emitted,
                 elapsed_ms: seg.elapsed_ms,
                 peak_rss_kb: peak_rss_kb(),
                 orchestrator_run: Some(run_id),
-            });
-            if let Some(atlas) = atlas.as_mut() {
-                let appended = atlas
-                    .append_records(seg.records)
-                    .unwrap_or_else(|e| panic!("atlas append failed: {e}"));
-                appended_total += appended;
-                hits_total += seg.records.len() - appended;
-                let meta = bnf_atlas::ShardMeta {
-                    order: n as u16,
-                    shard_index: seg.index as u32,
-                    shard_count: seg.ranges as u32,
-                    frontier_len: seg.frontier_len,
-                    parent_lo: seg.parent_lo,
-                    parent_hi: seg.parent_hi,
-                    emitted: seg.emitted,
-                    elapsed_ms: seg.elapsed_ms,
-                    peak_rss_kb: peak_rss_kb(),
-                    orchestrator_run: Some(run_id),
-                    frontier_prune: seg.frontier_prune,
-                    final_prune: seg.final_prune,
-                };
-                atlas
-                    .append_shard_meta(&meta)
-                    .unwrap_or_else(|e| panic!("atlas metadata append failed: {e}"));
-            }
-        });
+                frontier_prune: seg.frontier_prune,
+                final_prune: seg.final_prune,
+            };
+            atlas
+                .append_shard_meta(&meta)
+                .unwrap_or_else(|e| panic!("atlas metadata append failed: {e}"));
+            // The crash-safety kill point of the whole sweep stack:
+            // this range is now durably committed (records + meta
+            // fsynced), so a fault armed here (BNF_FAULT, see
+            // bnf-faults) crashes with exactly N ranges recoverable.
+            bnf_faults::trip_with_file("range_commit", atlas.path());
+        }
+    };
+    let (mut windows, stats) = match &plan {
+        Some((plan, _)) => WindowSweep::run_orchestrated_resumed(
+            n,
+            threads,
+            plan,
+            lookup.as_ref(),
+            &mut on_segment,
+        ),
+        None => WindowSweep::run_orchestrated(n, threads, ranges, lookup.as_ref(), &mut on_segment),
+    };
     let elapsed_ms = started.elapsed().as_millis() as u64;
     bnf_obs::heartbeat::finish();
     let mut manifest =
@@ -438,6 +515,30 @@ fn run_orchestrated_cli(
         manifest.push_metric(
             &format!("manifest/heaviest_range_share/{n}"),
             heaviest as f64 / manifest.emitted as f64,
+        );
+    }
+    if let Some(dropped_tail) = resume_dropped_tail {
+        let recovered = plan.as_ref().map_or(0, |(p, _)| p.completed.len());
+        let prior_runs = plan.as_ref().map_or(0, |(_, runs)| *runs);
+        let redone = (stats.ranges - recovered) as u64;
+        manifest.set_counter("resume_recovered_ranges", recovered as u64);
+        manifest.set_counter("resume_redone_ranges", redone);
+        manifest.set_counter("resume_prior_runs", prior_runs);
+        manifest.set_counter("resume_dropped_tail_bytes", dropped_tail);
+        // A resumed manifest carries exactly one gate-facing metric:
+        // the standard ones are computed from executed-ranges-only
+        // stats (not comparable to a cold run), and bench_gate refuses
+        // duplicate metric ids across the estimate files of one gate
+        // invocation.
+        manifest.metrics.clear();
+        manifest.push_metric(
+            &format!("manifest/ranges_redone_on_resume/{n}"),
+            redone as f64,
+        );
+        eprintln!(
+            "resumed sweep: recovered {recovered}/{} completed range(s) from {prior_runs} \
+             prior run(s), redoing {redone}; torn tail: {dropped_tail} byte(s) dropped",
+            stats.ranges,
         );
     }
     manifest.shards = provenance;
@@ -462,6 +563,14 @@ fn run_orchestrated_cli(
                     "orchestrated sweep: coverage NOT declared for order {order} — {other:?}"
                 ),
             }
+        }
+        if plan.is_some() {
+            // The resumed run's merge holds only the redone ranges —
+            // figure output always replays from the now-complete store,
+            // byte-identical to what an uninterrupted run returns.
+            windows.records = atlas.complete_sweep(n).unwrap_or_else(|| {
+                panic!("resumed n={n} sweep did not close coverage — store still partial")
+            });
         }
         manifest.set_counter("atlas_hits", hits_total as u64);
         manifest.set_counter("atlas_appended", appended_total as u64);
@@ -493,6 +602,51 @@ fn orchestrator_run_id() -> u64 {
         .map(|d| u64::from(d.subsec_nanos()) ^ d.as_secs())
         .unwrap_or(0);
     (u64::from(std::process::id()) << 32) ^ nanos
+}
+
+/// Reconstructs an interrupted orchestrated run's partition from the
+/// [`bnf_atlas::ShardMeta`] frames its store already holds: metadata
+/// for order `n` is grouped by `(shard_count, frontier_len)` — the pair
+/// that fully determines the range boundaries — and the group with the
+/// most completed ranges wins (a store holds one live partition per
+/// order in practice; a stray experiment's stale metas must not hijack
+/// the resume). Returns the [`bnf_engine::ResumePlan`] plus the number
+/// of distinct prior runs that contributed, or `None` when the store
+/// has no usable metadata (cold start: resume degenerates to a full
+/// orchestrated run).
+///
+/// The plan's `frontier_len` is re-asserted against the rebuilt
+/// frontier inside the engine before any range executes, so metadata
+/// from an incompatible build fails loudly rather than skipping the
+/// wrong parents.
+fn resume_plan_from_metas(
+    n: usize,
+    metas: &[bnf_atlas::ShardMeta],
+) -> Option<(bnf_engine::ResumePlan, u64)> {
+    use std::collections::{BTreeMap, BTreeSet};
+    type Group = (BTreeSet<usize>, BTreeSet<Option<u64>>);
+    let mut groups: BTreeMap<(u32, u64), Group> = BTreeMap::new();
+    for meta in metas {
+        if usize::from(meta.order) != n || meta.shard_index >= meta.shard_count {
+            continue;
+        }
+        let (completed, runs) = groups
+            .entry((meta.shard_count, meta.frontier_len))
+            .or_default();
+        completed.insert(meta.shard_index as usize);
+        runs.insert(meta.orchestrator_run);
+    }
+    let ((shard_count, frontier_len), (completed, runs)) = groups
+        .into_iter()
+        .max_by_key(|(key, (completed, _))| (completed.len(), key.0))?;
+    Some((
+        bnf_engine::ResumePlan {
+            ranges: shard_count as usize,
+            completed: completed.into_iter().collect(),
+            frontier_len,
+        },
+        runs.len() as u64,
+    ))
 }
 
 /// The `--shard i/m` body: classifies one frontier shard, persists the

@@ -293,6 +293,42 @@ impl WindowSweep {
             engine.run_connected_streaming_keyed_orchestrated(n, ranges, &job, on_segment);
         (WindowSweep { n, records }, stats)
     }
+
+    /// Resumed twin of [`WindowSweep::run_orchestrated`]: executes only
+    /// the ranges `plan` lists as missing — completed ranges were
+    /// durably persisted by a prior interrupted run and are never
+    /// re-streamed. The returned [`WindowSweep`] holds the *executed*
+    /// ranges' records only; the caller replays the full catalogue from
+    /// the store ([`ClassificationAtlas::complete_sweep`]) once coverage
+    /// closes across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`crate::max_sweep_n`], `n <= 1`, or the
+    /// plan is incompatible with the rebuilt frontier (wrong
+    /// `frontier_len`) — see
+    /// [`AnalysisEngine::run_connected_streaming_keyed_orchestrated_resumed`].
+    pub fn run_orchestrated_resumed<W>(
+        n: usize,
+        threads: usize,
+        plan: &bnf_engine::ResumePlan,
+        atlas: Option<&ClassificationAtlas>,
+        on_segment: W,
+    ) -> (WindowSweep, OrchestratorStats)
+    where
+        W: FnMut(RangeSegment<'_, WindowRecord>),
+    {
+        let cap = crate::max_sweep_n();
+        assert!(
+            n <= cap,
+            "sweeps beyond n={cap} need a deliberate opt-in (set BNF_MAX_N)"
+        );
+        let engine = AnalysisEngine::new(threads);
+        let job = WindowJob { atlas };
+        let (records, stats) =
+            engine.run_connected_streaming_keyed_orchestrated_resumed(n, plan, &job, on_segment);
+        (WindowSweep { n, records }, stats)
+    }
 }
 
 /// The legacy per-α classification job: equilibrium membership of one

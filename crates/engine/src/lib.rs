@@ -69,6 +69,8 @@ mod pipeline;
 mod scratch;
 
 pub use executor::{default_threads, parallel_map, parallel_map_with};
-pub use orchestrator::{auto_range_count, OrchestratorStats, RangeSegment, DEFAULT_OVERSPLIT};
+pub use orchestrator::{
+    auto_range_count, OrchestratorStats, RangeSegment, ResumePlan, DEFAULT_OVERSPLIT,
+};
 pub use pipeline::{Analysis, AnalysisEngine};
 pub use scratch::WorkerScratch;

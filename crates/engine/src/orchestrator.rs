@@ -54,6 +54,30 @@ pub fn auto_range_count(threads: usize) -> usize {
     threads.max(1).saturating_mul(DEFAULT_OVERSPLIT)
 }
 
+/// A resumed orchestrated run's partition, reconstructed from the shard
+/// metadata a prior (interrupted) run persisted: how many ranges the
+/// frontier was cut into, which of them already completed durably, and
+/// the frontier length the stored partition was cut from — asserted
+/// against the rebuilt frontier before any range runs, so metadata from
+/// an incompatible build can never silently skip the wrong parents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumePlan {
+    /// Total ranges in the partition (the stored `shard_count`).
+    pub ranges: usize,
+    /// Sorted, deduplicated indices of ranges already completed — these
+    /// are skipped, never re-enumerated.
+    pub completed: Vec<usize>,
+    /// Parent-frontier length the stored partition was cut from.
+    pub frontier_len: u64,
+}
+
+impl ResumePlan {
+    /// Indices this run still has to execute.
+    pub fn missing(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.ranges).filter(|i| self.completed.binary_search(i).is_err())
+    }
+}
+
 /// One completed parent range, surfaced to the orchestrator's writer
 /// callback in completion order (not index order — ranges finish when
 /// they finish).
@@ -164,6 +188,28 @@ pub(crate) fn run_orchestrated<A, W>(
     n: usize,
     ranges: Option<usize>,
     job: &A,
+    on_segment: W,
+) -> (Vec<A::Output>, OrchestratorStats)
+where
+    A: Analysis,
+    W: FnMut(RangeSegment<'_, A::Output>),
+{
+    run_orchestrated_with_plan(threads, n, ranges, None, job, on_segment)
+}
+
+/// [`run_orchestrated`] with an optional [`ResumePlan`]: ranges listed
+/// as completed are skipped outright — their parents are never
+/// re-streamed — and only the missing ranges reach `on_segment`. The
+/// returned output and [`OrchestratorStats`] cover the *executed*
+/// ranges only (a resumed run's caller replays the full catalogue from
+/// its store once coverage closes, so a partial merge is never used as
+/// figure output).
+pub(crate) fn run_orchestrated_with_plan<A, W>(
+    threads: usize,
+    n: usize,
+    ranges: Option<usize>,
+    plan: Option<&ResumePlan>,
+    job: &A,
     mut on_segment: W,
 ) -> (Vec<A::Output>, OrchestratorStats)
 where
@@ -172,11 +218,30 @@ where
 {
     assert_sort_tag_exact(n);
     let threads = threads.max(1);
-    let ranges = ranges.unwrap_or_else(|| auto_range_count(threads)).max(1);
+    let ranges = match plan {
+        Some(plan) => plan.ranges.max(1),
+        None => ranges.unwrap_or_else(|| auto_range_count(threads)).max(1),
+    };
+    let completed: &[usize] = plan.map_or(&[], |p| &p.completed);
+    debug_assert!(completed.windows(2).all(|w| w[0] < w[1]), "plan not sorted");
     // The one frontier build of the whole run (ParentFrontier::build
     // rejects n < 2 — trivial orders have no frontier to orchestrate).
     let frontier = ParentFrontier::build(n, threads);
     let frontier_len = frontier.len() as u64;
+    if let Some(plan) = plan {
+        // Refuse before any work runs: a stored partition cut from a
+        // different frontier would skip the wrong parent ranges.
+        assert_eq!(
+            plan.frontier_len, frontier_len,
+            "resume plan was cut from a different n={n} frontier \
+             (stored {}, rebuilt {frontier_len}) — incompatible build?",
+            plan.frontier_len,
+        );
+        assert!(
+            plan.completed.last().is_none_or(|&i| i < ranges),
+            "resume plan lists completed range beyond the partition"
+        );
+    }
     let frontier_prune = frontier.frontier_prune();
 
     let queue: BoundedQueue<Segment<A::Output>> = BoundedQueue::new(threads * 2);
@@ -202,6 +267,9 @@ where
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= ranges {
                         break;
+                    }
+                    if completed.binary_search(&index).is_ok() {
+                        continue; // durably completed by a prior run
                     }
                     stolen += 1;
                     let (lo, hi) = ShardSpec::new(index, ranges).range(frontier.len());
@@ -263,7 +331,11 @@ where
         }
     });
 
-    debug_assert_eq!(segments, ranges, "partition did not close");
+    debug_assert_eq!(
+        segments,
+        ranges - completed.len(),
+        "partition did not close"
+    );
     let _ = segments;
     bnf_obs::Recorder::global().record_max("writer_backlog_high_water", queue.high_water() as u64);
     bnf_obs::Recorder::global().time("sort", || merged.sort_by_key(|t| t.0));
@@ -410,6 +482,79 @@ mod tests {
             );
         });
         assert!(caught.is_err(), "writer panic must reach the caller");
+    }
+
+    #[test]
+    fn resumed_run_skips_completed_ranges_and_covers_the_rest() {
+        let engine = AnalysisEngine::new(2);
+        // A cold partition to learn the ground truth from.
+        let mut cold: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let mut frontier_len = 0u64;
+        engine.run_connected_streaming_keyed_orchestrated(6, Some(6), &Tagged, |seg| {
+            frontier_len = seg.frontier_len;
+            cold.push((seg.index, seg.parent_lo, seg.parent_hi, seg.emitted));
+        });
+        cold.sort_unstable();
+
+        // Resume with ranges {0, 2, 5} already done: only {1, 3, 4} may
+        // execute, with byte-identical per-range boundaries.
+        let plan = ResumePlan {
+            ranges: 6,
+            completed: vec![0, 2, 5],
+            frontier_len,
+        };
+        assert_eq!(plan.missing().collect::<Vec<_>>(), vec![1, 3, 4]);
+        let mut warm: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let (out, stats) =
+            engine.run_connected_streaming_keyed_orchestrated_resumed(6, &plan, &Tagged, |seg| {
+                assert_eq!(seg.ranges, 6);
+                warm.push((seg.index, seg.parent_lo, seg.parent_hi, seg.emitted));
+            });
+        warm.sort_unstable();
+        let expected: Vec<_> = cold
+            .iter()
+            .filter(|s| plan.completed.binary_search(&s.0).is_err())
+            .copied()
+            .collect();
+        assert_eq!(warm, expected, "resumed ranges must tile identically");
+        assert_eq!(stats.ranges, 6);
+        assert_eq!(
+            stats.emitted(),
+            expected.iter().map(|s| s.3).sum::<u64>(),
+            "resumed stats cover executed ranges only"
+        );
+        assert_eq!(out.len() as u64, stats.emitted());
+
+        // An all-complete plan executes nothing at all.
+        let full = ResumePlan {
+            ranges: 6,
+            completed: (0..6).collect(),
+            frontier_len,
+        };
+        let (out, stats) =
+            engine.run_connected_streaming_keyed_orchestrated_resumed(6, &full, &Tagged, |seg| {
+                panic!("range {} re-executed despite full coverage", seg.index)
+            });
+        assert!(out.is_empty());
+        assert_eq!(stats.emitted(), 0);
+    }
+
+    #[test]
+    fn resume_plan_from_wrong_frontier_is_refused() {
+        let plan = ResumePlan {
+            ranges: 4,
+            completed: vec![1],
+            frontier_len: 999, // level-5 frontier has 112 parents, not 999
+        };
+        let caught = std::panic::catch_unwind(|| {
+            AnalysisEngine::new(1).run_connected_streaming_keyed_orchestrated_resumed(
+                6,
+                &plan,
+                &Tagged,
+                |_| {},
+            )
+        });
+        assert!(caught.is_err(), "mismatched frontier_len must refuse");
     }
 
     #[test]

@@ -277,6 +277,46 @@ impl AnalysisEngine {
         crate::orchestrator::run_orchestrated(self.threads, n, ranges, job, on_segment)
     }
 
+    /// Resumed twin of
+    /// [`AnalysisEngine::run_connected_streaming_keyed_orchestrated`]:
+    /// runs the partition described by `plan` but executes **only** its
+    /// missing ranges — indices listed as completed were durably
+    /// persisted by a prior run and are never re-streamed. The rebuilt
+    /// frontier's length is asserted against `plan.frontier_len` before
+    /// any range runs, so a stale plan from an incompatible build fails
+    /// loudly instead of skipping the wrong parents.
+    ///
+    /// The returned outputs and [`OrchestratorStats`] cover the executed
+    /// ranges only; a resumed caller replays the full catalogue from its
+    /// durable store once coverage closes, never from this partial
+    /// merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as the unresumed runner, plus when
+    /// `plan` is incompatible with the rebuilt frontier (wrong
+    /// `frontier_len`, completed index ≥ `plan.ranges`).
+    pub fn run_connected_streaming_keyed_orchestrated_resumed<A, W>(
+        &self,
+        n: usize,
+        plan: &crate::ResumePlan,
+        job: &A,
+        on_segment: W,
+    ) -> (Vec<A::Output>, OrchestratorStats)
+    where
+        A: Analysis,
+        W: FnMut(RangeSegment<'_, A::Output>),
+    {
+        crate::orchestrator::run_orchestrated_with_plan(
+            self.threads,
+            n,
+            None,
+            Some(plan),
+            job,
+            on_segment,
+        )
+    }
+
     /// Shared body of the streaming runners, generic over how a worker
     /// invokes the job (plain vs keyed).
     fn run_connected_streaming_with<A, F>(

@@ -32,12 +32,26 @@ impl Request {
     }
 }
 
+/// Hard cap on one request head (request line + headers, bytes). The
+/// server's routes fit in a few hundred bytes; anything approaching
+/// this is a hostile or broken client, refused with `431` so a worker
+/// never buffers unbounded header spam.
+pub const MAX_REQUEST_BYTES: u64 = 8 * 1024;
+
 /// Why a request could not be parsed into a [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The connection closed (or timed out) before a full request
-    /// arrived — normal at the end of a keep-alive conversation.
+    /// The connection closed — or went idle past the read timeout
+    /// *between* requests — before a request started: the normal end of
+    /// a keep-alive conversation.
     ConnectionClosed,
+    /// The stream's read timeout fired **mid-request** (bytes of a head
+    /// had already arrived): a stalled or slowloris client, answered
+    /// with `408` and dropped.
+    Timeout,
+    /// The request head exceeded [`MAX_REQUEST_BYTES`]: answered with
+    /// `431` and dropped.
+    TooLarge,
     /// The bytes were not a well-formed `GET` request.
     Malformed(String),
     /// The request used a method other than `GET`.
@@ -81,17 +95,56 @@ pub fn percent_encode(s: &str) -> String {
     out
 }
 
-/// Reads and parses one request from a buffered connection. Blocks
-/// until a full head arrives, the peer closes, or the stream's read
-/// timeout fires (both of the latter map to
-/// [`ParseError::ConnectionClosed`]).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Err(ParseError::ConnectionClosed),
-        Ok(_) => {}
-        Err(_) => return Err(ParseError::ConnectionClosed),
+/// Reads one CRLF-terminated line while spending down the request's
+/// byte budget. Distinguishes the three abnormal ends the server
+/// answers differently: clean close / idle timeout before any byte
+/// ([`ParseError::ConnectionClosed`]), stall after the head started
+/// ([`ParseError::Timeout`]), and budget exhausted without a newline
+/// ([`ParseError::TooLarge`]).
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut u64,
+    started: bool,
+) -> Result<String, ParseError> {
+    if *budget == 0 {
+        return Err(ParseError::TooLarge);
     }
+    let mut line = String::new();
+    match std::io::Read::take(reader, *budget).read_line(&mut line) {
+        Ok(0) => return Err(ParseError::ConnectionClosed),
+        Ok(read) => {
+            *budget -= read as u64;
+            if !line.ends_with('\n') {
+                // take() stopped us mid-line: the head outgrew the cap.
+                return Err(ParseError::TooLarge);
+            }
+        }
+        Err(e) => {
+            // A timeout before the first byte of a request is an idle
+            // keep-alive connection (normal drop); after bytes have
+            // arrived it is a stalled writer holding a worker hostage.
+            let timeout = matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            );
+            return Err(if timeout && (started || !line.is_empty()) {
+                ParseError::Timeout
+            } else {
+                ParseError::ConnectionClosed
+            });
+        }
+    }
+    Ok(line)
+}
+
+/// Reads and parses one request from a buffered connection. Blocks
+/// until a full head arrives, the peer closes, the stream's read
+/// timeout fires ([`ParseError::ConnectionClosed`] when idle between
+/// requests, [`ParseError::Timeout`] mid-head), or the head exceeds
+/// [`MAX_REQUEST_BYTES`] ([`ParseError::TooLarge`]).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
+    let mut budget = MAX_REQUEST_BYTES;
+    let line = read_head_line(reader, &mut budget, false)?;
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
@@ -105,12 +158,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseE
     // usable for the error response.
     let mut close = false;
     loop {
-        let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) => return Err(ParseError::ConnectionClosed),
-            Ok(_) => {}
-            Err(_) => return Err(ParseError::ConnectionClosed),
-        }
+        let header = read_head_line(reader, &mut budget, true)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -166,7 +214,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
     }
 }

@@ -67,5 +67,7 @@ pub mod http;
 pub mod render;
 pub mod server;
 
-pub use http::{percent_decode, percent_encode, MiniClient, ParseError, Request};
+pub use http::{
+    percent_decode, percent_encode, MiniClient, ParseError, Request, MAX_REQUEST_BYTES,
+};
 pub use server::{AppState, Response, Server, DEFAULT_LIVE_ORDER_CAP};

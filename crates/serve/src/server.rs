@@ -41,8 +41,15 @@ pub const DEFAULT_LIVE_ORDER_CAP: usize = 10;
 const GRID_CACHE_SLOTS: usize = 8;
 
 /// How long an idle keep-alive connection is held before the worker
-/// drops it and returns to `accept`.
+/// drops it and returns to `accept`. Doubles as the per-read stall
+/// bound mid-request: a client that starts a head and stops feeding it
+/// gets `408` instead of pinning the worker (slowloris protection —
+/// see [`http::MAX_REQUEST_BYTES`] for the companion size cap).
 const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Bound on one blocking write of a response: a client that stops
+/// draining its receive window cannot hold a worker past this.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// One finished response: status code plus rendered JSON body.
 pub type Response = (u16, Arc<String>);
@@ -435,6 +442,23 @@ impl Server {
     ///
     /// Propagates bind/clone failures.
     pub fn start(state: Arc<AppState>, addr: &str, threads: usize) -> std::io::Result<Server> {
+        Server::start_with_timeout(state, addr, threads, KEEP_ALIVE_TIMEOUT)
+    }
+
+    /// [`Server::start`] with an explicit keep-alive / mid-request
+    /// stall timeout instead of the default — how the hardening tests
+    /// provoke a `408` in milliseconds rather than seconds, and the
+    /// knob for deployments whose clients sit behind slower links.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/clone failures.
+    pub fn start_with_timeout(
+        state: Arc<AppState>,
+        addr: &str,
+        threads: usize,
+        read_timeout: Duration,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -447,7 +471,7 @@ impl Server {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("bnf-serve-{worker_id}"))
-                    .spawn(move || worker_loop(&listener, &state, &stop))?,
+                    .spawn(move || worker_loop(&listener, &state, &stop, read_timeout))?,
             );
         }
         Ok(Server {
@@ -476,7 +500,12 @@ impl Server {
     }
 }
 
-fn worker_loop(listener: &TcpListener, state: &AppState, stop: &AtomicBool) {
+fn worker_loop(
+    listener: &TcpListener,
+    state: &AppState,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
     let mut scratch = BfsScratch::new();
     loop {
         let stream = match listener.accept() {
@@ -486,7 +515,7 @@ fn worker_loop(listener: &TcpListener, state: &AppState, stop: &AtomicBool) {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        serve_connection(stream, state, stop, &mut scratch);
+        serve_connection(stream, state, stop, &mut scratch, read_timeout);
         if stop.load(Ordering::SeqCst) {
             return;
         }
@@ -494,14 +523,19 @@ fn worker_loop(listener: &TcpListener, state: &AppState, stop: &AtomicBool) {
 }
 
 /// Drives one keep-alive connection until the client closes, asks to
-/// close, errors, or goes idle past [`KEEP_ALIVE_TIMEOUT`].
+/// close, errors, or goes idle past the read timeout (default
+/// [`KEEP_ALIVE_TIMEOUT`]). Stalled mid-request reads are answered
+/// `408`, oversized heads `431` — both close the connection, so one
+/// hostile client costs one response, not a parked worker.
 fn serve_connection(
     stream: TcpStream,
     state: &AppState,
     stop: &AtomicBool,
     scratch: &mut BfsScratch,
+    read_timeout: Duration,
 ) {
-    if stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT)).is_err()
+    if stream.set_read_timeout(Some(read_timeout)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
         || stream.set_nodelay(true).is_err()
     {
         return;
@@ -517,6 +551,17 @@ fn serve_connection(
                 }
             }
             Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Timeout) => {
+                let body = render::error_json("request head timed out");
+                let _ = http::write_response(reader.get_mut(), 408, &body, true);
+                return;
+            }
+            Err(ParseError::TooLarge) => {
+                let body = render::error_json("request head too large");
+                let _ = http::write_response(reader.get_mut(), 431, &body, true);
+                drain_refused(&mut reader);
+                return;
+            }
             Err(ParseError::MethodNotAllowed) => {
                 let body = render::error_json("only GET is supported");
                 let _ = http::write_response(reader.get_mut(), 405, &body, true);
@@ -527,6 +572,26 @@ fn serve_connection(
                 let _ = http::write_response(reader.get_mut(), 400, &body, true);
                 return;
             }
+        }
+    }
+}
+
+/// Lingering close for a request refused **mid-read** (`431`): the
+/// client may still be sending the rest of its oversized head, and
+/// closing a socket with unread data pending resets the connection —
+/// discarding the refusal out of the client's receive buffer. Signal
+/// FIN, then drain (bounded by the read timeout per read and a hard
+/// byte cap) until the client stops.
+fn drain_refused(reader: &mut BufReader<TcpStream>) {
+    let _ = reader.get_ref().shutdown(std::net::Shutdown::Write);
+    let mut buf = [0u8; 4096];
+    // 1 MiB of patience: enough for any kernel-buffered remainder of a
+    // just-over-the-cap head, nowhere near enough to be a new DoS.
+    let mut budget = 1usize << 20;
+    while budget > 0 {
+        match std::io::Read::read(reader, &mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(read) => budget = budget.saturating_sub(read),
         }
     }
 }

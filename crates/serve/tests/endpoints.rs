@@ -16,7 +16,9 @@ use bnf_empirics::sweep::WindowSweep;
 use bnf_games::GameKind;
 use bnf_graph::{BfsScratch, Graph};
 use bnf_obs::json::Json;
-use bnf_serve::{percent_encode, AppState, MiniClient, Server, DEFAULT_LIVE_ORDER_CAP};
+use bnf_serve::{
+    percent_encode, AppState, MiniClient, Server, DEFAULT_LIVE_ORDER_CAP, MAX_REQUEST_BYTES,
+};
 
 fn scratch_path(tag: &str) -> std::path::PathBuf {
     static NEXT: AtomicU32 = AtomicU32::new(0);
@@ -52,6 +54,11 @@ struct Fixture {
 
 impl Fixture {
     fn start(tag: &str) -> Fixture {
+        // Generous timeout: endpoint tests exercise routing, not stalls.
+        Fixture::start_with_timeout(tag, std::time::Duration::from_secs(5))
+    }
+
+    fn start_with_timeout(tag: &str, read_timeout: std::time::Duration) -> Fixture {
         let store = scratch_path(tag);
         let mut scratch = BfsScratch::new();
         let records: Vec<WindowRecord> = n4_catalogue()
@@ -67,7 +74,8 @@ impl Fixture {
         let mapped = MappedAtlas::open(&store).expect("open indexed");
         let state = Arc::new(AppState::new(mapped, DEFAULT_LIVE_ORDER_CAP));
         state.warm_paper_grid().expect("paper grid");
-        let server = Server::start(state, "127.0.0.1:0", 2).expect("start server");
+        let server =
+            Server::start_with_timeout(state, "127.0.0.1:0", 2, read_timeout).expect("start");
         let client = MiniClient::connect(server.addr()).expect("connect");
         Fixture {
             server,
@@ -259,6 +267,68 @@ fn grid_endpoint_matches_the_offline_post_pass() {
     assert_eq!(status, 200, "{body}");
     let (status, _) = fx.get("/grid?spec=bogus");
     assert_eq!(status, 400);
+    fx.finish();
+}
+
+#[test]
+fn stalled_heads_get_408_oversized_heads_get_431_idle_closes_silently() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    // A short read timeout so the slowloris cases resolve in
+    // milliseconds instead of the production default.
+    let mut fx = Fixture::start_with_timeout("harden", std::time::Duration::from_millis(150));
+
+    // A stalled writer — bytes of a request line arrived, then nothing —
+    // is answered with 408 and dropped.
+    let mut stalled = TcpStream::connect(fx.server.addr()).expect("connect");
+    stalled.write_all(b"GET /healthz HT").expect("partial head");
+    let mut response = String::new();
+    stalled.read_to_string(&mut response).expect("read 408");
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "stalled head: {response:?}"
+    );
+    assert!(response.contains("Connection: close"), "{response:?}");
+    assert!(response.contains("timed out"), "{response:?}");
+
+    // An idle connection that never sends a byte is the normal end of a
+    // keep-alive conversation: closed without any response on the wire.
+    let mut idle = TcpStream::connect(fx.server.addr()).expect("connect");
+    let mut leaked = Vec::new();
+    idle.read_to_end(&mut leaked).expect("read idle close");
+    assert!(
+        leaked.is_empty(),
+        "idle drop must not write a response: {leaked:?}"
+    );
+
+    // A head past MAX_REQUEST_BYTES is refused with 431 even though it
+    // keeps arriving well within the timeout.
+    let mut oversized = TcpStream::connect(fx.server.addr()).expect("connect");
+    oversized
+        .write_all(b"GET /healthz HTTP/1.1\r\n")
+        .expect("request line");
+    let spam = format!("X-Spam: {}\r\n", "a".repeat(2 * MAX_REQUEST_BYTES as usize));
+    oversized
+        .write_all(spam.as_bytes())
+        .expect("oversized header");
+    let mut response = String::new();
+    oversized.read_to_string(&mut response).expect("read 431");
+    assert!(
+        response.starts_with("HTTP/1.1 431 "),
+        "oversized head: {response:?}"
+    );
+    assert!(response.contains("too large"), "{response:?}");
+
+    // The abuse above never poisoned the pool: a well-behaved request
+    // on a fresh connection still gets served.
+    let mut ok = MiniClient::connect(fx.server.addr()).expect("connect");
+    let (status, body) = ok.get("/healthz").expect("healthy request");
+    assert_eq!(status, 200, "{body}");
+    drop(ok);
+    // Replace the fixture's (long-idle, likely reaped) connection so
+    // finish() can drop it without surprises.
+    fx.client = MiniClient::connect(fx.server.addr()).expect("reconnect");
     fx.finish();
 }
 
