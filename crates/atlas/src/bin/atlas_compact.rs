@@ -1,0 +1,100 @@
+//! Rewrites an atlas store into a chosen format version — the v3 → v4
+//! migration tool (packed columnar blocks, 3–5× smaller) and the
+//! escape hatch back to v3 row frames for old builds.
+//!
+//! Usage: `atlas_compact --atlas store.bnfatlas [--out compacted.bnfatlas]
+//! [--format 3|4] [--report-json report.json]`
+//!
+//! Without `--out` the store is compacted in place; either way the
+//! rewrite lands in a temporary file renamed over the destination, so
+//! an interrupted run never leaves a half-written store. `--format`
+//! defaults to the current format (v4). Records come out in global
+//! engine order `(order, edges, canonical key)` regardless of the
+//! source's append order, and coverage + shard-provenance frames are
+//! carried through unchanged, so warm replays and `--resume` gates are
+//! unaffected. A `<store>.idx` sidecar over the source is invalidated
+//! by the rewrite — rerun `atlas_index` afterwards.
+//!
+//! The run manifest (`--report-json`) carries the gated size metric
+//! `manifest/atlas_bytes_per_record/{max_order}`.
+
+use std::process::ExitCode;
+
+use bnf_atlas::{compact_store, ATLAS_VERSION};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(store) = flag("--atlas") else {
+        eprintln!(
+            "usage: atlas_compact --atlas store.bnfatlas [--out compacted.bnfatlas] \
+             [--format 3|4] [--report-json report.json]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let out = flag("--out").unwrap_or_else(|| store.clone());
+    let version = match flag("--format").map(|v| v.parse::<u32>()) {
+        None => ATLAS_VERSION,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("--format takes an atlas version number (3 or 4)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report_json = flag("--report-json");
+
+    bnf_obs::Recorder::global().take();
+    let started = std::time::Instant::now();
+    let summary = match compact_store(&store, &out, version) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compaction failed for {store}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "compacted {store} -> {} (v{}): {} records in {} frames, {} -> {} bytes{}",
+        summary.path.display(),
+        summary.version,
+        summary.records,
+        summary.frames,
+        summary.input_bytes,
+        summary.output_bytes,
+        summary
+            .shrink_ratio()
+            .map(|r| format!(" ({r:.2}x)"))
+            .unwrap_or_default(),
+    );
+    println!(
+        "rebuild the index sidecar: atlas_index --atlas {}",
+        summary.path.display()
+    );
+
+    if let Some(path) = report_json {
+        let mut manifest =
+            bnf_obs::RunManifest::new("atlas_compact", u32::from(summary.max_order), "compact");
+        manifest.emitted = summary.records;
+        manifest.elapsed_ms = started.elapsed().as_millis() as u64;
+        manifest.peak_rss_kb = bnf_obs::peak_rss_kb();
+        manifest.set_counter("compact_input_bytes", summary.input_bytes);
+        manifest.set_counter("compact_target_version", u64::from(summary.version));
+        if let Some(bpr) = summary.bytes_per_record() {
+            manifest.push_metric(
+                &format!("manifest/atlas_bytes_per_record/{}", summary.max_order),
+                bpr,
+            );
+        }
+        manifest.absorb(bnf_obs::Recorder::global().take());
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write run manifest to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("run manifest written to {path}");
+    }
+    ExitCode::SUCCESS
+}

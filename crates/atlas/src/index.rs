@@ -8,14 +8,20 @@
 //! without materializing any [`bnf_core::WindowRecord`], and writes a
 //! `<store>.idx` sidecar holding
 //!
-//! * a **sorted key table** mapping canonical graph6 key → byte offset
-//!   of the record frame, so [`crate::MappedAtlas::lookup`] is a
-//!   binary search of O(log N) `pread`s instead of a full replay, and
+//! * a **sorted key table** mapping canonical graph6 key → record
+//!   location, so [`crate::MappedAtlas::lookup`] is a binary search of
+//!   O(log N) `pread`s instead of a full replay, and
 //! * one **engine-order table** per coverage-declared order — record
-//!   offsets sorted by `(edge count, canonical key)`, the engine's
+//!   locations sorted by `(edge count, canonical key)`, the engine's
 //!   enumeration order — so warm sweeps stream the catalogue in the
 //!   exact order [`crate::ClassificationAtlas::complete_sweep`]
-//!   produces, one record resident at a time.
+//!   produces, one frame resident at a time.
+//!
+//! A record **location** is a `(frame offset, intra-frame ordinal)`
+//! pair: in a v3 store every record owns its frame and the ordinal is
+//! always 0; in a v4 store the offset names a columnar block frame
+//! (see [`crate::codec`]) and the ordinal selects the record within
+//! the decoded block.
 //!
 //! The sidecar is a pure cache: it never changes the store, and it
 //! self-invalidates (header records the store length it indexed; see
@@ -29,7 +35,10 @@ use std::path::{Path, PathBuf};
 
 use bnf_graph::Graph;
 
-use crate::store::{ATLAS_MAGIC, ATLAS_VERSION, FRAME_COVERAGE, FRAME_RECORD, FRAME_SHARD_META};
+use crate::store::{
+    ATLAS_MAGIC, ATLAS_VERSION, FRAME_COVERAGE, FRAME_RECORD, FRAME_RECORD_BLOCK, FRAME_SHARD_META,
+    MIN_ATLAS_VERSION,
+};
 
 /// Leading magic bytes of an index sidecar file.
 pub const INDEX_MAGIC: [u8; 8] = *b"BNFATIDX";
@@ -37,7 +46,12 @@ pub const INDEX_MAGIC: [u8; 8] = *b"BNFATIDX";
 /// Sidecar layout version. Bumped whenever the sidecar byte layout
 /// changes; version-mismatched sidecars are rejected (rebuild with
 /// [`build_index`]), never reinterpreted.
-pub const INDEX_VERSION: u32 = 1;
+///
+/// Version 2 widens every record reference from a bare frame offset to
+/// a `(frame offset, intra-frame ordinal)` pair so one sidecar layout
+/// addresses both v3 row stores (ordinal always 0) and v4 columnar
+/// block stores.
+pub const INDEX_VERSION: u32 = 2;
 
 /// Byte length of the fixed sidecar header (see `docs/ATLAS_FORMAT.md`).
 pub const INDEX_HEADER_LEN: u64 = 36;
@@ -55,8 +69,8 @@ pub enum IndexError {
         /// Version found in the sidecar header.
         found: u32,
     },
-    /// The sidecar was built over a store of a different
-    /// [`ATLAS_VERSION`] than this build supports.
+    /// The sidecar was built over a store version this build does not
+    /// support, or over a different version than the store beside it.
     AtlasVersionMismatch {
         /// Store version recorded in the sidecar header.
         found: u32,
@@ -99,7 +113,8 @@ impl std::fmt::Display for IndexError {
             ),
             IndexError::AtlasVersionMismatch { found } => write!(
                 f,
-                "index built over atlas version {found} != supported {ATLAS_VERSION}"
+                "index built over atlas version {found}, outside supported \
+                 {MIN_ATLAS_VERSION}..={ATLAS_VERSION} or unlike the store; rebuild the sidecar"
             ),
             IndexError::Stale { indexed, actual } => write!(
                 f,
@@ -153,14 +168,16 @@ pub struct IndexSummary {
     pub key_width: u16,
 }
 
-/// One record seen by the store scan: where its frame starts and the
-/// engine sort ingredients, with the key held in a shared arena so the
-/// n = 10 build stays hundreds of MB, not records × `String` overhead.
+/// One record seen by the store scan: where its frame starts, its
+/// ordinal within the frame (0 for v3 row frames), and the engine sort
+/// ingredients, with the key held in a shared arena so the n = 10
+/// build stays hundreds of MB, not records × `String` overhead.
 struct ScanEntry {
     key_pos: u32,
     key_len: u8,
     order: u16,
     offset: u64,
+    ordinal: u16,
     edges: u64,
     sort_word: u64,
 }
@@ -185,6 +202,11 @@ pub fn build_index(store: impl AsRef<Path>) -> Result<IndexSummary, IndexError> 
     bnf_obs::Recorder::global().time("index_build", || build_index_inner(store))
 }
 
+/// One engine-order table under construction: order, declared coverage
+/// count, and the `(frame offset, intra-frame ordinal)` locations in
+/// replay order.
+type SweepAccum = (u16, u64, Vec<(u64, u16)>);
+
 fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
     let file = File::open(store)?;
     let store_len = file.metadata()?.len();
@@ -199,7 +221,7 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
         });
     }
     let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if found != ATLAS_VERSION {
+    if !(MIN_ATLAS_VERSION..=ATLAS_VERSION).contains(&found) {
         return Err(IndexError::AtlasVersionMismatch { found });
     }
 
@@ -227,6 +249,19 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
                 let entry = scan_record(&payload[1..], offset, &mut arena).map_err(&corrupt)?;
                 entries.push(entry);
             }
+            Some(&FRAME_RECORD_BLOCK) => {
+                if found < 4 {
+                    return Err(corrupt("columnar block frame (tag 4) in a v3 store".into()));
+                }
+                // One block decode materializes ≤ 4096 records
+                // transiently; only the scan ingredients survive.
+                let records = crate::codec::decode_block(&payload[1..]).map_err(&corrupt)?;
+                for (ordinal, rec) in records.iter().enumerate() {
+                    entries.push(
+                        scan_block_record(rec, offset, ordinal, &mut arena).map_err(&corrupt)?,
+                    );
+                }
+            }
             Some(&FRAME_COVERAGE) => {
                 if payload.len() != 11 {
                     return Err(corrupt("coverage frame is not 11 bytes".into()));
@@ -248,14 +283,15 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
     entries.sort_by(|a, b| {
         key_of(&arena, a)
             .cmp(key_of(&arena, b))
-            .then(a.offset.cmp(&b.offset))
+            .then((a.offset, a.ordinal).cmp(&(b.offset, b.ordinal)))
     });
     entries.dedup_by(|next, prev| {
         // dedup_by sees (next, prev) and drops `next` on true; the pair
-        // is ordered by offset, so copy the later frame into the
+        // is ordered by location, so copy the later location into the
         // surviving slot before dropping it.
         if key_of(&arena, next) == key_of(&arena, prev) {
             prev.offset = next.offset;
+            prev.ordinal = next.ordinal;
             true
         } else {
             false
@@ -264,18 +300,22 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
 
     coverage.sort_unstable();
     coverage.dedup();
-    let mut sweeps: Vec<(u16, u64, Vec<u64>)> = Vec::new();
+    let mut sweeps: Vec<SweepAccum> = Vec::new();
     for &(order, declared) in &coverage {
-        let mut tagged: Vec<(u64, u64, u64)> = entries
+        let mut tagged: Vec<(u64, u64, u64, u16)> = entries
             .iter()
             .filter(|e| e.order == order)
-            .map(|e| (e.edges, e.sort_word, e.offset))
+            .map(|e| (e.edges, e.sort_word, e.offset, e.ordinal))
             .collect();
         if tagged.len() as u64 != declared {
             continue; // population mismatch: same defensive skip as complete_sweep
         }
         tagged.sort_unstable();
-        sweeps.push((order, declared, tagged.into_iter().map(|t| t.2).collect()));
+        sweeps.push((
+            order,
+            declared,
+            tagged.into_iter().map(|t| (t.2, t.3)).collect(),
+        ));
     }
 
     let key_width = entries
@@ -283,7 +323,7 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
         .map(|e| u16::from(e.key_len))
         .max()
         .unwrap_or(0);
-    let entry_size = 9 + key_width as usize;
+    let entry_size = 11 + key_width as usize;
 
     let out_path = index_path(store);
     let tmp_path = {
@@ -294,7 +334,7 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
     let mut w = BufWriter::new(File::create(&tmp_path)?);
     w.write_all(&INDEX_MAGIC)?;
     w.write_all(&INDEX_VERSION.to_le_bytes())?;
-    w.write_all(&ATLAS_VERSION.to_le_bytes())?;
+    w.write_all(&found.to_le_bytes())?;
     w.write_all(&store_len.to_le_bytes())?;
     w.write_all(&(entries.len() as u64).to_le_bytes())?;
     w.write_all(&key_width.to_le_bytes())?;
@@ -307,12 +347,14 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
         padded[key.len()..].fill(0);
         w.write_all(&padded)?;
         w.write_all(&e.offset.to_le_bytes())?;
+        w.write_all(&e.ordinal.to_le_bytes())?;
     }
-    for (order, count, offsets) in &sweeps {
+    for (order, count, locations) in &sweeps {
         w.write_all(&order.to_le_bytes())?;
         w.write_all(&count.to_le_bytes())?;
-        for off in offsets {
+        for (off, ordinal) in locations {
             w.write_all(&off.to_le_bytes())?;
+            w.write_all(&ordinal.to_le_bytes())?;
         }
     }
     w.flush()?;
@@ -323,7 +365,7 @@ fn build_index_inner(store: &Path) -> Result<IndexSummary, IndexError> {
         + entries.len() as u64 * entry_size as u64
         + sweeps
             .iter()
-            .map(|(_, count, _)| 10 + count * 8)
+            .map(|(_, count, _)| 10 + count * 10)
             .sum::<u64>();
     let recorder = bnf_obs::Recorder::global();
     recorder.add("index_entries", entries.len() as u64);
@@ -369,7 +411,40 @@ fn scan_record(body: &[u8], offset: u64, arena: &mut Vec<u8>) -> Result<ScanEntr
         key_len: key_len as u8,
         order,
         offset,
+        ordinal: 0,
         edges,
+        sort_word: g.packed_self_key().prefix_word(),
+    })
+}
+
+/// The [`scan_record`] counterpart for one record of a decoded v4
+/// block: same arena discipline and sort ingredients, plus the
+/// intra-block ordinal.
+fn scan_block_record(
+    rec: &bnf_core::WindowRecord,
+    offset: u64,
+    ordinal: usize,
+    arena: &mut Vec<u8>,
+) -> Result<ScanEntry, String> {
+    let key = rec.key.as_str();
+    if key.len() > u8::MAX as usize {
+        return Err(format!(
+            "key of {} bytes exceeds the index limit",
+            key.len()
+        ));
+    }
+    let ordinal = u16::try_from(ordinal).map_err(|_| "block ordinal exceeds u16".to_string())?;
+    let order = u16::try_from(rec.order).map_err(|_| format!("order {} exceeds u16", rec.order))?;
+    let g = Graph::from_graph6(key).map_err(|e| format!("undecodable key {key:?}: {e:?}"))?;
+    let key_pos = arena.len() as u32;
+    arena.extend_from_slice(key.as_bytes());
+    Ok(ScanEntry {
+        key_pos,
+        key_len: key.len() as u8,
+        order,
+        offset,
+        ordinal,
+        edges: rec.edges,
         sort_word: g.packed_self_key().prefix_word(),
     })
 }

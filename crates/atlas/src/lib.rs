@@ -51,6 +51,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
+pub mod compact;
 pub mod families;
 pub mod index;
 pub mod lcf;
@@ -60,6 +62,8 @@ pub mod named;
 pub mod random;
 pub mod store;
 
+pub use codec::BLOCK_RECORDS;
+pub use compact::{compact_store, CompactSummary};
 pub use families::{
     circulant, complete, complete_bipartite, complete_multipartite, cycle, grid, hypercube, path,
     star, wheel,
@@ -71,6 +75,7 @@ pub use merge::{
     merge_segments, merge_segments_recovering, render_shard_report, MergeReport, SegmentError,
 };
 pub use store::{
-    AtlasError, ClassificationAtlas, MergeOutcome, RecoveredAtlas, RecoveryReport, ShardCoverage,
-    ShardMeta, ATLAS_MAGIC, ATLAS_VERSION, MAX_FRAME_LEN,
+    default_new_version, max_frame_len, AtlasError, ClassificationAtlas, MergeOutcome,
+    RecoveredAtlas, RecoveryReport, ShardCoverage, ShardMeta, ATLAS_MAGIC, ATLAS_VERSION,
+    MAX_BLOCK_FRAME_LEN, MAX_FRAME_LEN, MIN_ATLAS_VERSION,
 };

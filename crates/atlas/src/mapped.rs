@@ -21,30 +21,41 @@ use std::path::{Path, PathBuf};
 
 use bnf_core::WindowRecord;
 
+use crate::codec::decode_block;
 use crate::index::{index_path, IndexError, INDEX_HEADER_LEN, INDEX_MAGIC, INDEX_VERSION};
-use crate::store::{decode_record, ATLAS_MAGIC, ATLAS_VERSION, FRAME_RECORD};
+use crate::store::{
+    decode_record, max_frame_len, ATLAS_MAGIC, ATLAS_VERSION, FRAME_RECORD, FRAME_RECORD_BLOCK,
+    MIN_ATLAS_VERSION,
+};
 
-/// Upper bound accepted for one record frame; a larger length prefix
-/// means the offset points into garbage, not a record.
-const MAX_FRAME_LEN: u32 = 1 << 24;
-
-/// One engine-order table in the sidecar: where its offsets start and
-/// how many records it covers.
+/// One engine-order table in the sidecar: where its locations start
+/// and how many records it covers.
 #[derive(Debug, Clone, Copy)]
 struct SweepTable {
     order: u16,
     count: u64,
-    /// Byte offset (in the sidecar) of the first `u64` record offset.
-    offsets_at: u64,
+    /// Byte offset (in the sidecar) of the first 10-byte
+    /// `(frame offset, ordinal)` location.
+    locations_at: u64,
 }
 
 /// An atlas opened through its index sidecar: O(log N) point lookups
 /// and O(1)-resident streaming replays over the on-disk store.
+///
+/// Works over both store formats through the same seam: in a v3 store
+/// every indexed location is a row frame (decode one record); in a v4
+/// store it is a columnar block frame plus an intra-block ordinal —
+/// a point lookup decodes one block (≤ [`crate::codec::BLOCK_RECORDS`]
+/// records, transiently), and [`MappedAtlas::stream_sweep`] reuses the
+/// last decoded block across consecutive records, so sequential
+/// replays decode each block once.
 #[derive(Debug)]
 pub struct MappedAtlas {
     store_path: PathBuf,
     store: File,
     index: File,
+    /// Store format version (3 or 4), from the store header.
+    version: u32,
     entries: u64,
     key_width: u16,
     sweeps: Vec<SweepTable>,
@@ -77,7 +88,7 @@ impl MappedAtlas {
             });
         }
         let store_version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        if store_version != ATLAS_VERSION {
+        if !(MIN_ATLAS_VERSION..=ATLAS_VERSION).contains(&store_version) {
             return Err(IndexError::AtlasVersionMismatch {
                 found: store_version,
             });
@@ -100,7 +111,10 @@ impl MappedAtlas {
             return Err(IndexError::VersionMismatch { found: version });
         }
         let atlas_version = u32::from_le_bytes(head[12..16].try_into().expect("4 bytes"));
-        if atlas_version != ATLAS_VERSION {
+        if atlas_version != store_version {
+            // The sidecar was built over a store of a different format
+            // than the one now beside it (e.g. the store was compacted
+            // in place): the locations are meaningless.
             return Err(IndexError::AtlasVersionMismatch {
                 found: atlas_version,
             });
@@ -114,7 +128,7 @@ impl MappedAtlas {
         let key_width = u16::from_le_bytes(head[32..34].try_into().expect("2 bytes"));
         let sweep_count = u16::from_le_bytes(head[34..36].try_into().expect("2 bytes"));
 
-        let entry_size = 9 + key_width as u64;
+        let entry_size = 11 + key_width as u64;
         let table_at = INDEX_HEADER_LEN
             .checked_add(entries.checked_mul(entry_size).ok_or(IndexError::Corrupt {
                 offset: 24,
@@ -144,9 +158,12 @@ impl MappedAtlas {
                 })?;
             let order = u16::from_le_bytes(th[..2].try_into().expect("2 bytes"));
             let count = u64::from_le_bytes(th[2..10].try_into().expect("8 bytes"));
-            let offsets_at = at + 10;
-            let end = offsets_at
-                .checked_add(count * 8)
+            let locations_at = at + 10;
+            let end = locations_at
+                .checked_add(count.checked_mul(10).ok_or(IndexError::Corrupt {
+                    offset: at,
+                    reason: "sweep-table count overflows the sidecar".into(),
+                })?)
                 .ok_or(IndexError::Corrupt {
                     offset: at,
                     reason: "sweep-table count overflows the sidecar".into(),
@@ -162,7 +179,7 @@ impl MappedAtlas {
             sweeps.push(SweepTable {
                 order,
                 count,
-                offsets_at,
+                locations_at,
             });
             at = end;
         }
@@ -171,10 +188,16 @@ impl MappedAtlas {
             store_path,
             store,
             index,
+            version: store_version,
             entries,
             key_width,
             sweeps,
         })
+    }
+
+    /// The store's format version (3 or 4), from its header.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Number of indexed record keys.
@@ -212,9 +235,10 @@ impl MappedAtlas {
             .map(|s| s.count)
     }
 
-    /// One sidecar entry: `(key bytes into `scratch`, store offset)`.
-    fn entry_at(&self, i: u64, scratch: &mut Vec<u8>) -> Result<u64, IndexError> {
-        let entry_size = 9 + self.key_width as usize;
+    /// One sidecar entry: key bytes into `scratch`, returning the
+    /// record's `(frame offset, intra-frame ordinal)` location.
+    fn entry_at(&self, i: u64, scratch: &mut Vec<u8>) -> Result<(u64, u16), IndexError> {
+        let entry_size = 11 + self.key_width as usize;
         scratch.resize(entry_size, 0);
         let at = INDEX_HEADER_LEN + i * entry_size as u64;
         self.index
@@ -230,14 +254,12 @@ impl MappedAtlas {
                 reason: format!("entry key length {key_len} exceeds column width"),
             });
         }
-        let offset = u64::from_le_bytes(
-            scratch[1 + self.key_width as usize..entry_size]
-                .try_into()
-                .expect("8 bytes"),
-        );
+        let tail = 1 + self.key_width as usize;
+        let offset = u64::from_le_bytes(scratch[tail..tail + 8].try_into().expect("8 bytes"));
+        let ordinal = u16::from_le_bytes(scratch[tail + 8..tail + 10].try_into().expect("2 bytes"));
         scratch.truncate(1 + key_len);
         scratch.remove(0);
-        Ok(offset)
+        Ok((offset, ordinal))
     }
 
     /// The key of the `i`-th entry in sorted key order — how
@@ -289,11 +311,13 @@ impl MappedAtlas {
         let mut hi = self.entries;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let offset = self.entry_at(mid, buf)?;
+            let (offset, ordinal) = self.entry_at(mid, buf)?;
             match buf.as_slice().cmp(key.as_bytes()) {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => return self.record_at_offset(offset, buf).map(Some),
+                std::cmp::Ordering::Equal => {
+                    return self.record_at_location(offset, ordinal, buf).map(Some)
+                }
             }
         }
         Ok(None)
@@ -317,17 +341,18 @@ impl MappedAtlas {
         if idx >= table.count {
             return Ok(None);
         }
-        let mut off_buf = [0u8; 8];
-        let at = table.offsets_at + idx * 8;
+        let mut loc_buf = [0u8; 10];
+        let at = table.locations_at + idx * 10;
         self.index
-            .read_exact_at(&mut off_buf, at)
+            .read_exact_at(&mut loc_buf, at)
             .map_err(|_| IndexError::Corrupt {
                 offset: at,
                 reason: "sidecar truncated inside a sweep table".into(),
             })?;
+        let offset = u64::from_le_bytes(loc_buf[..8].try_into().expect("8 bytes"));
+        let ordinal = u16::from_le_bytes(loc_buf[8..10].try_into().expect("2 bytes"));
         let mut buf = Vec::new();
-        self.record_at_offset(u64::from_le_bytes(off_buf), &mut buf)
-            .map(Some)
+        self.record_at_location(offset, ordinal, &mut buf).map(Some)
     }
 
     /// Streams `order`'s catalogue in engine enumeration order, calling
@@ -350,43 +375,110 @@ impl MappedAtlas {
         let Some(table) = self.sweeps.iter().find(|s| s.order == order).copied() else {
             return Ok(None);
         };
-        let mut offsets = vec![0u8; (table.count * 8) as usize];
+        let mut locations = vec![0u8; (table.count * 10) as usize];
         self.index
-            .read_exact_at(&mut offsets, table.offsets_at)
+            .read_exact_at(&mut locations, table.locations_at)
             .map_err(|_| IndexError::Corrupt {
-                offset: table.offsets_at,
+                offset: table.locations_at,
                 reason: "sidecar truncated inside a sweep table".into(),
             })?;
         let mut buf = Vec::new();
-        for chunk in offsets.chunks_exact(8) {
-            let offset = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
-            f(self.record_at_offset(offset, &mut buf)?);
+        // Call-local block cache: consecutive locations usually hit the
+        // same v4 block, so a sequentially written store decodes each
+        // block once. Call-local (not a field) keeps `&self` methods
+        // free of interior mutability — one MappedAtlas stays shareable
+        // across threads.
+        let mut cached: Option<(u64, Vec<WindowRecord>)> = None;
+        for chunk in locations.chunks_exact(10) {
+            let offset = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+            let ordinal = u16::from_le_bytes(chunk[8..10].try_into().expect("2 bytes"));
+            let cache_hit = cached.as_ref().is_some_and(|(at, _)| *at == offset);
+            if !cache_hit {
+                let corrupt = |reason: String| IndexError::Corrupt { offset, reason };
+                self.read_frame(offset, &mut buf)?;
+                match buf[0] {
+                    FRAME_RECORD => {
+                        if ordinal != 0 {
+                            return Err(corrupt(format!("ordinal {ordinal} into a row frame")));
+                        }
+                        f(decode_record(&buf[1..]).map_err(corrupt)?);
+                        continue;
+                    }
+                    FRAME_RECORD_BLOCK => {
+                        cached = Some((offset, decode_block(&buf[1..]).map_err(corrupt)?));
+                    }
+                    t => {
+                        return Err(corrupt(format!(
+                            "indexed offset points at frame tag {t}, not a record"
+                        )))
+                    }
+                }
+            }
+            let (_, records) = cached.as_ref().expect("cache just filled");
+            let rec = records
+                .get(usize::from(ordinal))
+                .ok_or(IndexError::Corrupt {
+                    offset,
+                    reason: format!("ordinal {ordinal} past a {}-record block", records.len()),
+                })?;
+            f(rec.clone());
         }
         Ok(Some(table.count))
     }
 
-    /// Reads and decodes the record frame at store byte `offset`.
-    fn record_at_offset(&self, offset: u64, buf: &mut Vec<u8>) -> Result<WindowRecord, IndexError> {
+    /// Reads the frame at store byte `offset` (tag + body) into `buf`.
+    fn read_frame(&self, offset: u64, buf: &mut Vec<u8>) -> Result<(), IndexError> {
         let corrupt = |reason: String| IndexError::Corrupt { offset, reason };
         let mut len_buf = [0u8; 4];
         self.store
             .read_exact_at(&mut len_buf, offset)
             .map_err(|_| corrupt("store truncated at an indexed offset".into()))?;
         let len = u32::from_le_bytes(len_buf);
-        if len == 0 || len > MAX_FRAME_LEN {
-            return Err(corrupt(format!("implausible frame length {len}")));
+        if len == 0 || len > max_frame_len(self.version) {
+            return Err(corrupt(format!(
+                "implausible frame length {len} (the v{} cap is {})",
+                self.version,
+                max_frame_len(self.version)
+            )));
         }
         buf.resize(len as usize, 0);
         self.store
             .read_exact_at(buf, offset + 4)
-            .map_err(|_| corrupt(format!("record frame of {len} bytes truncated")))?;
-        if buf[0] != FRAME_RECORD {
-            return Err(corrupt(format!(
-                "indexed offset points at frame tag {}, not a record",
-                buf[0]
-            )));
+            .map_err(|_| corrupt(format!("record frame of {len} bytes truncated")))
+    }
+
+    /// Reads and decodes the record at `(offset, ordinal)`: a row frame
+    /// decodes directly (ordinal must be 0), a v4 block frame is
+    /// decoded whole and indexed by ordinal.
+    fn record_at_location(
+        &self,
+        offset: u64,
+        ordinal: u16,
+        buf: &mut Vec<u8>,
+    ) -> Result<WindowRecord, IndexError> {
+        let corrupt = |reason: String| IndexError::Corrupt { offset, reason };
+        self.read_frame(offset, buf)?;
+        match buf[0] {
+            FRAME_RECORD => {
+                if ordinal != 0 {
+                    return Err(corrupt(format!("ordinal {ordinal} into a row frame")));
+                }
+                decode_record(&buf[1..]).map_err(corrupt)
+            }
+            FRAME_RECORD_BLOCK => {
+                let mut records = decode_block(&buf[1..]).map_err(corrupt)?;
+                let len = records.len();
+                if usize::from(ordinal) >= len {
+                    return Err(corrupt(format!(
+                        "ordinal {ordinal} past a {len}-record block"
+                    )));
+                }
+                Ok(records.swap_remove(usize::from(ordinal)))
+            }
+            t => Err(corrupt(format!(
+                "indexed offset points at frame tag {t}, not a record"
+            ))),
         }
-        decode_record(&buf[1..]).map_err(corrupt)
     }
 }
 
@@ -547,6 +639,38 @@ mod tests {
         assert_eq!(mapped.record_at(4, 6).unwrap(), None);
         assert_eq!(mapped.record_at(5, 0).unwrap(), None);
         assert_eq!(mapped.stream_sweep(5, |_| ()).unwrap(), None);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v3_row_stores_read_through_the_same_seam() {
+        let path = scratch_path("v3row");
+        let mut scratch = bnf_graph::BfsScratch::new();
+        let recs: Vec<_> = n4_catalogue()
+            .iter()
+            .map(|g| bnf_core::WindowRecord::classify(g, &mut scratch))
+            .collect();
+        {
+            let mut atlas = ClassificationAtlas::open_with_version(&path, 3).unwrap();
+            atlas.append_records(recs.iter()).unwrap();
+            atlas.mark_complete(4, 6).unwrap();
+        }
+        build_index(&path).unwrap();
+        let expected = ClassificationAtlas::open(&path)
+            .unwrap()
+            .complete_sweep(4)
+            .unwrap();
+        let mapped = MappedAtlas::open(&path).unwrap();
+        assert_eq!(mapped.version(), 3);
+        for rec in &recs {
+            assert_eq!(mapped.lookup(&rec.key).unwrap().as_ref(), Some(rec));
+        }
+        let mut streamed = Vec::new();
+        assert_eq!(
+            mapped.stream_sweep(4, |r| streamed.push(r)).unwrap(),
+            Some(6)
+        );
+        assert_eq!(streamed, expected);
         cleanup(&path);
     }
 }

@@ -14,6 +14,12 @@
 //! across any number of `shard_merge` invocations — coverage is
 //! declared on whichever merge completes a partition.
 //!
+//! Segments may mix store format versions freely (v3 row frames and v4
+//! columnar blocks, mid-migration fleets produce both): each segment
+//! replays through its own version's decoder and the conflict
+//! semantics above apply to the decoded records, not the bytes. The
+//! output store keeps whatever version it was opened with.
+//!
 //! The in-process orchestrator (`--shards auto` on the sweep binaries)
 //! reproduces these merge semantics without intermediate segment files:
 //! completed ranges append straight into one store and coverage is

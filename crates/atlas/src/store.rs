@@ -35,14 +35,49 @@ pub const ATLAS_MAGIC: [u8; 8] = *b"BNFATLAS";
 /// work-stolen ranges (which share one process, hence one peak-RSS
 /// value) from standalone `--shard` processes; record and coverage
 /// frames are unchanged.
-pub const ATLAS_VERSION: u32 = 3;
+///
+/// Version 4 packs records into **columnar block frames** (tag 4, see
+/// [`crate::codec`]): prefix-delta keys, zigzag-varint delta columns,
+/// presence-bitmap windows, one CRC + record count per block. Coverage
+/// and shard-metadata frames are unchanged, and so are the recovery
+/// and `--resume` commit semantics — they now apply at block
+/// granularity. v3 stores stay fully readable *and appendable* (in
+/// their own row format); new stores are stamped v4 unless
+/// `BNF_ATLAS_FORMAT=3` (see [`default_new_version`]).
+pub const ATLAS_VERSION: u32 = 4;
 
-/// Hard ceiling on one frame's encoded length. Real frames are tiny —
-/// a record is ~100 bytes, a shard-metadata frame ~170 — so a length
-/// field beyond this is mid-store corruption. Without the cap a
-/// corrupted length field could swallow the rest of the file and
-/// masquerade as a torn tail, silently "recovering" away good frames.
+/// Oldest format version this build still reads and appends. Anything
+/// older (or newer than [`ATLAS_VERSION`]) is rejected as
+/// [`AtlasError::VersionMismatch`] — delete the file to rebuild, or
+/// keep it for an old build.
+pub const MIN_ATLAS_VERSION: u32 = 3;
+
+/// Hard ceiling on one frame's encoded length in a **v3** store. Real
+/// v3 frames are tiny — a record is ~100 bytes, a shard-metadata frame
+/// ~170 — so a length field beyond this is mid-store corruption.
+/// Without the cap a corrupted length field could swallow the rest of
+/// the file and masquerade as a torn tail, silently "recovering" away
+/// good frames.
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Hard ceiling on one frame's encoded length in a **v4** store. A
+/// full 4096-record columnar block tops out well under 1 MiB today,
+/// but the cap leaves headroom for the window-heavy record shapes the
+/// follow-up models add without another version bump; a length field
+/// beyond it is still mid-store corruption, never a tear.
+pub const MAX_BLOCK_FRAME_LEN: u32 = 1 << 26;
+
+/// The frame-length corruption bound for a store of `version` —
+/// [`MAX_FRAME_LEN`] for v3 row frames, [`MAX_BLOCK_FRAME_LEN`] for v4
+/// block frames. Version-aware so a legitimate multi-megabyte block is
+/// never misdiagnosed as mid-store corruption.
+pub fn max_frame_len(version: u32) -> u32 {
+    if version >= 4 {
+        MAX_BLOCK_FRAME_LEN
+    } else {
+        MAX_FRAME_LEN
+    }
+}
 
 /// Why an atlas file could not be opened, read or appended to.
 #[derive(Debug)]
@@ -51,7 +86,8 @@ pub enum AtlasError {
     Io(std::io::Error),
     /// The file does not start with [`ATLAS_MAGIC`] — not an atlas.
     BadMagic,
-    /// The file's version differs from [`ATLAS_VERSION`]; stale caches
+    /// The file's version is outside the supported
+    /// [`MIN_ATLAS_VERSION`]`..=`[`ATLAS_VERSION`] range; stale caches
     /// must be deleted (or kept for an old build), never reinterpreted.
     VersionMismatch {
         /// Version found in the file header.
@@ -99,7 +135,8 @@ impl fmt::Display for AtlasError {
             AtlasError::BadMagic => write!(f, "not an atlas file (bad magic)"),
             AtlasError::VersionMismatch { found } => write!(
                 f,
-                "atlas version {found} != supported {ATLAS_VERSION}; delete the file to rebuild"
+                "atlas version {found} outside supported \
+                 {MIN_ATLAS_VERSION}..={ATLAS_VERSION}; delete the file to rebuild"
             ),
             AtlasError::Corrupt { offset, reason } => {
                 write!(f, "corrupt atlas record at byte {offset}: {reason}")
@@ -280,6 +317,9 @@ impl ShardMeta {
 #[derive(Debug)]
 pub struct ClassificationAtlas {
     path: PathBuf,
+    /// On-disk format version (parsed from the header; the creation
+    /// version for fresh stores). Governs how appends are framed.
+    version: u32,
     map: HashMap<String, WindowRecord>,
     /// Orders whose *complete* connected enumeration is stored, with
     /// the topology count recorded at completion time.
@@ -296,6 +336,32 @@ pub(crate) const FRAME_RECORD: u8 = 1;
 pub(crate) const FRAME_COVERAGE: u8 = 2;
 /// Frame tag: the payload is one encoded [`ShardMeta`].
 pub(crate) const FRAME_SHARD_META: u8 = 3;
+/// Frame tag (v4 stores only): the payload is one columnar block of up
+/// to [`crate::codec::BLOCK_RECORDS`] records (see [`crate::codec`]).
+pub(crate) const FRAME_RECORD_BLOCK: u8 = 4;
+
+/// The version stamped into newly created stores: [`ATLAS_VERSION`],
+/// unless the `BNF_ATLAS_FORMAT` environment variable selects another
+/// supported format (e.g. `BNF_ATLAS_FORMAT=3` keeps producing row
+/// stores an older build can read). Unset, empty, or out-of-range
+/// values fall back to [`ATLAS_VERSION`]. Existing stores always keep
+/// their own version — this only affects creation.
+pub fn default_new_version() -> u32 {
+    version_from_env(std::env::var("BNF_ATLAS_FORMAT").ok())
+}
+
+/// The pure core of [`default_new_version`], split out for tests (the
+/// process environment is shared across threads).
+pub(crate) fn version_from_env(raw: Option<String>) -> u32 {
+    match raw
+        .as_deref()
+        .map(str::trim)
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        Some(v) if (MIN_ATLAS_VERSION..=ATLAS_VERSION).contains(&v) => v,
+        _ => ATLAS_VERSION,
+    }
+}
 
 impl ClassificationAtlas {
     /// Opens an atlas at `path`, creating an empty one (header only) if
@@ -306,12 +372,38 @@ impl ClassificationAtlas {
     /// [`AtlasError::BadMagic`] / [`AtlasError::VersionMismatch`] for
     /// foreign or stale files, [`AtlasError::Corrupt`] for truncated or
     /// malformed records, [`AtlasError::Io`] on filesystem failure.
+    ///
+    /// A fresh store is stamped [`default_new_version`]; an existing
+    /// store keeps (and is appended in) its own format version.
     pub fn open(path: impl AsRef<Path>) -> Result<ClassificationAtlas, AtlasError> {
+        Self::open_with_version(path, default_new_version())
+    }
+
+    /// [`ClassificationAtlas::open`] with an explicit format version
+    /// for *newly created* stores — the programmatic form of
+    /// `BNF_ATLAS_FORMAT`, immune to environment races in threaded
+    /// callers. Existing stores keep their own version regardless.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClassificationAtlas::open`], plus
+    /// [`AtlasError::VersionMismatch`] when `new_version` itself is
+    /// unsupported.
+    pub fn open_with_version(
+        path: impl AsRef<Path>,
+        new_version: u32,
+    ) -> Result<ClassificationAtlas, AtlasError> {
+        if !(MIN_ATLAS_VERSION..=ATLAS_VERSION).contains(&new_version) {
+            return Err(AtlasError::VersionMismatch { found: new_version });
+        }
         let path = path.as_ref().to_path_buf();
         let loaded = match load_store(&path)? {
             None => {
-                stamp_header(&path)?;
-                LoadedStore::default()
+                stamp_header(&path, new_version)?;
+                LoadedStore {
+                    version: new_version,
+                    ..LoadedStore::default()
+                }
             }
             Some(loaded) => loaded,
         };
@@ -330,6 +422,7 @@ impl ClassificationAtlas {
         }
         Ok(ClassificationAtlas {
             path,
+            version: loaded.version,
             map: loaded.map,
             coverage: loaded.coverage,
             shards: loaded.shards,
@@ -343,10 +436,13 @@ impl ClassificationAtlas {
     /// the [`RecoveryReport`] says exactly what was dropped.
     ///
     /// Only the *tail* is recoverable. A fully-present frame that fails
-    /// to decode, or a frame length over [`MAX_FRAME_LEN`], is mid-store
-    /// corruption and stays a typed [`AtlasError::Corrupt`] — recovery
-    /// never invents a truncation point inside the clean prefix, and
-    /// never drops bytes silently (the report is the contract).
+    /// to decode, or a frame length over the store's version-aware
+    /// bound ([`max_frame_len`]), is mid-store corruption and stays a
+    /// typed [`AtlasError::Corrupt`] — recovery never invents a
+    /// truncation point inside the clean prefix, and never drops bytes
+    /// silently (the report is the contract). In a v4 store the same
+    /// rule holds at block granularity: a torn block frame is dropped
+    /// whole, a fully-present block failing its CRC is corruption.
     ///
     /// Truncation shrinks the file, so a `.bnfatlas.idx` sidecar built
     /// over the pre-crash store self-invalidates (its recorded store
@@ -358,11 +454,15 @@ impl ClassificationAtlas {
     /// foreign or stale files, [`AtlasError::Corrupt`] for mid-store
     /// corruption, [`AtlasError::Io`] on filesystem failure.
     pub fn open_recovering(path: impl AsRef<Path>) -> Result<RecoveredAtlas, AtlasError> {
+        let new_version = default_new_version();
         let path = path.as_ref().to_path_buf();
-        let loaded = match load_store(&path)? {
+        let mut loaded = match load_store(&path)? {
             None => {
-                stamp_header(&path)?;
-                LoadedStore::default()
+                stamp_header(&path, new_version)?;
+                LoadedStore {
+                    version: new_version,
+                    ..LoadedStore::default()
+                }
             }
             Some(loaded) => loaded,
         };
@@ -377,10 +477,13 @@ impl ClassificationAtlas {
                 let f = OpenOptions::new().write(true).open(&path)?;
                 if loaded.clean_len < 12 {
                     // The tear is inside the 12-byte header: nothing
-                    // decodable survives; re-stamp a fresh store.
+                    // decodable survives; re-stamp a fresh store (the
+                    // intended version may itself be torn off, so the
+                    // re-stamp uses the creation default).
                     f.set_len(0)?;
                     drop(f);
-                    stamp_header(&path)?;
+                    stamp_header(&path, new_version)?;
+                    loaded.version = new_version;
                 } else {
                     f.set_len(loaded.clean_len)?;
                     f.sync_all()?;
@@ -395,12 +498,21 @@ impl ClassificationAtlas {
         Ok(RecoveredAtlas {
             atlas: ClassificationAtlas {
                 path,
+                version: loaded.version,
                 map: loaded.map,
                 coverage: loaded.coverage,
                 shards: loaded.shards,
             },
             report,
         })
+    }
+
+    /// The on-disk format version of this store (3 or 4) — parsed from
+    /// the header on open, [`default_new_version`] for fresh stores.
+    /// Appends are framed in this version: row frames for v3, columnar
+    /// blocks for v4.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The record stored for a canonical graph6 `key`, if any.
@@ -465,6 +577,13 @@ impl ClassificationAtlas {
         let write_started = std::time::Instant::now();
         let mut w = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         let mut payload = Vec::new();
+        // v4 stores pack this batch into columnar block frames (every
+        // block full at BLOCK_RECORDS except possibly the last); v3
+        // stores keep one row frame per record. Either way the whole
+        // batch is on disk when this call returns — no frame ever
+        // spans append calls, so torn-tail recovery and the
+        // `append_commit_frame` ordering are unchanged.
+        let mut block: Vec<&WindowRecord> = Vec::new();
         // The enumeration can only yield distinct keys within one
         // batch, but defend against caller-supplied duplicates: an
         // identical duplicate is skipped, a conflicting one is the
@@ -475,19 +594,30 @@ impl ClassificationAtlas {
                 if stored == rec {
                     continue;
                 }
+                // Records blocked before the conflict stay appended —
+                // they are individually valid.
+                write_block_frame(&mut w, &mut payload, &mut block)?;
                 w.flush()?;
                 return Err(AtlasError::KeyConflict {
                     key: rec.key.clone(),
                 });
             }
-            payload.clear();
-            payload.push(FRAME_RECORD);
-            encode_record(rec, &mut payload);
-            w.write_all(&(payload.len() as u32).to_le_bytes())?;
-            w.write_all(&payload)?;
+            if self.version >= 4 {
+                block.push(rec);
+                if block.len() == crate::codec::BLOCK_RECORDS {
+                    write_block_frame(&mut w, &mut payload, &mut block)?;
+                }
+            } else {
+                payload.clear();
+                payload.push(FRAME_RECORD);
+                encode_record(rec, &mut payload);
+                w.write_all(&(payload.len() as u32).to_le_bytes())?;
+                w.write_all(&payload)?;
+            }
             self.map.insert(rec.key.clone(), rec.clone());
             appended += 1;
         }
+        write_block_frame(&mut w, &mut payload, &mut block)?;
         w.flush()?;
         let recorder = bnf_obs::Recorder::global();
         recorder.add_span_ms("atlas_write", write_started.elapsed().as_millis() as u64);
@@ -828,6 +958,9 @@ impl fmt::Display for RecoveryReport {
 /// Everything [`load_store`] decoded, plus where the clean prefix ends.
 #[derive(Debug, Default)]
 struct LoadedStore {
+    /// Header format version (0 only when the header itself is torn —
+    /// the caller restamps with the creation default).
+    version: u32,
     map: HashMap<String, WindowRecord>,
     coverage: HashMap<u16, u64>,
     shards: Vec<ShardMeta>,
@@ -844,7 +977,7 @@ struct LoadedStore {
 /// arrived — the byte count [`load_store`] needs to tell a clean frame
 /// boundary (0 bytes of the next length field) from a torn tail (a
 /// partial length field or short payload).
-fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+pub(crate) fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
@@ -857,15 +990,15 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
     Ok(filled)
 }
 
-/// Stamps a fresh header (magic + version) into `path`, durably.
-fn stamp_header(path: &Path) -> Result<(), AtlasError> {
+/// Stamps a fresh header (magic + `version`) into `path`, durably.
+fn stamp_header(path: &Path, version: u32) -> Result<(), AtlasError> {
     let mut f = OpenOptions::new()
         .create(true)
         .write(true)
         .truncate(true)
         .open(path)?;
     f.write_all(&ATLAS_MAGIC)?;
-    f.write_all(&ATLAS_VERSION.to_le_bytes())?;
+    f.write_all(&version.to_le_bytes())?;
     f.sync_all()?;
     Ok(())
 }
@@ -877,7 +1010,8 @@ fn stamp_header(path: &Path) -> Result<(), AtlasError> {
 /// distinction: the file ending *mid-frame* (partial length field or
 /// short payload) is a tear — the producing process died mid-append —
 /// while a fully present frame that fails to decode, or a length field
-/// over [`MAX_FRAME_LEN`], is mid-store corruption and errors here.
+/// over the version's bound ([`max_frame_len`]), is mid-store
+/// corruption and errors here.
 fn load_store(path: &Path) -> Result<Option<LoadedStore>, AtlasError> {
     let file = match File::open(path) {
         Ok(f) => f,
@@ -890,12 +1024,16 @@ fn load_store(path: &Path) -> Result<Option<LoadedStore>, AtlasError> {
     let mut r = BufReader::new(file);
     let mut header = [0u8; 12];
     let got = read_full(&mut r, &mut header)?;
-    let mut expected = [0u8; 12];
-    expected[..8].copy_from_slice(&ATLAS_MAGIC);
-    expected[8..].copy_from_slice(&ATLAS_VERSION.to_le_bytes());
     if got < 12 {
-        if header[..got] == expected[..got] {
-            // A truncated-but-correct header prefix: torn at creation.
+        // A truncated header prefix that could still become a valid
+        // one (magic prefix, then a supported little-endian version
+        // byte and zero padding): torn at creation.
+        let magic_ok = header[..got.min(8)] == ATLAS_MAGIC[..got.min(8)];
+        let version_ok = got <= 8
+            || (u32::from(header[8]) >= MIN_ATLAS_VERSION
+                && u32::from(header[8]) <= ATLAS_VERSION
+                && header[9..got].iter().all(|&b| b == 0));
+        if magic_ok && version_ok {
             return Ok(Some(LoadedStore {
                 clean_len: 0,
                 torn: Some(format!("file ends {got} bytes into the 12-byte header")),
@@ -908,10 +1046,12 @@ fn load_store(path: &Path) -> Result<Option<LoadedStore>, AtlasError> {
         return Err(AtlasError::BadMagic);
     }
     let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if found != ATLAS_VERSION {
+    if !(MIN_ATLAS_VERSION..=ATLAS_VERSION).contains(&found) {
         return Err(AtlasError::VersionMismatch { found });
     }
+    let frame_cap = max_frame_len(found);
     let mut out = LoadedStore {
+        version: found,
         clean_len: 12,
         ..LoadedStore::default()
     };
@@ -929,10 +1069,10 @@ fn load_store(path: &Path) -> Result<Option<LoadedStore>, AtlasError> {
             break;
         }
         let len = u32::from_le_bytes(len_buf);
-        if len == 0 || len > MAX_FRAME_LEN {
+        if len == 0 || len > frame_cap {
             return Err(AtlasError::Corrupt {
                 offset: out.clean_len,
-                reason: format!("frame length {len} outside 1..={MAX_FRAME_LEN}"),
+                reason: format!("frame length {len} outside 1..={frame_cap} (the v{found} cap)"),
             });
         }
         let mut payload = vec![0u8; len as usize];
@@ -944,20 +1084,29 @@ fn load_store(path: &Path) -> Result<Option<LoadedStore>, AtlasError> {
             ));
             break;
         }
-        decode_frame(&payload, &mut out.map, &mut out.coverage, &mut out.shards).map_err(
-            |reason| AtlasError::Corrupt {
-                offset: out.clean_len,
-                reason,
-            },
-        )?;
+        decode_frame(
+            &payload,
+            found,
+            &mut out.map,
+            &mut out.coverage,
+            &mut out.shards,
+        )
+        .map_err(|reason| AtlasError::Corrupt {
+            offset: out.clean_len,
+            reason,
+        })?;
         out.clean_len += 4 + len as u64;
     }
     Ok(Some(out))
 }
 
-/// Parses one frame (tag byte + payload) into the maps.
+/// Parses one frame (tag byte + payload) into the maps. `version` is
+/// the store's header version: block frames (tag 4) are only legal in
+/// v4 stores — in a v3 file the tag is corruption, never silently
+/// decoded by a reader the v3 writer predates.
 fn decode_frame(
     payload: &[u8],
+    version: u32,
     map: &mut HashMap<String, WindowRecord>,
     coverage: &mut HashMap<u16, u64>,
     shards: &mut Vec<ShardMeta>,
@@ -969,6 +1118,15 @@ fn decode_frame(
         FRAME_RECORD => {
             let record = decode_record(body)?;
             map.insert(record.key.clone(), record);
+            Ok(())
+        }
+        FRAME_RECORD_BLOCK => {
+            if version < 4 {
+                return Err("columnar block frame (tag 4) in a v3 store".into());
+            }
+            for record in crate::codec::decode_block(body)? {
+                map.insert(record.key.clone(), record);
+            }
             Ok(())
         }
         FRAME_SHARD_META => {
@@ -1101,6 +1259,26 @@ fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, String> {
     })
 }
 
+/// Writes the pending `block` (if non-empty) as one v4 columnar block
+/// frame and clears it. A no-op for v3 appends, whose block stays
+/// empty.
+fn write_block_frame(
+    w: &mut impl Write,
+    payload: &mut Vec<u8>,
+    block: &mut Vec<&WindowRecord>,
+) -> std::io::Result<()> {
+    if block.is_empty() {
+        return Ok(());
+    }
+    payload.clear();
+    payload.push(FRAME_RECORD_BLOCK);
+    crate::codec::encode_block(block, payload);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    block.clear();
+    Ok(())
+}
+
 fn put_ratio(out: &mut Vec<u8>, r: Ratio) {
     out.extend_from_slice(&r.numer().to_le_bytes());
     out.extend_from_slice(&r.denom().to_le_bytes());
@@ -1121,7 +1299,7 @@ fn put_interval(out: &mut Vec<u8>, iv: ClosedInterval) {
     put_threshold(out, iv.hi);
 }
 
-fn encode_record(rec: &WindowRecord, out: &mut Vec<u8>) {
+pub(crate) fn encode_record(rec: &WindowRecord, out: &mut Vec<u8>) {
     out.extend_from_slice(&(rec.key.len() as u16).to_le_bytes());
     out.extend_from_slice(rec.key.as_bytes());
     out.extend_from_slice(&(rec.order as u16).to_le_bytes());
@@ -1521,22 +1699,132 @@ mod tests {
 
     #[test]
     fn oversized_frame_length_is_corrupt_not_a_tear() {
-        let path = scratch_path("recover-hugelen");
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&ATLAS_MAGIC);
-        bytes.extend_from_slice(&ATLAS_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
-        bytes.extend_from_slice(&[0u8; 16]);
+        // The cap is version-aware: a v3 store trips at MAX_FRAME_LEN,
+        // a v4 store only at the (larger) block cap — a legitimate
+        // multi-megabyte block frame must never be misdiagnosed.
+        for (version, cap) in [(3u32, MAX_FRAME_LEN), (4u32, MAX_BLOCK_FRAME_LEN)] {
+            let path = scratch_path(&format!("recover-hugelen-v{version}"));
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&ATLAS_MAGIC);
+            bytes.extend_from_slice(&version.to_le_bytes());
+            bytes.extend_from_slice(&(cap + 1).to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]);
+            std::fs::write(&path, &bytes).unwrap();
+            // Both paths refuse: a corrupted length field must not be
+            // "recovered" by swallowing the rest of the file as a tear
+            // — and the diagnosis names the offending length.
+            match ClassificationAtlas::open(&path) {
+                Err(AtlasError::Corrupt { offset: 12, reason }) => {
+                    assert!(
+                        reason.contains(&(cap + 1).to_string()),
+                        "diagnosis omits the offending length: {reason}"
+                    );
+                }
+                other => panic!("expected Corrupt at offset 12, got {other:?}"),
+            }
+            assert!(matches!(
+                ClassificationAtlas::open_recovering(&path),
+                Err(AtlasError::Corrupt { offset: 12, .. })
+            ));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v3_frame_cap_admits_what_a_v4_block_needs() {
+        // A v4 block frame can legally exceed the v3 cap; the v3 cap
+        // still applies to v3 stores.
+        assert_eq!(max_frame_len(3), MAX_FRAME_LEN);
+        assert_eq!(max_frame_len(4), MAX_BLOCK_FRAME_LEN);
+        assert!(max_frame_len(4) > max_frame_len(3));
+    }
+
+    #[test]
+    fn v3_stores_stay_writable_in_row_format() {
+        let path = scratch_path("v3-append");
+        let records = sample_records();
+        {
+            let mut atlas = ClassificationAtlas::open_with_version(&path, 3).unwrap();
+            assert_eq!(atlas.version(), 3);
+            atlas.append_records(&records).unwrap();
+            atlas.mark_complete(5, records.len()).unwrap();
+        }
+        // The header says v3 and every record frame is a row frame.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[8..12], &3u32.to_le_bytes());
+        assert_eq!(bytes[16], FRAME_RECORD);
+        // A plain reopen keeps the store's own version (no silent
+        // upgrade) and replays losslessly.
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.version(), 3);
+        assert_eq!(atlas.len(), records.len());
+        assert_eq!(atlas.coverage(5), Some(records.len() as u64));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v4_appends_pack_block_frames() {
+        let path = scratch_path("v4-blocks");
+        let records = sample_records();
+        {
+            let mut atlas = ClassificationAtlas::open_with_version(&path, ATLAS_VERSION).unwrap();
+            assert_eq!(atlas.version(), ATLAS_VERSION);
+            atlas.append_records(&records).unwrap();
+        }
+        // One batch, fewer than BLOCK_RECORDS records: exactly one
+        // block frame after the header.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[8..12], &ATLAS_VERSION.to_le_bytes());
+        assert_eq!(bytes[16], FRAME_RECORD_BLOCK);
+        let frame_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        assert_eq!(bytes.len(), 12 + 4 + frame_len, "exactly one frame");
+        let atlas = ClassificationAtlas::open(&path).unwrap();
+        assert_eq!(atlas.len(), records.len());
+        for rec in &records {
+            assert_eq!(atlas.get(&rec.key), Some(rec));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_frame_in_a_v3_store_is_corrupt() {
+        let path = scratch_path("v3-blocktag");
+        let records = sample_records();
+        {
+            let mut atlas = ClassificationAtlas::open_with_version(&path, ATLAS_VERSION).unwrap();
+            atlas.append_records(&records).unwrap();
+        }
+        // Rewrite the header to claim v3: the block tag is now corrupt
+        // (a v3 reader the block writer predates must never guess).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
-        // Both paths refuse: a corrupted length field must not be
-        // "recovered" by swallowing the rest of the file as a tear.
+        match ClassificationAtlas::open(&path) {
+            Err(AtlasError::Corrupt { offset: 12, reason }) => {
+                assert!(reason.contains("tag 4"), "unexpected diagnosis: {reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn new_store_version_tracks_the_env_override() {
+        assert_eq!(version_from_env(None), ATLAS_VERSION);
+        assert_eq!(version_from_env(Some("3".into())), 3);
+        assert_eq!(version_from_env(Some(" 3 ".into())), 3);
+        assert_eq!(version_from_env(Some("4".into())), 4);
+        // Unsupported or unparsable values fall back to the default.
+        assert_eq!(version_from_env(Some("2".into())), ATLAS_VERSION);
+        assert_eq!(version_from_env(Some("99".into())), ATLAS_VERSION);
+        assert_eq!(version_from_env(Some("v3".into())), ATLAS_VERSION);
+        assert_eq!(version_from_env(Some(String::new())), ATLAS_VERSION);
+        // And the programmatic constructor rejects them as typed
+        // errors instead.
+        let path = scratch_path("bad-new-version");
         assert!(matches!(
-            ClassificationAtlas::open(&path),
-            Err(AtlasError::Corrupt { offset: 12, .. })
-        ));
-        assert!(matches!(
-            ClassificationAtlas::open_recovering(&path),
-            Err(AtlasError::Corrupt { offset: 12, .. })
+            ClassificationAtlas::open_with_version(&path, 2),
+            Err(AtlasError::VersionMismatch { found: 2 })
         ));
         std::fs::remove_file(&path).ok();
     }

@@ -1,0 +1,96 @@
+//! Mixed-version segment merges: `merge_segments` must fold v3 row
+//! segments and v4 columnar segments — in the same call — with exactly
+//! the semantics of an all-v3 fold: identical duplicates dedup,
+//! divergence stays a typed [`AtlasError::KeyConflict`], coverage
+//! promotes the same way. The fleet this matters for is mid-migration:
+//! old builds still emit v3 segments while compacted stores and new
+//! shards are v4.
+
+use bnf_atlas::{merge_segments, AtlasError, ClassificationAtlas};
+use bnf_core::WindowRecord;
+use std::path::PathBuf;
+
+fn scratch_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let k = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bnf-mixed-merge-{}-{k}-{tag}.bnfatlas",
+        std::process::id()
+    ))
+}
+
+fn record(key: &str, edges: u64) -> WindowRecord {
+    WindowRecord {
+        key: key.into(),
+        order: 5,
+        edges,
+        total_distance: 40 - edges,
+        stability: None,
+        transfer: None,
+        ucg_support: Vec::new(),
+    }
+}
+
+/// Writes `records` to a fresh segment store of the given format.
+fn segment(tag: &str, version: u32, records: &[WindowRecord]) -> PathBuf {
+    let path = scratch_path(tag);
+    let mut seg = ClassificationAtlas::open_with_version(&path, version).unwrap();
+    seg.append_records(records).unwrap();
+    path
+}
+
+#[test]
+fn mixed_version_segments_fold_like_an_all_v3_merge() {
+    let all: Vec<WindowRecord> = ["D?{", "DQw", "Dhc", "D]w", "DBw", "DK{"]
+        .iter()
+        .enumerate()
+        .map(|(i, k)| record(k, 4 + i as u64))
+        .collect();
+    // Overlapping halves: records 0..4 and 2..6, so two identical
+    // duplicates cross the version boundary.
+    let first = &all[..4];
+    let second = &all[2..];
+
+    let mut folds = Vec::new();
+    for (tag, versions) in [("ref", [3u32, 3]), ("mix", [3, 4]), ("xim", [4, 3])] {
+        let seg_a = segment(&format!("{tag}-a"), versions[0], first);
+        let seg_b = segment(&format!("{tag}-b"), versions[1], second);
+        let out_path = scratch_path(&format!("{tag}-out"));
+        let mut out = ClassificationAtlas::open(&out_path).unwrap();
+        let report = merge_segments(&mut out, &[&seg_a, &seg_b]).unwrap();
+        assert_eq!(report.segments, 2, "{tag}");
+        assert_eq!(report.appended, all.len(), "{tag}");
+        assert_eq!(report.duplicates, 2, "{tag}");
+        let mut records: Vec<WindowRecord> = out.iter().cloned().collect();
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+        folds.push(records);
+        for p in [seg_a, seg_b, out_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+    assert_eq!(folds[0], folds[1], "v3+v4 fold diverged from all-v3");
+    assert_eq!(folds[0], folds[2], "v4+v3 fold diverged from all-v3");
+}
+
+#[test]
+fn divergence_across_the_version_boundary_stays_a_typed_conflict() {
+    let seg_v3 = segment("conflict-v3", 3, &[record("D?{", 4), record("DQw", 5)]);
+    // Same key, different classification — a real conflict, not a dup.
+    let seg_v4 = segment("conflict-v4", 4, &[record("DQw", 6)]);
+    let out_path = scratch_path("conflict-out");
+    let mut out = ClassificationAtlas::open(&out_path).unwrap();
+
+    let err = merge_segments(&mut out, &[&seg_v3, &seg_v4]).unwrap_err();
+    assert_eq!(err.path, seg_v4, "conflict must name the offending segment");
+    match err.error {
+        AtlasError::KeyConflict { ref key } => assert_eq!(key, "DQw"),
+        ref other => panic!("expected KeyConflict, got {other:?}"),
+    }
+    // Frames appended before the conflict survive in the output store.
+    assert_eq!(out.get("D?{"), Some(&record("D?{", 4)));
+
+    for p in [seg_v3, seg_v4, out_path] {
+        std::fs::remove_file(p).ok();
+    }
+}

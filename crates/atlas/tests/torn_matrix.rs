@@ -3,7 +3,7 @@
 //! typed error — never panic, never silently lose data that recovery
 //! did not report dropping.
 
-use bnf_atlas::{AtlasError, ClassificationAtlas, ShardMeta, MAX_FRAME_LEN};
+use bnf_atlas::{max_frame_len, AtlasError, ClassificationAtlas, ShardMeta};
 use bnf_core::WindowRecord;
 use bnf_stream::PruneCounters;
 use std::path::PathBuf;
@@ -54,14 +54,15 @@ fn meta(index: u32, count: u32, emitted: u64) -> ShardMeta {
 }
 
 /// Builds the reference store the matrix truncates: records, shard
-/// metadata, and a coverage frame — all three frame kinds on disk.
-fn build_reference(path: &PathBuf) -> Vec<WindowRecord> {
+/// metadata, and a coverage frame — every frame kind the `version`
+/// writes on disk (v3 rows or a v4 columnar block, plus tags 2 and 3).
+fn build_reference(path: &PathBuf, version: u32) -> Vec<WindowRecord> {
     let records: Vec<WindowRecord> = ["D?{", "DQw", "Dhc", "D]w"]
         .iter()
         .enumerate()
         .map(|(i, k)| record(k, 4 + i as u64))
         .collect();
-    let mut atlas = ClassificationAtlas::open(path).unwrap();
+    let mut atlas = ClassificationAtlas::open_with_version(path, version).unwrap();
     atlas.append_records(&records).unwrap();
     atlas.append_shard_meta(&meta(0, 2, 2)).unwrap();
     atlas.append_shard_meta(&meta(1, 2, 2)).unwrap();
@@ -71,10 +72,16 @@ fn build_reference(path: &PathBuf) -> Vec<WindowRecord> {
 
 #[test]
 fn truncation_at_every_offset_recovers_or_fails_typed() {
-    let reference = scratch_path("reference");
-    let records = build_reference(&reference);
+    for version in [3u32, 4] {
+        truncation_matrix(version);
+    }
+}
+
+fn truncation_matrix(version: u32) {
+    let reference = scratch_path(&format!("reference-v{version}"));
+    let records = build_reference(&reference, version);
     let bytes = std::fs::read(&reference).unwrap();
-    let work = scratch_path("work");
+    let work = scratch_path(&format!("work-v{version}"));
 
     for cut in 0..=bytes.len() {
         std::fs::write(&work, &bytes[..cut]).unwrap();
@@ -142,15 +149,23 @@ fn truncation_at_every_offset_recovers_or_fails_typed() {
 
 #[test]
 fn mid_store_corruption_stays_typed_for_both_opens() {
-    let reference = scratch_path("corrupt-ref");
-    build_reference(&reference);
-    let bytes = std::fs::read(&reference).unwrap();
-    let work = scratch_path("corrupt-work");
+    for version in [3u32, 4] {
+        mid_store_corruption(version);
+    }
+}
 
-    // An absurd length field in the *first* frame: both paths must call
-    // it corruption at that offset, not a tear to "recover" from.
+fn mid_store_corruption(version: u32) {
+    let reference = scratch_path(&format!("corrupt-ref-v{version}"));
+    build_reference(&reference, version);
+    let bytes = std::fs::read(&reference).unwrap();
+    let work = scratch_path(&format!("corrupt-work-v{version}"));
+
+    // A length field over the *version's* frame cap in the first frame:
+    // both paths must call it corruption at that offset, not a tear to
+    // "recover" from — and name the offending length.
+    let huge_len = max_frame_len(version) + 7;
     let mut huge = bytes.clone();
-    huge[12..16].copy_from_slice(&(MAX_FRAME_LEN + 7).to_le_bytes());
+    huge[12..16].copy_from_slice(&huge_len.to_le_bytes());
     std::fs::write(&work, &huge).unwrap();
     for result in [
         ClassificationAtlas::open(&work).map(|_| ()),
@@ -158,9 +173,16 @@ fn mid_store_corruption_stays_typed_for_both_opens() {
     ] {
         match result {
             Err(AtlasError::Corrupt { offset: 12, reason }) => {
-                assert!(reason.contains("length"), "{reason}");
+                assert!(
+                    reason.contains(&huge_len.to_string()),
+                    "v{version}: diagnosis must name the length: {reason}"
+                );
+                assert!(
+                    reason.contains(&format!("v{version}")),
+                    "v{version}: diagnosis must name the cap's version: {reason}"
+                );
             }
-            other => panic!("expected Corrupt at 12, got {other:?}"),
+            other => panic!("v{version}: expected Corrupt at 12, got {other:?}"),
         }
     }
 
@@ -177,6 +199,20 @@ fn mid_store_corruption_stays_typed_for_both_opens() {
         ClassificationAtlas::open_recovering(&work),
         Err(AtlasError::Corrupt { offset: 12, .. })
     ));
+
+    // A v4 block frame smuggled into a v3 store is corruption, not a
+    // decodable frame (the length may even be legal under both caps).
+    if version == 4 {
+        let mut downgraded = bytes.clone();
+        downgraded[8..12].copy_from_slice(&3u32.to_le_bytes());
+        std::fs::write(&work, &downgraded).unwrap();
+        match ClassificationAtlas::open(&work) {
+            Err(AtlasError::Corrupt { offset: 12, reason }) => {
+                assert!(reason.contains("tag 4"), "{reason}");
+            }
+            other => panic!("expected Corrupt at 12 for a downgraded header, got {other:?}"),
+        }
+    }
 
     std::fs::remove_file(&reference).ok();
     std::fs::remove_file(&work).ok();

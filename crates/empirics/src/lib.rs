@@ -320,6 +320,7 @@ pub fn run_window_sweep_cli(n: usize, threads: usize, args: &[String]) -> Window
             .unwrap_or_else(|e| panic!("atlas coverage update failed: {e}"));
         manifest.set_counter("atlas_hits", (windows.records.len() - appended) as u64);
         manifest.set_counter("atlas_appended", appended as u64);
+        push_atlas_density_metric(&mut manifest, atlas, n);
         eprintln!(
             "atlas {}: {} hits, {appended} new records appended ({} stored)",
             atlas.path().display(),
@@ -374,6 +375,27 @@ pub fn build_sweep_manifest(
         );
     }
     manifest
+}
+
+/// Pushes `manifest/atlas_bytes_per_record/{n}` — the gated on-disk
+/// density of the store the sweep wrote — skipped for an empty atlas
+/// (no records to divide by). The v4 columnar format exists to push
+/// this number down; the gate keeps it from regressing.
+fn push_atlas_density_metric(
+    manifest: &mut bnf_obs::RunManifest,
+    atlas: &bnf_atlas::ClassificationAtlas,
+    n: usize,
+) {
+    let Ok(meta) = std::fs::metadata(atlas.path()) else {
+        return;
+    };
+    if atlas.is_empty() {
+        return;
+    }
+    manifest.push_metric(
+        &format!("manifest/atlas_bytes_per_record/{n}"),
+        meta.len() as f64 / atlas.len() as f64,
+    );
 }
 
 /// Folds the global recorder's spans / counters / histograms into the
@@ -574,6 +596,11 @@ fn run_orchestrated_cli(
         }
         manifest.set_counter("atlas_hits", hits_total as u64);
         manifest.set_counter("atlas_appended", appended_total as u64);
+        if resume_dropped_tail.is_none() {
+            // A resumed manifest keeps exactly one gate-facing metric
+            // (see above), so the density metric is cold-run only.
+            push_atlas_density_metric(&mut manifest, atlas, n);
+        }
         eprintln!(
             "atlas {}: {hits_total} hits, {appended_total} new records appended ({} stored)",
             atlas.path().display(),
